@@ -1,0 +1,273 @@
+package arraytrack
+
+// One benchmark per table/figure of the paper's evaluation (§4), plus
+// ablation benches for the design choices DESIGN.md calls out. Each
+// bench regenerates its artifact through the testbed experiment runners
+// and reports the headline quantity (median location error, stability
+// percentage, detection rate, …) as a custom benchmark metric, so
+// `go test -bench=. -benchmem` doubles as the reproduction harness.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/testbed"
+)
+
+// benchAccuracyOpts returns a sweep sized for benchmarking: a
+// representative client sample and capped combinations so one iteration
+// stays in the hundreds of milliseconds.
+func benchAccuracyOpts() testbed.AccuracyOptions {
+	opt := testbed.DefaultAccuracyOptions()
+	opt.MaxClients = 12
+	opt.MaxCombos = 4
+	return opt
+}
+
+func BenchmarkTable1PeakStability(b *testing.B) {
+	tb := testbed.New()
+	var directSamePct float64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := tb.RunTable1(30, 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Rows 0 and 1 are the "direct same" outcomes.
+		directSamePct = pctFromRow(r.Lines[0]) + pctFromRow(r.Lines[1])
+	}
+	b.ReportMetric(directSamePct, "direct-same-%")
+}
+
+func pctFromRow(row string) float64 {
+	f := strings.Fields(row)
+	var v float64
+	if len(f) > 0 {
+		s := strings.TrimSuffix(f[len(f)-1], "%")
+		var x float64
+		for _, c := range s {
+			if c >= '0' && c <= '9' {
+				x = x*10 + float64(c-'0')
+			}
+		}
+		v = x
+	}
+	return v
+}
+
+func BenchmarkFig7SpatialSmoothing(b *testing.B) {
+	tb := testbed.New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := tb.RunFig7(7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig13Unoptimized(b *testing.B) {
+	tb := testbed.New()
+	var median float64
+	for i := 0; i < b.N; i++ {
+		opt := benchAccuracyOpts()
+		opt.APCounts = []int{3, 6}
+		_, res, err := tb.RunFig13(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		median = stats.Median(res.ErrorsCM[6])
+	}
+	b.ReportMetric(median, "median-cm-6AP")
+}
+
+func BenchmarkFig14Heatmaps(b *testing.B) {
+	tb := testbed.New()
+	for i := 0; i < b.N; i++ {
+		if _, err := tb.RunFig14(20, 14); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig15ArrayTrack(b *testing.B) {
+	tb := testbed.New()
+	var median float64
+	for i := 0; i < b.N; i++ {
+		opt := benchAccuracyOpts()
+		opt.APCounts = []int{3, 6}
+		_, res, err := tb.RunFig15(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		median = stats.Median(res.ErrorsCM[6])
+	}
+	b.ReportMetric(median, "median-cm-6AP")
+}
+
+func BenchmarkFig16Antennas(b *testing.B) {
+	tb := testbed.New()
+	for i := 0; i < b.N; i++ {
+		opt := benchAccuracyOpts()
+		opt.MaxClients = 8
+		if _, err := tb.RunFig16(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig17Pillars(b *testing.B) {
+	tb := testbed.New()
+	for i := 0; i < b.N; i++ {
+		if _, err := tb.RunFig17(17); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig18Robustness(b *testing.B) {
+	tb := testbed.New()
+	for i := 0; i < b.N; i++ {
+		opt := benchAccuracyOpts()
+		opt.MaxClients = 8
+		if _, err := tb.RunFig18(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig19Samples(b *testing.B) {
+	tb := testbed.New()
+	for i := 0; i < b.N; i++ {
+		if _, err := tb.RunFig19(19); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig20SNR(b *testing.B) {
+	tb := testbed.New()
+	for i := 0; i < b.N; i++ {
+		if _, err := tb.RunFig20(20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCollisionSIC(b *testing.B) {
+	tb := testbed.New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := tb.RunCollision(22); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLatencyPipeline(b *testing.B) {
+	tb := testbed.New()
+	for i := 0; i < b.N; i++ {
+		if _, err := tb.RunLatency(23); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDetectionSNR(b *testing.B) {
+	tb := testbed.New()
+	for i := 0; i < b.N; i++ {
+		if _, err := tb.RunDetection(20, 21); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBaselineRSS(b *testing.B) {
+	tb := testbed.New()
+	for i := 0; i < b.N; i++ {
+		opt := benchAccuracyOpts()
+		opt.MaxClients = 8
+		if _, err := tb.RunBaselineComparison(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation benches: one per design knob, reporting the median error so
+// regressions in any pipeline stage surface as metric shifts.
+
+func benchAblationVariant(b *testing.B, mutate func(*core.Config)) {
+	tb := testbed.New()
+	var median float64
+	for i := 0; i < b.N; i++ {
+		opt := benchAccuracyOpts()
+		opt.APCounts = []int{3}
+		opt.MaxClients = 8
+		opt.Pipeline = core.DefaultConfig(tb.Wavelength)
+		mutate(&opt.Pipeline)
+		res, _, err := tb.RunAccuracy(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		median = stats.Median(res.ErrorsCM[3])
+	}
+	b.ReportMetric(median, "median-cm-3AP")
+}
+
+func BenchmarkAblationFull(b *testing.B) {
+	benchAblationVariant(b, func(*core.Config) {})
+}
+
+func BenchmarkAblationNoWeighting(b *testing.B) {
+	benchAblationVariant(b, func(c *core.Config) { c.UseWeighting = false })
+}
+
+func BenchmarkAblationNoSuppression(b *testing.B) {
+	benchAblationVariant(b, func(c *core.Config) { c.UseSuppression = false })
+}
+
+func BenchmarkAblationNoSymmetryRemoval(b *testing.B) {
+	benchAblationVariant(b, func(c *core.Config) { c.UseSymmetryRemoval = false })
+}
+
+func BenchmarkAblationNoForwardBackward(b *testing.B) {
+	benchAblationVariant(b, func(c *core.Config) { c.ForwardBackward = false })
+}
+
+func BenchmarkAblationSmoothingNG1(b *testing.B) {
+	benchAblationVariant(b, func(c *core.Config) { c.SmoothingGroups = 1 })
+}
+
+func BenchmarkAblationSmoothingNG3(b *testing.B) {
+	benchAblationVariant(b, func(c *core.Config) { c.SmoothingGroups = 3 })
+}
+
+// Extension benches: the future-work and discussion features.
+
+func BenchmarkThreeDLocalization(b *testing.B) {
+	tb := testbed.New()
+	for i := 0; i < b.N; i++ {
+		if _, err := tb.RunThreeD(31); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCircularVsLinear(b *testing.B) {
+	tb := testbed.New()
+	for i := 0; i < b.N; i++ {
+		if _, err := tb.RunCircular(32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCalibrationSweep(b *testing.B) {
+	tb := testbed.New()
+	for i := 0; i < b.N; i++ {
+		if _, err := tb.RunCalibrationSweep(33); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

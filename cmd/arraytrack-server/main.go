@@ -1,0 +1,77 @@
+// Command arraytrack-server is the central ArrayTrack backend (Figure
+// 1, right half): it accepts capture records from AP nodes over TCP,
+// groups them per client, and prints a location estimate once a quorum
+// of APs has reported.
+//
+// AP identities 1–6 map to the simulated testbed's sites, so the server
+// knows each reporting array's position and orientation.
+//
+//	arraytrack-server -listen :7100 -quorum 3
+//
+// Pair with cmd/arraytrack-ap.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/testbed"
+)
+
+func main() {
+	listen := flag.String("listen", ":7100", "TCP listen address")
+	quorum := flag.Int("quorum", 3, "distinct APs required before localizing")
+	window := flag.Duration("window", time.Second, "capture grouping window")
+	flag.Parse()
+
+	tb := testbed.New()
+	capOpt := testbed.DefaultCaptureOptions()
+	cfg := core.DefaultConfig(tb.Wavelength)
+
+	backend := server.NewBackend(*quorum, *window, func(clientID uint32, cs []server.Capture) {
+		// Group captures per AP and rebuild the pipeline inputs.
+		byAP := map[uint32][]core.FrameCapture{}
+		for _, c := range cs {
+			byAP[c.APID] = append(byAP[c.APID], core.FrameCapture{Streams: c.Streams})
+		}
+		var aps []*core.AP
+		var captures [][]core.FrameCapture
+		for apID, frames := range byAP {
+			idx := int(apID) - 1
+			if idx < 0 || idx >= len(tb.Sites) {
+				log.Printf("client %d: unknown AP id %d, skipping", clientID, apID)
+				continue
+			}
+			aps = append(aps, &core.AP{Array: tb.NewArray(tb.Sites[idx], capOpt)})
+			captures = append(captures, frames)
+		}
+		start := time.Now()
+		pos, _, err := core.LocateClient(aps, captures, tb.Plan.Min, tb.Plan.Max, cfg)
+		if err != nil {
+			log.Printf("client %d: localization failed: %v", clientID, err)
+			return
+		}
+		fmt.Printf("client %d located at %v  (%d APs, %d captures, %v)\n",
+			clientID, pos, len(aps), len(cs), time.Since(start).Round(time.Millisecond))
+	})
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("ArrayTrack server listening on %s (quorum %d)", l.Addr(), *quorum)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := backend.Serve(ctx, l); err != nil && ctx.Err() == nil {
+		log.Fatal(err)
+	}
+}

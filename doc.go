@@ -1,0 +1,15 @@
+// Package arraytrack is a from-scratch Go reproduction of "ArrayTrack:
+// A Fine-Grained Indoor Location System" (Xiong & Jamieson, NSDI 2013).
+//
+// The implementation lives under internal/: the numerical substrate
+// (mat, dsp, geom), the radio substrate (wifi, channel, array), the
+// paper's contribution (music, core), the system architecture (server),
+// the RSS comparators (baseline), and the simulated office testbed with
+// one experiment runner per table and figure of the paper's evaluation
+// (testbed). Executables are under cmd/ and runnable walkthroughs under
+// examples/.
+//
+// The benchmarks in bench_test.go regenerate every evaluation artifact;
+// see EXPERIMENTS.md for paper-versus-measured numbers and README.md
+// for a tour.
+package arraytrack

@@ -1,0 +1,70 @@
+// Roaming: a client walks the office while a constant-velocity Kalman
+// tracker smooths the per-frame ArrayTrack fixes, gating out the
+// occasional catastrophic (mirror/end-fire) fix — the real-time
+// tracking application of the paper's introduction.
+//
+//	go run ./examples/roaming
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/stats"
+	"repro/internal/testbed"
+	"repro/internal/track"
+)
+
+func main() {
+	tb := testbed.New()
+	rng := rand.New(rand.NewSource(12))
+	capOpt := testbed.DefaultCaptureOptions()
+	cfg := core.DefaultConfig(tb.Wavelength)
+	aps := tb.APsFor([]int{0, 1, 2, 3, 4, 5}, capOpt)
+
+	// Walking pace: 1.2 m/s, a fix every second.
+	const dt = 1.0
+	tracker := track.NewTrack(1.0, 0.5, 4)
+
+	fmt.Println("step   truth              raw fix      smoothed     raw err  track err")
+	var rawErrs, trackErrs []float64
+	for i := 0; i < 24; i++ {
+		// An L-shaped walk: east along the corridor, then north.
+		var truth geom.Point
+		if i < 16 {
+			truth = geom.Pt(4+1.2*float64(i), 6.5)
+		} else {
+			truth = geom.Pt(4+1.2*15, 6.5+1.2*float64(i-15))
+		}
+
+		var captures [][]core.FrameCapture
+		for _, site := range tb.Sites {
+			captures = append(captures, tb.CaptureClient(truth, site, capOpt, rng))
+		}
+		fix, _, err := core.LocateClient(aps, captures, tb.Plan.Min, tb.Plan.Max, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tracker.Add(fix, dt); err != nil {
+			log.Fatal(err)
+		}
+		smoothed := tracker.Trail[len(tracker.Trail)-1]
+		rawE := fix.Dist(truth) * 100
+		trkE := smoothed.Dist(truth) * 100
+		rawErrs = append(rawErrs, rawE)
+		trackErrs = append(trackErrs, trkE)
+		fmt.Printf("%4d   %-18v %-12s %-12s %6.0fcm %8.0fcm\n",
+			i+1, truth, short(fix), short(smoothed), rawE, trkE)
+	}
+	fmt.Printf("\nraw fixes:  %v\n", stats.Summarize(rawErrs))
+	fmt.Printf("tracked:    %v\n", stats.Summarize(trackErrs))
+	fmt.Printf("fixes rejected by the gate: %d\n", tracker.Filter.Rejected())
+	if stats.Median(trackErrs) > stats.Median(rawErrs)*1.5 {
+		fmt.Println("note: tracking lagged the walk this run; tune process noise upward")
+	}
+}
+
+func short(p geom.Point) string { return fmt.Sprintf("(%.1f,%.1f)", p.X, p.Y) }

@@ -1,0 +1,174 @@
+package array
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// CalibrationTone models the USRP2 continuous-wave calibration source of
+// §3: a tone split through SMA splitters and cables ("external paths")
+// into each radio front end. Cable k adds external phase ext[k]; the
+// radio adds its unknown internal offset ψ_k. A measurement therefore
+// observes ψ_k + ext_k (+ noise), mirroring Equations 9–10.
+type CalibrationTone struct {
+	// ExternalPhases are the per-cable phases Phex_k in radians. Real
+	// splitters and "identical" cables differ slightly; populate with
+	// NewImperfectCables.
+	ExternalPhases []float64
+	// PhaseNoise is the standard deviation (radians) of measurement
+	// noise per observation.
+	PhaseNoise float64
+	// Rng drives the measurement noise. Nil means noise-free.
+	Rng *rand.Rand
+}
+
+// NewImperfectCables returns n external-path phases that are nominally
+// equal but differ by manufacturing tolerances of ±tol radians,
+// reproducing the "small manufacturing imperfections" of §3.
+func NewImperfectCables(n int, tol float64, rng *rand.Rand) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = (rng.Float64()*2 - 1) * tol
+	}
+	return out
+}
+
+// Measure performs one calibration run: the tone is fed through cable
+// perm[k] into radio k, and the observed phase of radio k relative to
+// radio 0 is returned, i.e.
+//
+//	obs[k] = (ψ_k + ext_perm[k]) − (ψ_0 + ext_perm[0])  (mod 2π)
+//
+// matching Equation 9 of the paper (Equation 10 with a swapped perm).
+func (c *CalibrationTone) Measure(a *Array, perm []int) ([]float64, error) {
+	n := a.NumElements()
+	if len(perm) != n || len(c.ExternalPhases) < n {
+		return nil, errors.New("array: calibration needs one cable per element")
+	}
+	offsets := a.PhaseOffsets
+	if len(offsets) == 0 {
+		offsets = make([]float64, n)
+	}
+	obs := make([]float64, n)
+	ref := offsets[0] + c.ExternalPhases[perm[0]]
+	for k := 0; k < n; k++ {
+		phase := offsets[k] + c.ExternalPhases[perm[k]] - ref
+		if c.Rng != nil && c.PhaseNoise > 0 {
+			phase += c.Rng.NormFloat64() * c.PhaseNoise
+		}
+		obs[k] = wrapPhase(phase)
+	}
+	return obs, nil
+}
+
+// Calibrate runs the paper's two-measurement swap procedure for every
+// radio pair (0, k): measure once with the nominal cable assignment
+// (Eq. 9), once with cables 0 and k exchanged (Eq. 10), and average the
+// two observations (Eq. 11) so the unknown cable imbalance cancels.
+// The returned slice is the per-element internal offset ψ_k − ψ_0,
+// suitable for CorrectOffsets.
+func Calibrate(a *Array, tone *CalibrationTone) ([]float64, error) {
+	n := a.NumElements()
+	identity := make([]int, n)
+	for i := range identity {
+		identity[i] = i
+	}
+	first, err := tone.Measure(a, identity)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	for k := 1; k < n; k++ {
+		swapped := make([]int, n)
+		copy(swapped, identity)
+		swapped[0], swapped[k] = k, 0
+		second, err := tone.Measure(a, swapped)
+		if err != nil {
+			return nil, err
+		}
+		// Eq. 11: Phoff = (Phoff1 + Phoff2)/2, with circular averaging
+		// because both observations are modulo 2π.
+		out[k] = circularMean(first[k], second[k])
+	}
+	return out, nil
+}
+
+// CableImbalance returns the estimated external-path phase difference
+// Phex_0 − Phex_k for each k from the same two measurements (Eq. 12).
+// Useful as a hardware diagnostic.
+func CableImbalance(a *Array, tone *CalibrationTone) ([]float64, error) {
+	n := a.NumElements()
+	identity := make([]int, n)
+	for i := range identity {
+		identity[i] = i
+	}
+	first, err := tone.Measure(a, identity)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	for k := 1; k < n; k++ {
+		swapped := make([]int, n)
+		copy(swapped, identity)
+		swapped[0], swapped[k] = k, 0
+		second, err := tone.Measure(a, swapped)
+		if err != nil {
+			return nil, err
+		}
+		// Both observations are modulo 2π, so the doubled imbalance must
+		// be unwrapped before halving. This is unambiguous as long as
+		// the true imbalance is below π/2 — comfortably true for cables
+		// labelled the same length.
+		out[k] = wrapPhase(second[k]-first[k]) / 2
+	}
+	return out, nil
+}
+
+// wrapPhase maps a phase to (−π, π].
+func wrapPhase(p float64) float64 {
+	p = math.Mod(p, 2*math.Pi)
+	if p > math.Pi {
+		p -= 2 * math.Pi
+	}
+	if p <= -math.Pi {
+		p += 2 * math.Pi
+	}
+	return p
+}
+
+// circularMean averages two angles on the circle, robust to the ±π
+// wrap.
+func circularMean(a, b float64) float64 {
+	z := cmplx.Exp(complex(0, a)) + cmplx.Exp(complex(0, b))
+	return cmplx.Phase(z)
+}
+
+// OffsetError returns the largest absolute residual, over all elements,
+// between a measured calibration and the array's true internal offsets
+// (element 0 referenced), folded to (−π, π]. Zero means perfect
+// calibration.
+func OffsetError(a *Array, measured []float64) float64 {
+	truth := a.PhaseOffsets
+	if len(truth) == 0 {
+		truth = make([]float64, a.NumElements())
+	}
+	var worst float64
+	for k := 0; k < a.NumElements() && k < len(measured); k++ {
+		want := wrapPhase(truth[k] - truth[0])
+		got := wrapPhase(measured[k])
+		if e := math.Abs(wrapPhase(got - want)); e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+// BearingTo returns the bearing from the array reference point to p,
+// the θ that SteeringVector expects for a source at p in the far field.
+func (a *Array) BearingTo(p geom.Point) float64 {
+	return a.Pos.Bearing(p)
+}

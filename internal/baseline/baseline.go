@@ -1,0 +1,196 @@
+// Package baseline implements the RSS-based localization comparators
+// that ArrayTrack's introduction and related-work sections position
+// against: log-distance model trilateration (the RADAR/TIX family) and
+// signal-strength fingerprinting with k-nearest-neighbours (the Horus
+// family). Both consume only coarse whole-decibel RSS readings, which
+// is exactly the quantization-limited information commodity APs export.
+package baseline
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// RSSReading is one AP's received signal strength for a client.
+type RSSReading struct {
+	// AP is the measuring access point's position.
+	AP geom.Point
+	// RSSdBm is the received power, quantized to whole dBm as
+	// commodity hardware reports it.
+	RSSdBm float64
+}
+
+// Quantize rounds an RSS value to the whole-decibel granularity of
+// commodity WiFi readings.
+func Quantize(rssDBm float64) float64 { return math.Round(rssDBm) }
+
+// LogDistanceModel is the standard indoor propagation model
+// P(d) = P₀ − 10·n·log₁₀(d/d₀), with reference power P₀ at d₀ = 1 m and
+// path-loss exponent n (2 in free space, 3–4 indoors).
+type LogDistanceModel struct {
+	// P0dBm is the received power at one metre.
+	P0dBm float64
+	// Exponent is the path-loss exponent n.
+	Exponent float64
+}
+
+// PredictRSS returns the modelled RSS at distance d metres.
+func (m LogDistanceModel) PredictRSS(d float64) float64 {
+	if d < 0.1 {
+		d = 0.1
+	}
+	return m.P0dBm - 10*m.Exponent*math.Log10(d)
+}
+
+// InvertRSS returns the distance estimate for an RSS reading.
+func (m LogDistanceModel) InvertRSS(rssDBm float64) float64 {
+	return math.Pow(10, (m.P0dBm-rssDBm)/(10*m.Exponent))
+}
+
+// Trilaterate estimates a position from per-AP RSS readings by
+// inverting the propagation model into per-AP range estimates and
+// minimizing the squared range residual over a grid followed by local
+// refinement — the model-based approach of TIX/Lim et al. At least
+// three readings are required.
+func Trilaterate(readings []RSSReading, model LogDistanceModel, min, max geom.Point) (geom.Point, error) {
+	if len(readings) < 3 {
+		return geom.Point{}, errors.New("baseline: trilateration needs ≥3 readings")
+	}
+	ranges := make([]float64, len(readings))
+	for i, r := range readings {
+		ranges[i] = model.InvertRSS(r.RSSdBm)
+	}
+	cost := func(p geom.Point) float64 {
+		var c float64
+		for i, r := range readings {
+			d := p.Dist(r.AP) - ranges[i]
+			c += d * d
+		}
+		return c
+	}
+	// Coarse grid.
+	best := min
+	bestC := math.Inf(1)
+	const grid = 0.5
+	for x := min.X; x <= max.X; x += grid {
+		for y := min.Y; y <= max.Y; y += grid {
+			p := geom.Pt(x, y)
+			if c := cost(p); c < bestC {
+				best, bestC = p, c
+			}
+		}
+	}
+	// Pattern-search refinement.
+	step := grid
+	for step > 0.01 {
+		improved := false
+		for _, d := range [4]geom.Vec{{X: step}, {X: -step}, {Y: step}, {Y: -step}} {
+			cand := best.Add(d)
+			if cand.X < min.X || cand.X > max.X || cand.Y < min.Y || cand.Y > max.Y {
+				continue
+			}
+			if c := cost(cand); c < bestC {
+				best, bestC = cand, c
+				improved = true
+			}
+		}
+		if !improved {
+			step /= 2
+		}
+	}
+	return best, nil
+}
+
+// Fingerprint is one surveyed calibration point: a position and the RSS
+// vector observed there (indexed by AP).
+type Fingerprint struct {
+	Pos geom.Point
+	RSS []float64
+}
+
+// FingerprintDB is a Horus-style radio map built in an offline survey
+// phase.
+type FingerprintDB struct {
+	points []Fingerprint
+}
+
+// Add inserts a surveyed fingerprint.
+func (db *FingerprintDB) Add(f Fingerprint) { db.points = append(db.points, f) }
+
+// Len returns the number of surveyed points.
+func (db *FingerprintDB) Len() int { return len(db.points) }
+
+// Locate returns the weighted k-NN position estimate for an observed
+// RSS vector: the k fingerprints with smallest Euclidean RSS distance,
+// averaged with 1/(distance+ε) weights.
+func (db *FingerprintDB) Locate(rss []float64, k int) (geom.Point, error) {
+	if len(db.points) == 0 {
+		return geom.Point{}, errors.New("baseline: empty fingerprint database")
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > len(db.points) {
+		k = len(db.points)
+	}
+	type scored struct {
+		d float64
+		p geom.Point
+	}
+	all := make([]scored, 0, len(db.points))
+	for _, f := range db.points {
+		if len(f.RSS) != len(rss) {
+			return geom.Point{}, errors.New("baseline: fingerprint dimensionality mismatch")
+		}
+		var d float64
+		for i := range rss {
+			diff := rss[i] - f.RSS[i]
+			d += diff * diff
+		}
+		all = append(all, scored{math.Sqrt(d), f.Pos})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].d < all[j].d })
+	const eps = 0.5 // dB; avoids division blow-up on exact matches
+	var wx, wy, wsum float64
+	for _, s := range all[:k] {
+		w := 1 / (s.d + eps)
+		wx += w * s.p.X
+		wy += w * s.p.Y
+		wsum += w
+	}
+	return geom.Pt(wx/wsum, wy/wsum), nil
+}
+
+// FitLogDistance estimates (P0dBm, Exponent) from distance/RSS pairs by
+// least squares on the log-distance line — how a deployment would
+// calibrate the model from a handful of measurements.
+func FitLogDistance(dists, rss []float64) (LogDistanceModel, error) {
+	if len(dists) != len(rss) || len(dists) < 2 {
+		return LogDistanceModel{}, errors.New("baseline: need ≥2 matched samples")
+	}
+	// Regress rss = P0 − 10n·log10(d):  y = a + b·x with x = log10(d).
+	var sx, sy, sxx, sxy float64
+	n := float64(len(dists))
+	for i := range dists {
+		d := dists[i]
+		if d < 0.1 {
+			d = 0.1
+		}
+		x := math.Log10(d)
+		y := rss[i]
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	denom := n*sxx - sx*sx
+	if math.Abs(denom) < 1e-12 {
+		return LogDistanceModel{}, errors.New("baseline: degenerate fit (all distances equal)")
+	}
+	b := (n*sxy - sx*sy) / denom
+	a := (sy - b*sx) / n
+	return LogDistanceModel{P0dBm: a, Exponent: -b / 10}, nil
+}

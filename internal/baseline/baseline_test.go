@@ -1,0 +1,154 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestLogDistanceModelRoundTrip(t *testing.T) {
+	m := LogDistanceModel{P0dBm: -40, Exponent: 3}
+	for _, d := range []float64{1, 2.5, 7, 20} {
+		rss := m.PredictRSS(d)
+		if got := m.InvertRSS(rss); math.Abs(got-d) > 1e-9 {
+			t.Errorf("InvertRSS(PredictRSS(%v)) = %v", d, got)
+		}
+	}
+	if got := m.PredictRSS(1); got != -40 {
+		t.Errorf("P(1m) = %v, want P0", got)
+	}
+	// Near-field clamp.
+	if m.PredictRSS(0.01) != m.PredictRSS(0.1) {
+		t.Error("near-field clamp missing")
+	}
+}
+
+func TestQuantize(t *testing.T) {
+	if Quantize(-47.4) != -47 || Quantize(-47.6) != -48 {
+		t.Error("Quantize should round to whole dB")
+	}
+}
+
+func TestTrilaterateExact(t *testing.T) {
+	m := LogDistanceModel{P0dBm: -40, Exponent: 3}
+	truth := geom.Pt(6, 4)
+	aps := []geom.Point{{X: 0, Y: 0}, {X: 12, Y: 0}, {X: 6, Y: 10}, {X: 0, Y: 8}}
+	var readings []RSSReading
+	for _, ap := range aps {
+		readings = append(readings, RSSReading{AP: ap, RSSdBm: m.PredictRSS(truth.Dist(ap))})
+	}
+	got, err := Trilaterate(readings, m, geom.Pt(0, 0), geom.Pt(12, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dist(truth) > 0.1 {
+		t.Errorf("trilateration error %.2f m (got %v)", got.Dist(truth), got)
+	}
+}
+
+func TestTrilaterateQuantizedDegrades(t *testing.T) {
+	// With whole-dB quantization plus shadowing noise the error should
+	// grow but stay bounded — the "metres, not centimetres" regime the
+	// paper ascribes to RSS methods.
+	rng := rand.New(rand.NewSource(3))
+	m := LogDistanceModel{P0dBm: -40, Exponent: 3.2}
+	truth := geom.Pt(6, 4)
+	aps := []geom.Point{{X: 0, Y: 0}, {X: 12, Y: 0}, {X: 6, Y: 10}, {X: 0, Y: 8}}
+	var readings []RSSReading
+	for _, ap := range aps {
+		rss := m.PredictRSS(truth.Dist(ap)) + rng.NormFloat64()*4 // shadowing
+		readings = append(readings, RSSReading{AP: ap, RSSdBm: Quantize(rss)})
+	}
+	got, err := Trilaterate(readings, m, geom.Pt(0, 0), geom.Pt(12, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := got.Dist(truth)
+	if e > 8 {
+		t.Errorf("unreasonably large error %.1f m", e)
+	}
+	if e < 0.01 {
+		t.Errorf("suspiciously exact (%.3f m) despite noise and quantization", e)
+	}
+}
+
+func TestTrilaterateNeedsThree(t *testing.T) {
+	m := LogDistanceModel{P0dBm: -40, Exponent: 3}
+	_, err := Trilaterate([]RSSReading{{}, {}}, m, geom.Pt(0, 0), geom.Pt(1, 1))
+	if err == nil {
+		t.Error("two readings should error")
+	}
+}
+
+func TestFingerprintKNN(t *testing.T) {
+	var db FingerprintDB
+	// Survey a 5×5 grid with a synthetic RSS field.
+	aps := []geom.Point{{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 5, Y: 10}}
+	m := LogDistanceModel{P0dBm: -40, Exponent: 3}
+	field := func(p geom.Point) []float64 {
+		out := make([]float64, len(aps))
+		for i, ap := range aps {
+			out[i] = Quantize(m.PredictRSS(p.Dist(ap)))
+		}
+		return out
+	}
+	for x := 0.0; x <= 10; x += 2.5 {
+		for y := 0.0; y <= 10; y += 2.5 {
+			p := geom.Pt(x, y)
+			db.Add(Fingerprint{Pos: p, RSS: field(p)})
+		}
+	}
+	if db.Len() != 25 {
+		t.Fatalf("db size %d", db.Len())
+	}
+	truth := geom.Pt(6, 4)
+	got, err := db.Locate(field(truth), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dist(truth) > 2.5 {
+		t.Errorf("kNN error %.2f m", got.Dist(truth))
+	}
+}
+
+func TestFingerprintErrors(t *testing.T) {
+	var db FingerprintDB
+	if _, err := db.Locate([]float64{1}, 1); err == nil {
+		t.Error("empty DB should error")
+	}
+	db.Add(Fingerprint{Pos: geom.Pt(0, 0), RSS: []float64{-40, -50}})
+	if _, err := db.Locate([]float64{-40}, 1); err == nil {
+		t.Error("dimension mismatch should error")
+	}
+	// k larger than DB is clamped, k<1 raised.
+	if _, err := db.Locate([]float64{-40, -50}, 99); err != nil {
+		t.Errorf("k clamp failed: %v", err)
+	}
+	if _, err := db.Locate([]float64{-40, -50}, 0); err != nil {
+		t.Errorf("k floor failed: %v", err)
+	}
+}
+
+func TestFitLogDistance(t *testing.T) {
+	m := LogDistanceModel{P0dBm: -38, Exponent: 3.4}
+	var dists, rss []float64
+	for _, d := range []float64{1, 2, 4, 8, 16} {
+		dists = append(dists, d)
+		rss = append(rss, m.PredictRSS(d))
+	}
+	got, err := FitLogDistance(dists, rss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.P0dBm-m.P0dBm) > 1e-9 || math.Abs(got.Exponent-m.Exponent) > 1e-9 {
+		t.Errorf("fit = %+v, want %+v", got, m)
+	}
+	if _, err := FitLogDistance([]float64{1}, []float64{-40}); err == nil {
+		t.Error("single sample should error")
+	}
+	if _, err := FitLogDistance([]float64{5, 5}, []float64{-50, -50}); err == nil {
+		t.Error("degenerate distances should error")
+	}
+}

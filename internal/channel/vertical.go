@@ -1,0 +1,100 @@
+package channel
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// Vertical reception support for the paper's §4.3.1 future-work
+// extension: "extend the ArrayTrack system to three dimensions by using
+// a vertically-oriented antenna array in conjunction with the existing
+// horizontally-oriented array. This will allow the system to estimate
+// elevation directly."
+//
+// The ray tracer stays two-dimensional (walls are vertical planes, so a
+// path's plan-view geometry is independent of height); each traced path
+// acquires an elevation angle from the transmitter/receiver height
+// difference and its plan-view length, and a vertical uniform linear
+// array observes phase progression in sin(elevation).
+
+// PathElevation returns the elevation angle (radians, positive looking
+// up from the receiver) of a path with plan-view length planLen between
+// endpoints at the given heights.
+func PathElevation(planLen, txHeight, rxHeight float64) float64 {
+	return math.Atan2(txHeight-rxHeight, planLen)
+}
+
+// VerticalSteering returns the response of an n-element vertical ULA
+// with the given spacing to a plane wave from elevation phi: element k
+// (numbered bottom-up) leads element 0 by 2π·k·spacing·sin(φ)/λ.
+func VerticalSteering(n int, spacing, phi, lambda float64) []complex128 {
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		out[k] = cmplx.Exp(complex(0, 2*math.Pi*float64(k)*spacing*math.Sin(phi)/lambda))
+	}
+	return out
+}
+
+// ReceiveVertical simulates reception of sig at an n-element vertical
+// ULA mounted at rx (lowest element at rxHeight, spacing metres apart)
+// from a client at tx transmitting at txHeight. Paths are traced in
+// plan view; every path's gain keeps its 3-D length phase and its
+// elevation drives the vertical steering.
+func (m *Model) ReceiveVertical(tx, rx geom.Point, txHeight, rxHeight float64, n int, spacing float64, sig []complex128, cfg RxConfig) *Reception {
+	paths := m.Paths(tx, rx, 0)
+	ns := len(sig)
+	txAmp := math.Pow(10, cfg.TxPowerDBm/20) * math.Pow(10, -cfg.PolarizationLossDB/20)
+
+	samples := make([][]complex128, n)
+	for k := range samples {
+		samples[k] = make([]complex128, ns)
+	}
+
+	dh := txHeight - rxHeight
+	for pi := range paths {
+		p := &paths[pi]
+		phi := PathElevation(p.Length, txHeight, rxHeight)
+		l3 := math.Sqrt(p.Length*p.Length + dh*dh)
+		// Re-phase the gain for the 3-D length.
+		g := cmplx.Rect(cmplx.Abs(p.Gain)*txAmp, -2*math.Pi*l3/m.Wavelength)
+		p.Length = l3
+		steer := VerticalSteering(n, spacing, phi, m.Wavelength)
+		for k := 0; k < n; k++ {
+			gk := g * steer[k]
+			dst := samples[k]
+			for i := 0; i < ns; i++ {
+				dst[i] += gk * sig[i]
+			}
+		}
+	}
+
+	var sigPower float64
+	for k := 0; k < n; k++ {
+		for _, v := range samples[k] {
+			sigPower += real(v)*real(v) + imag(v)*imag(v)
+		}
+	}
+	sigPower /= float64(n * ns)
+
+	noisePower := math.Pow(10, cfg.NoiseFloorDBm/10)
+	if cfg.Rng != nil && noisePower > 0 {
+		addNoise(samples, noisePower, cfg.Rng)
+	}
+	snr := math.Inf(1)
+	if noisePower > 0 {
+		snr = 10 * math.Log10(sigPower/noisePower)
+	}
+	return &Reception{Samples: samples, Paths: paths, SNRdB: snr}
+}
+
+func addNoise(samples [][]complex128, noisePower float64, rng *rand.Rand) {
+	sd := math.Sqrt(noisePower / 2)
+	for k := range samples {
+		for i := range samples[k] {
+			samples[k][i] += complex(rng.NormFloat64()*sd, rng.NormFloat64()*sd)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package channel
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestVerticalSteeringZeroElevation(t *testing.T) {
+	for _, v := range VerticalSteering(6, lambda/2, 0, lambda) {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("zero-elevation steering = %v", v)
+		}
+	}
+}
+
+func TestVerticalSteeringPhaseProgression(t *testing.T) {
+	phi := 0.4
+	v := VerticalSteering(4, lambda/2, phi, lambda)
+	want := math.Pi * math.Sin(phi) // per-element phase at λ/2 spacing
+	for k := 1; k < 4; k++ {
+		got := cmplx.Phase(v[k] / v[k-1])
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("element %d phase step = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestPathElevationSigns(t *testing.T) {
+	if PathElevation(10, 2, 1) <= 0 {
+		t.Error("tx above rx should be positive elevation")
+	}
+	if PathElevation(10, 1, 2) >= 0 {
+		t.Error("tx below rx should be negative elevation")
+	}
+	if PathElevation(10, 1, 1) != 0 {
+		t.Error("equal heights should be zero elevation")
+	}
+}
+
+func TestReceiveVerticalFreeSpacePhases(t *testing.T) {
+	m := &Model{Wavelength: lambda}
+	tx := geom.Pt(0, 0)
+	rx := geom.Pt(6, 0)
+	rec := m.ReceiveVertical(tx, rx, 1.0, 2.5, 4, lambda/2, []complex128{1, 1i}, RxConfig{})
+	if len(rec.Samples) != 4 || rec.NumSamples() != 2 {
+		t.Fatalf("shape %dx%d", len(rec.Samples), rec.NumSamples())
+	}
+	// Element-to-element ratio must match the vertical steering for
+	// the direct path's elevation.
+	phi := PathElevation(6, 1.0, 2.5)
+	steer := VerticalSteering(4, lambda/2, phi, lambda)
+	for k := 1; k < 4; k++ {
+		got := rec.Samples[k][0] / rec.Samples[k-1][0]
+		want := steer[k] / steer[k-1]
+		if cmplx.Abs(got-want) > 1e-9 {
+			t.Fatalf("element %d ratio %v, want %v", k, got, want)
+		}
+	}
+	// Path length must be the 3-D length.
+	want3d := math.Sqrt(36 + 1.5*1.5)
+	if math.Abs(rec.Paths[0].Length-want3d) > 1e-9 {
+		t.Errorf("3-D length = %v, want %v", rec.Paths[0].Length, want3d)
+	}
+}
+
+func TestReceiveVerticalNoiseSNR(t *testing.T) {
+	m := &Model{Wavelength: lambda}
+	rng := rand.New(rand.NewSource(3))
+	sig := make([]complex128, 500)
+	for i := range sig {
+		sig[i] = cmplx.Rect(1, rng.Float64()*2*math.Pi)
+	}
+	rec := m.ReceiveVertical(geom.Pt(0, 0), geom.Pt(5, 0), 1, 2.5, 4, lambda/2, sig, RxConfig{
+		TxPowerDBm:    20,
+		NoiseFloorDBm: -80,
+		Rng:           rng,
+	})
+	if math.IsInf(rec.SNRdB, 1) || rec.SNRdB < 10 {
+		t.Errorf("implausible SNR %v", rec.SNRdB)
+	}
+}
+
+func TestWallRoughnessSplitsEnergy(t *testing.T) {
+	var plan geom.Floorplan
+	plan.AddWall(geom.Pt(-50, 0), geom.Pt(50, 0), geom.Metal)
+	smooth := &Model{Plan: &plan, Wavelength: lambda, MaxReflections: 1}
+	rough := &Model{Plan: &plan, Wavelength: lambda, MaxReflections: 1, WallRoughness: 0.5}
+	tx, rx := geom.Pt(-5, 2), geom.Pt(5, 2)
+
+	ps := smooth.Paths(tx, rx, 0)
+	pr := rough.Paths(tx, rx, 0)
+	if len(pr) <= len(ps) {
+		t.Fatalf("rough wall should add sub-paths: %d vs %d", len(pr), len(ps))
+	}
+	// Total single-bounce energy approximately conserved (sub-paths are
+	// slightly longer, so allow a few percent).
+	var es, er float64
+	for _, p := range ps {
+		if p.Bounces == 1 {
+			es += real(p.Gain)*real(p.Gain) + imag(p.Gain)*imag(p.Gain)
+		}
+	}
+	for _, p := range pr {
+		if p.Bounces == 1 {
+			er += real(p.Gain)*real(p.Gain) + imag(p.Gain)*imag(p.Gain)
+		}
+	}
+	if er > es || er < 0.7*es {
+		t.Errorf("rough energy %v vs smooth %v", er, es)
+	}
+}
+
+func TestWallRoughnessClamped(t *testing.T) {
+	var plan geom.Floorplan
+	plan.AddWall(geom.Pt(-50, 0), geom.Pt(50, 0), geom.Metal)
+	m := &Model{Plan: &plan, Wavelength: lambda, MaxReflections: 1, WallRoughness: 7}
+	// Roughness > 1 clamps rather than producing negative specular
+	// energy; paths remain finite.
+	for _, p := range m.Paths(geom.Pt(-5, 2), geom.Pt(5, 2), 0) {
+		if math.IsNaN(real(p.Gain)) || math.IsNaN(imag(p.Gain)) {
+			t.Fatal("NaN gain with clamped roughness")
+		}
+	}
+}
+
+func TestPathPowerDB(t *testing.T) {
+	p := Path{Gain: complex(0.1, 0)}
+	if got := p.PowerDB(); math.Abs(got+20) > 1e-12 {
+		t.Errorf("PowerDB = %v, want -20", got)
+	}
+	if !math.IsInf(Path{}.PowerDB(), -1) {
+		t.Error("zero gain should be -Inf dB")
+	}
+}
+
+func TestSnapshotAccessors(t *testing.T) {
+	r := &Reception{Samples: [][]complex128{{1, 2}, {3, 4}}}
+	s := r.Snapshot(1)
+	if s[0] != 2 || s[1] != 4 {
+		t.Errorf("Snapshot = %v", s)
+	}
+	if r.NumSamples() != 2 {
+		t.Errorf("NumSamples = %d", r.NumSamples())
+	}
+	empty := &Reception{}
+	if empty.NumSamples() != 0 {
+		t.Error("empty NumSamples should be 0")
+	}
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/geom"
+	"repro/internal/music"
+)
+
+// likelihoodFloor keeps the product in Eq. 8 finite where a spectrum
+// was explicitly zeroed (suppression, symmetry removal): a location is
+// penalized heavily, not annihilated, by one dissenting AP.
+const likelihoodFloor = 1e-6
+
+// APSpectrum pairs one AP's processed AoA spectrum with the array
+// position it was measured at, ready for synthesis.
+type APSpectrum struct {
+	// Pos is the AP's array reference position.
+	Pos geom.Point
+	// Spectrum is the processed AoA spectrum P_i(θ).
+	Spectrum *music.Spectrum
+}
+
+// Likelihood evaluates Eq. 8, L(x) = Π_i P_i(θ_i), where θ_i is the
+// bearing from AP i to the candidate position x.
+func Likelihood(x geom.Point, aps []APSpectrum) float64 {
+	l := 1.0
+	for _, ap := range aps {
+		p := ap.Spectrum.At(ap.Pos.Bearing(x))
+		if p < likelihoodFloor {
+			p = likelihoodFloor
+		}
+		l *= p
+	}
+	return l
+}
+
+// Heatmap is a sampled likelihood surface over a rectangle, the
+// structure rendered in Figure 14.
+type Heatmap struct {
+	// Min is the corner of cell (0,0); Cell is the spacing in metres.
+	Min  geom.Point
+	Cell float64
+	// Vals[iy][ix] is L at (Min.X + ix·Cell, Min.Y + iy·Cell).
+	Vals [][]float64
+}
+
+// ComputeHeatmap evaluates the likelihood on a grid with the given cell
+// size (the paper uses 10 cm).
+func ComputeHeatmap(aps []APSpectrum, min, max geom.Point, cell float64) (*Heatmap, error) {
+	if cell <= 0 {
+		return nil, errors.New("core: heatmap cell size must be positive")
+	}
+	if max.X <= min.X || max.Y <= min.Y {
+		return nil, errors.New("core: empty heatmap area")
+	}
+	nx := int(math.Floor((max.X-min.X)/cell)) + 1
+	ny := int(math.Floor((max.Y-min.Y)/cell)) + 1
+	h := &Heatmap{Min: min, Cell: cell, Vals: make([][]float64, ny)}
+	for iy := 0; iy < ny; iy++ {
+		h.Vals[iy] = make([]float64, nx)
+		for ix := 0; ix < nx; ix++ {
+			h.Vals[iy][ix] = Likelihood(h.CellCenter(ix, iy), aps)
+		}
+	}
+	return h, nil
+}
+
+// CellCenter returns the position of cell (ix, iy).
+func (h *Heatmap) CellCenter(ix, iy int) geom.Point {
+	return geom.Pt(h.Min.X+float64(ix)*h.Cell, h.Min.Y+float64(iy)*h.Cell)
+}
+
+// TopCells returns the k highest-likelihood cell positions, best first.
+func (h *Heatmap) TopCells(k int) []geom.Point {
+	type cell struct {
+		v      float64
+		ix, iy int
+	}
+	var best []cell
+	for iy := range h.Vals {
+		for ix, v := range h.Vals[iy] {
+			if len(best) < k {
+				best = append(best, cell{v, ix, iy})
+				for j := len(best) - 1; j > 0 && best[j].v > best[j-1].v; j-- {
+					best[j], best[j-1] = best[j-1], best[j]
+				}
+				continue
+			}
+			if v > best[k-1].v {
+				best[k-1] = cell{v, ix, iy}
+				for j := k - 1; j > 0 && best[j].v > best[j-1].v; j-- {
+					best[j], best[j-1] = best[j-1], best[j]
+				}
+			}
+		}
+	}
+	out := make([]geom.Point, len(best))
+	for i, c := range best {
+		out[i] = h.CellCenter(c.ix, c.iy)
+	}
+	return out
+}
+
+// ASCII renders the heatmap as text (one character per cell, darker =
+// more likely), with optional marks drawn at given positions. Row 0 of
+// the output is the maximum-Y edge so the picture reads like a map.
+func (h *Heatmap) ASCII(marks map[byte]geom.Point) string {
+	shades := []byte(" .:-=+*#%@")
+	var max float64
+	for _, row := range h.Vals {
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	if max <= 0 {
+		max = 1
+	}
+	var b strings.Builder
+	for iy := len(h.Vals) - 1; iy >= 0; iy-- {
+		row := make([]byte, len(h.Vals[iy]))
+		for ix, v := range h.Vals[iy] {
+			s := int(v / max * float64(len(shades)-1))
+			row[ix] = shades[s]
+		}
+		for ch, p := range marks {
+			ix := int(math.Round((p.X - h.Min.X) / h.Cell))
+			my := int(math.Round((p.Y - h.Min.Y) / h.Cell))
+			if my == iy && ix >= 0 && ix < len(row) {
+				row[ix] = ch
+			}
+		}
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Localize runs the §2.5 estimator: grid search at the given cell size
+// over [min,max], then hill climbing from the three best cells,
+// returning the maximum-likelihood position. The returned heatmap is
+// the coarse grid (useful for Figure 14 rendering).
+func Localize(aps []APSpectrum, min, max geom.Point, cell float64) (geom.Point, *Heatmap, error) {
+	if len(aps) == 0 {
+		return geom.Point{}, nil, errors.New("core: no AP spectra to synthesize")
+	}
+	h, err := ComputeHeatmap(aps, min, max, cell)
+	if err != nil {
+		return geom.Point{}, nil, err
+	}
+	best := geom.Point{}
+	bestL := math.Inf(-1)
+	for _, seed := range h.TopCells(3) {
+		p, l := hillClimb(seed, aps, cell, min, max)
+		if l > bestL {
+			best, bestL = p, l
+		}
+	}
+	return best, h, nil
+}
+
+// hillClimb refines a position by compass pattern search on the
+// likelihood surface, shrinking the step from one cell down to 1 cm.
+func hillClimb(start geom.Point, aps []APSpectrum, step float64, min, max geom.Point) (geom.Point, float64) {
+	cur := start
+	curL := Likelihood(cur, aps)
+	for step > 0.01 {
+		improved := false
+		for _, d := range [4]geom.Vec{{X: step}, {X: -step}, {Y: step}, {Y: -step}} {
+			cand := cur.Add(d)
+			if cand.X < min.X || cand.X > max.X || cand.Y < min.Y || cand.Y > max.Y {
+				continue
+			}
+			if l := Likelihood(cand, aps); l > curL {
+				cur, curL = cand, l
+				improved = true
+			}
+		}
+		if !improved {
+			step /= 2
+		}
+	}
+	return cur, curL
+}
+
+// String summarizes the heatmap dimensions.
+func (h *Heatmap) String() string {
+	ny := len(h.Vals)
+	nx := 0
+	if ny > 0 {
+		nx = len(h.Vals[0])
+	}
+	return fmt.Sprintf("heatmap %d×%d @ %.2f m from %v", nx, ny, h.Cell, h.Min)
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/array"
+	"repro/internal/geom"
+	"repro/internal/music"
+)
+
+// Config selects which stages of the ArrayTrack pipeline run and with
+// what parameters. The zero value is not useful; start from
+// DefaultConfig or UnoptimizedConfig.
+type Config struct {
+	// Wavelength of the carrier in metres.
+	Wavelength float64
+	// SmoothingGroups is NG for spatial smoothing (§2.3.2; paper: 2).
+	SmoothingGroups int
+	// MaxSamples bounds the preamble samples used per frame (paper: 10).
+	MaxSamples int
+	// SampleOffset skips the first samples of a capture so snapshots
+	// come from the steady preamble region after detection.
+	SampleOffset int
+	// ForwardBackward enables forward-backward correlation averaging,
+	// a standard ULA companion to spatial smoothing.
+	ForwardBackward bool
+	// SignalThresholdFrac selects the signal-subspace dimension D.
+	SignalThresholdFrac float64
+	// UseWeighting enables array geometry weighting (§2.3.3).
+	UseWeighting bool
+	// UseSuppression enables multipath suppression across frames (§2.4).
+	UseSuppression bool
+	// UseSymmetryRemoval enables ninth-antenna side selection (§2.3.4).
+	UseSymmetryRemoval bool
+	// PeakMatchTolDeg is the suppression pairing tolerance (paper: 5°).
+	PeakMatchTolDeg float64
+	// GridCell is the synthesis grid pitch in metres (paper: 0.10).
+	GridCell float64
+}
+
+// DefaultConfig returns the full ArrayTrack pipeline with the paper's
+// parameter choices.
+func DefaultConfig(wavelength float64) Config {
+	return Config{
+		Wavelength:          wavelength,
+		SmoothingGroups:     2,
+		MaxSamples:          10,
+		SampleOffset:        100,
+		ForwardBackward:     true,
+		SignalThresholdFrac: 0.05,
+		UseWeighting:        true,
+		UseSuppression:      true,
+		UseSymmetryRemoval:  true,
+		PeakMatchTolDeg:     DefaultPeakMatchTolDeg,
+		GridCell:            0.10,
+	}
+}
+
+// UnoptimizedConfig returns the §4.1 baseline: raw spatially-smoothed
+// spectra with no weighting, no suppression, and no symmetry removal.
+func UnoptimizedConfig(wavelength float64) Config {
+	c := DefaultConfig(wavelength)
+	c.UseWeighting = false
+	c.UseSuppression = false
+	c.UseSymmetryRemoval = false
+	return c
+}
+
+// AP is one access point as the backend sees it: an antenna array plus
+// the phase calibration measured for it (§3).
+type AP struct {
+	// Array describes the antenna geometry and (hidden) hardware
+	// offsets.
+	Array *array.Array
+	// Calibration holds the measured per-element phase offsets to
+	// subtract from received samples; nil means the AP is treated as
+	// perfectly calibrated.
+	Calibration []float64
+}
+
+// FrameCapture is the per-antenna baseband sample streams one AP
+// recorded for one frame (all NumElements antennas, ninth last if
+// present).
+type FrameCapture struct {
+	Streams [][]complex128
+}
+
+// ProcessAP runs the per-AP half of the pipeline (Figure 1, server
+// side) on one or more frame captures from the same client: AoA
+// spectrum per frame, multipath suppression across frames, geometry
+// weighting, and symmetry removal. It returns the final spectrum for
+// synthesis.
+func ProcessAP(ap *AP, frames []FrameCapture, cfg Config) (*music.Spectrum, error) {
+	if len(frames) == 0 {
+		return nil, errors.New("core: no frames captured")
+	}
+	opt := music.Options{
+		Wavelength:          cfg.Wavelength,
+		SmoothingGroups:     cfg.SmoothingGroups,
+		SignalThresholdFrac: cfg.SignalThresholdFrac,
+		MaxSamples:          cfg.MaxSamples,
+		SampleOffset:        cfg.SampleOffset,
+		ForwardBackward:     cfg.ForwardBackward,
+	}
+	if ap.Calibration != nil {
+		opt.CalibrationOffsets = ap.Calibration
+	}
+
+	nRow := ap.Array.N
+	spectra := make([]*music.Spectrum, 0, len(frames))
+	for i, f := range frames {
+		if len(f.Streams) < nRow {
+			return nil, fmt.Errorf("core: frame %d has %d streams, need %d row antennas", i, len(f.Streams), nRow)
+		}
+		s, err := music.ComputeSpectrum(ap.Array, f.Streams[:nRow], opt)
+		if err != nil {
+			return nil, fmt.Errorf("core: frame %d: %w", i, err)
+		}
+		spectra = append(spectra, s)
+	}
+
+	var out *music.Spectrum
+	if cfg.UseSuppression && len(spectra) >= 2 {
+		// Group at most three spectra, per step 1 of the algorithm.
+		group := spectra
+		if len(group) > 3 {
+			group = group[:3]
+		}
+		out = SuppressMultipath(group, cfg.PeakMatchTolDeg)
+	} else {
+		out = spectra[0].Clone()
+	}
+
+	if cfg.UseWeighting {
+		out.ApplyGeometryWeighting(ap.Array.Orient)
+	}
+
+	if cfg.UseSymmetryRemoval && ap.Array.NinthAntenna &&
+		len(frames[0].Streams) >= ap.Array.NumElements() {
+		full := frames[0].Streams[:ap.Array.NumElements()]
+		snaps := music.SnapshotsAt(full, cfg.SampleOffset, cfg.MaxSamples)
+		if ap.Calibration != nil {
+			for _, s := range snaps {
+				array.CorrectOffsets(s, ap.Calibration)
+			}
+		}
+		rFull, err := music.CorrelationMatrix(snaps)
+		if err != nil {
+			return nil, err
+		}
+		music.SymmetryRemoval(out, ap.Array, rFull, cfg.Wavelength)
+	}
+
+	out.Normalize()
+	return out, nil
+}
+
+// LocateClient runs the complete backend for one client: per-AP
+// processing of that client's frames at every AP, then synthesis over
+// the given area. captures[i] holds the frames AP i overheard; APs
+// with no captures are skipped. At least one AP must contribute.
+func LocateClient(aps []*AP, captures [][]FrameCapture, min, max geom.Point, cfg Config) (geom.Point, []APSpectrum, error) {
+	if len(aps) != len(captures) {
+		return geom.Point{}, nil, errors.New("core: captures must align with APs")
+	}
+	var specs []APSpectrum
+	for i, ap := range aps {
+		if len(captures[i]) == 0 {
+			continue
+		}
+		s, err := ProcessAP(ap, captures[i], cfg)
+		if err != nil {
+			return geom.Point{}, nil, fmt.Errorf("core: AP %d: %w", i, err)
+		}
+		specs = append(specs, APSpectrum{Pos: ap.Array.Pos, Spectrum: s})
+	}
+	if len(specs) == 0 {
+		return geom.Point{}, nil, errors.New("core: no AP overheard the client")
+	}
+	cell := cfg.GridCell
+	if cell <= 0 {
+		cell = 0.10
+	}
+	pos, _, err := Localize(specs, min, max, cell)
+	return pos, specs, err
+}

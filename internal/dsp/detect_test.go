@@ -1,0 +1,76 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func noisy(n int, sd float64, rng *rand.Rand) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64()) * complex(sd, 0)
+	}
+	return x
+}
+
+func TestMatchedFilterDetectFindsReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ref := noisy(320, 1, rng)
+	x := noisy(2000, 1, rng) // 0 dB noise
+	const at = 777
+	for i, v := range ref {
+		x[at+i] += v
+	}
+	idx, ok := MatchedFilterDetect(x, ref, 20)
+	if !ok {
+		t.Fatal("reference not detected at 0 dB")
+	}
+	if idx != at {
+		t.Errorf("detected at %d, want %d", idx, at)
+	}
+}
+
+func TestMatchedFilterDetectLowSNR(t *testing.T) {
+	// −10 dB: amplitude scale sqrt(0.1). The 320-sample coherent gain
+	// (~25 dB) must carry detection.
+	rng := rand.New(rand.NewSource(2))
+	ref := noisy(320, 1, rng)
+	amp := math.Sqrt(0.1)
+	hits := 0
+	for trial := 0; trial < 20; trial++ {
+		x := noisy(2000, 1, rng)
+		for i, v := range ref {
+			x[600+i] += v * complex(amp, 0)
+		}
+		if idx, ok := MatchedFilterDetect(x, ref, 15); ok && idx > 600-16 && idx < 600+16 {
+			hits++
+		}
+	}
+	if hits < 14 {
+		t.Errorf("detected %d/20 at −10 dB, want ≥14", hits)
+	}
+}
+
+func TestMatchedFilterDetectRejectsNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ref := noisy(320, 1, rng)
+	falsePos := 0
+	for trial := 0; trial < 20; trial++ {
+		if _, ok := MatchedFilterDetect(noisy(2000, 1, rng), ref, 15); ok {
+			falsePos++
+		}
+	}
+	if falsePos > 1 {
+		t.Errorf("false positives %d/20", falsePos)
+	}
+}
+
+func TestMatchedFilterDetectDegenerate(t *testing.T) {
+	if _, ok := MatchedFilterDetect(nil, []complex128{1}, 10); ok {
+		t.Error("nil input should not detect")
+	}
+	if _, ok := MatchedFilterDetect(make([]complex128, 10), make([]complex128, 4), 10); ok {
+		t.Error("all-zero input should not detect")
+	}
+}

@@ -1,0 +1,212 @@
+// Package dsp provides the signal-processing substrate: FFT/IFFT,
+// correlation, window functions, resampling, and the Schmidl–Cox OFDM
+// timing metric used by ArrayTrack's packet-detection front end.
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// FFT computes the in-order discrete Fourier transform of x. The length
+// of x must be a power of two; FFT panics otherwise (OFDM symbol sizes
+// are powers of two by construction). The input is not modified.
+func FFT(x []complex128) []complex128 {
+	return fftDir(x, false)
+}
+
+// IFFT computes the inverse DFT of x with 1/N normalization, so
+// IFFT(FFT(x)) == x. The length must be a power of two.
+func IFFT(x []complex128) []complex128 {
+	y := fftDir(x, true)
+	n := complex(float64(len(x)), 0)
+	for i := range y {
+		y[i] /= n
+	}
+	return y
+}
+
+func fftDir(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	if n&(n-1) != 0 {
+		panic(fmt.Sprintf("dsp: FFT length %d is not a power of two", n))
+	}
+	y := make([]complex128, n)
+	copy(y, x)
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			y[i], y[j] = y[j], y[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		ang := sign * 2 * math.Pi / float64(size)
+		wstep := cmplx.Exp(complex(0, ang))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			half := size / 2
+			for k := 0; k < half; k++ {
+				u := y[start+k]
+				v := y[start+k+half] * w
+				y[start+k] = u + v
+				y[start+k+half] = u - v
+				w *= wstep
+			}
+		}
+	}
+	return y
+}
+
+// NextPow2 returns the smallest power of two ≥ n (and 1 for n ≤ 1).
+func NextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Energy returns Σ|x|² over the samples.
+func Energy(x []complex128) float64 {
+	var e float64
+	for _, v := range x {
+		e += real(v)*real(v) + imag(v)*imag(v)
+	}
+	return e
+}
+
+// Power returns the mean squared magnitude of x, or 0 for empty input.
+func Power(x []complex128) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	return Energy(x) / float64(len(x))
+}
+
+// SNRdB returns the signal-to-noise ratio in dB given signal and noise
+// powers (linear).
+func SNRdB(signalPower, noisePower float64) float64 {
+	if noisePower <= 0 {
+		return math.Inf(1)
+	}
+	return 10 * math.Log10(signalPower/noisePower)
+}
+
+// DBToLinear converts a power ratio in dB to linear scale.
+func DBToLinear(db float64) float64 { return math.Pow(10, db/10) }
+
+// LinearToDB converts a linear power ratio to dB.
+func LinearToDB(lin float64) float64 {
+	if lin <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(lin)
+}
+
+// CrossCorrelate returns the sliding complex correlation of x against a
+// (shorter) reference template:
+//
+//	c[k] = Σ_i conj(ref[i]) · x[k+i]
+//
+// for every alignment k where the template fits. This is the
+// matched-filter peak detector used to locate training symbols.
+func CrossCorrelate(x, ref []complex128) []complex128 {
+	if len(ref) == 0 || len(x) < len(ref) {
+		return nil
+	}
+	out := make([]complex128, len(x)-len(ref)+1)
+	for k := range out {
+		var s complex128
+		for i, r := range ref {
+			s += cmplx.Conj(r) * x[k+i]
+		}
+		out[k] = s
+	}
+	return out
+}
+
+// MaxAbsIndex returns the index and magnitude of the largest-magnitude
+// element of x; (-1, 0) for empty input.
+func MaxAbsIndex(x []complex128) (int, float64) {
+	best, bestV := -1, 0.0
+	for i, v := range x {
+		if m := cmplx.Abs(v); m > bestV {
+			best, bestV = i, m
+		}
+	}
+	return best, bestV
+}
+
+// Upsample returns x interpolated by an integer factor using windowed
+// sinc interpolation (8-tap Hann-windowed). It converts the 20 Msps
+// 802.11 baseband preamble to the 40 Msps rate the WARP front ends
+// sample at.
+func Upsample(x []complex128, factor int) []complex128 {
+	if factor <= 1 {
+		out := make([]complex128, len(x))
+		copy(out, x)
+		return out
+	}
+	out := make([]complex128, len(x)*factor)
+	const taps = 8
+	for n := range out {
+		// Position in input-sample units.
+		pos := float64(n) / float64(factor)
+		i0 := int(math.Floor(pos)) - taps/2 + 1
+		var acc complex128
+		for i := i0; i < i0+taps; i++ {
+			if i < 0 || i >= len(x) {
+				continue
+			}
+			d := pos - float64(i)
+			acc += x[i] * complex(sincHann(d, taps), 0)
+		}
+		out[n] = acc
+	}
+	return out
+}
+
+func sincHann(t float64, taps int) float64 {
+	if math.Abs(t) < 1e-12 {
+		return 1
+	}
+	s := math.Sin(math.Pi*t) / (math.Pi * t)
+	// Hann window over the tap span.
+	w := 0.5 * (1 + math.Cos(2*math.Pi*t/float64(taps)))
+	if math.Abs(t) > float64(taps)/2 {
+		return 0
+	}
+	return s * w
+}
+
+// MovingAverage returns the simple moving average of x with the given
+// window, evaluated at each position where the full window fits.
+func MovingAverage(x []float64, window int) []float64 {
+	if window <= 0 || len(x) < window {
+		return nil
+	}
+	out := make([]float64, len(x)-window+1)
+	var sum float64
+	for i := 0; i < window; i++ {
+		sum += x[i]
+	}
+	out[0] = sum / float64(window)
+	for i := 1; i < len(out); i++ {
+		sum += x[i+window-1] - x[i-1]
+		out[i] = sum / float64(window)
+	}
+	return out
+}

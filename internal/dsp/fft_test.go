@@ -1,0 +1,314 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestFFTKnownImpulse(t *testing.T) {
+	// FFT of a unit impulse is all ones.
+	x := make([]complex128, 8)
+	x[0] = 1
+	for i, v := range FFT(x) {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Errorf("bin %d = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestFFTKnownTone(t *testing.T) {
+	// A complex exponential at bin k concentrates all energy in bin k.
+	const n, k = 64, 5
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = cmplx.Exp(complex(0, 2*math.Pi*float64(k*i)/n))
+	}
+	y := FFT(x)
+	for i, v := range y {
+		want := 0.0
+		if i == k {
+			want = n
+		}
+		if math.Abs(cmplx.Abs(v)-want) > 1e-9 {
+			t.Errorf("bin %d magnitude = %v, want %v", i, cmplx.Abs(v), want)
+		}
+	}
+}
+
+func TestFFTRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 << (1 + r.Intn(8)) // 2..256
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(r.NormFloat64(), r.NormFloat64())
+		}
+		y := IFFT(FFT(x))
+		for i := range x {
+			if cmplx.Abs(y[i]-x[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFFTParsevalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 << (2 + r.Intn(6))
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(r.NormFloat64(), r.NormFloat64())
+		}
+		// Parseval: Σ|x|² = (1/N)·Σ|X|².
+		lhs := Energy(x)
+		rhs := Energy(FFT(x)) / float64(n)
+		return math.Abs(lhs-rhs) < 1e-9*math.Max(1, lhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFFTLinearity(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	n := 32
+	x := make([]complex128, n)
+	y := make([]complex128, n)
+	z := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(r.NormFloat64(), r.NormFloat64())
+		y[i] = complex(r.NormFloat64(), r.NormFloat64())
+		z[i] = 2*x[i] + 3i*y[i]
+	}
+	fx, fy, fz := FFT(x), FFT(y), FFT(z)
+	for i := range fz {
+		if cmplx.Abs(fz[i]-(2*fx[i]+3i*fy[i])) > 1e-9 {
+			t.Fatalf("linearity violated at bin %d", i)
+		}
+	}
+}
+
+func TestFFTPanicsOnNonPow2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("FFT(len 3) did not panic")
+		}
+	}()
+	FFT(make([]complex128, 3))
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 64: 64, 65: 128}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Errorf("NextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestEnergyPowerDB(t *testing.T) {
+	x := []complex128{3, 4i}
+	if got := Energy(x); math.Abs(got-25) > 1e-12 {
+		t.Errorf("Energy = %v", got)
+	}
+	if got := Power(x); math.Abs(got-12.5) > 1e-12 {
+		t.Errorf("Power = %v", got)
+	}
+	if Power(nil) != 0 {
+		t.Error("Power(nil) != 0")
+	}
+	if got := SNRdB(100, 1); math.Abs(got-20) > 1e-12 {
+		t.Errorf("SNRdB = %v", got)
+	}
+	if !math.IsInf(SNRdB(1, 0), 1) {
+		t.Error("SNRdB with zero noise should be +Inf")
+	}
+	if got := DBToLinear(LinearToDB(42)); math.Abs(got-42) > 1e-9 {
+		t.Errorf("dB round trip = %v", got)
+	}
+	if !math.IsInf(LinearToDB(0), -1) {
+		t.Error("LinearToDB(0) should be -Inf")
+	}
+}
+
+func TestCrossCorrelatePeakAtAlignment(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	ref := make([]complex128, 16)
+	for i := range ref {
+		ref[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	x := make([]complex128, 100)
+	const offset = 37
+	copy(x[offset:], ref)
+	c := CrossCorrelate(x, ref)
+	idx, _ := MaxAbsIndex(c)
+	if idx != offset {
+		t.Errorf("correlation peak at %d, want %d", idx, offset)
+	}
+}
+
+func TestCrossCorrelateDegenerate(t *testing.T) {
+	if CrossCorrelate(nil, []complex128{1}) != nil {
+		t.Error("short input should return nil")
+	}
+	if CrossCorrelate([]complex128{1}, nil) != nil {
+		t.Error("empty ref should return nil")
+	}
+	if i, _ := MaxAbsIndex(nil); i != -1 {
+		t.Error("MaxAbsIndex(nil) != -1")
+	}
+}
+
+func TestUpsamplePreservesTone(t *testing.T) {
+	// A slow complex tone should upsample to the same tone at half the
+	// normalized frequency.
+	const n = 64
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = cmplx.Exp(complex(0, 2*math.Pi*0.05*float64(i)))
+	}
+	y := Upsample(x, 2)
+	if len(y) != 2*n {
+		t.Fatalf("len = %d", len(y))
+	}
+	// Compare interior samples (edges suffer from filter transients)
+	// against the ideal interpolation.
+	for i := 8; i < 2*n-16; i++ {
+		want := cmplx.Exp(complex(0, 2*math.Pi*0.05*float64(i)/2))
+		if cmplx.Abs(y[i]-want) > 0.02 {
+			t.Fatalf("sample %d = %v, want %v", i, y[i], want)
+		}
+	}
+}
+
+func TestUpsampleFactor1Copies(t *testing.T) {
+	x := []complex128{1, 2, 3}
+	y := Upsample(x, 1)
+	if !reflect.DeepEqual(x, y) {
+		t.Errorf("Upsample(1) = %v", y)
+	}
+	y[0] = 99
+	if x[0] == 99 {
+		t.Error("Upsample(1) aliases input")
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	got := MovingAverage([]float64{1, 2, 3, 4}, 2)
+	want := []float64{1.5, 2.5, 3.5}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("MovingAverage = %v", got)
+	}
+	if MovingAverage([]float64{1}, 2) != nil {
+		t.Error("window larger than input should return nil")
+	}
+	if MovingAverage(nil, 0) != nil {
+		t.Error("zero window should return nil")
+	}
+}
+
+func TestSchmidlCoxPlateauOnRepeatedSignal(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	const l = 16
+	// Noise, then a signal that repeats with period l.
+	x := make([]complex128, 300)
+	for i := 0; i < 100; i++ {
+		x[i] = complex(r.NormFloat64(), r.NormFloat64()) * 0.1
+	}
+	period := make([]complex128, l)
+	for i := range period {
+		period[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	for i := 100; i < 260; i++ {
+		x[i] = period[(i-100)%l]
+	}
+	m := SchmidlCox(x, l)
+	// Inside the repeated region the metric must be ≈1.
+	for d := 110; d < 200; d++ {
+		if m[d] < 0.98 {
+			t.Fatalf("metric at %d = %v, want ≈1", d, m[d])
+		}
+	}
+	// In the pure-noise region it should be well below 1.
+	for d := 0; d < 60; d++ {
+		if m[d] > 0.9 {
+			t.Fatalf("noise metric at %d = %v unexpectedly high", d, m[d])
+		}
+	}
+}
+
+func TestDetectFrame(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	const l = 16
+	x := make([]complex128, 400)
+	for i := range x {
+		x[i] = complex(r.NormFloat64(), r.NormFloat64()) * 0.05
+	}
+	period := make([]complex128, l)
+	for i := range period {
+		period[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	const start = 150
+	for i := start; i < start+10*l; i++ {
+		x[i] += period[(i-start)%l]
+	}
+	idx, ok := DetectFrame(x, l, 0.8, 3*l)
+	if !ok {
+		t.Fatal("frame not detected")
+	}
+	if idx < start-l || idx > start+l {
+		t.Errorf("detected at %d, want near %d", idx, start)
+	}
+	if _, ok := DetectFrame(x[:100], l, 0.8, 3*l); ok {
+		t.Error("detected a frame in pure noise")
+	}
+}
+
+func TestSchmidlCoxDegenerate(t *testing.T) {
+	if SchmidlCox(make([]complex128, 10), 16) != nil {
+		t.Error("too-short input should return nil")
+	}
+	if SchmidlCox(nil, 0) != nil {
+		t.Error("zero period should return nil")
+	}
+	// All-zero input: metric must be 0, not NaN.
+	m := SchmidlCox(make([]complex128, 64), 8)
+	for _, v := range m {
+		if v != 0 || math.IsNaN(v) {
+			t.Fatalf("zero-input metric = %v", v)
+		}
+	}
+}
+
+func BenchmarkFFT64(b *testing.B) {
+	x := make([]complex128, 64)
+	for i := range x {
+		x[i] = complex(float64(i), 0)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		FFT(x)
+	}
+}
+
+func BenchmarkSchmidlCox(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	x := make([]complex128, 4096)
+	for i := range x {
+		x[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SchmidlCox(x, 32)
+	}
+}

@@ -1,0 +1,492 @@
+// Package music implements ArrayTrack's AoA spectrum computation
+// (§2.3): sample correlation matrices, spatial smoothing for coherent
+// multipath (§2.3.2), MUSIC pseudospectra from the noise subspace,
+// array-geometry weighting (§2.3.3), and front/back symmetry removal
+// with the ninth antenna (§2.3.4).
+package music
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/array"
+	"repro/internal/geom"
+	"repro/internal/mat"
+)
+
+// DefaultBins is the angular resolution of spectra: one bin per degree
+// over the full circle.
+const DefaultBins = 360
+
+// Spectrum is an AoA pseudospectrum sampled uniformly over [0, 2π).
+// Bin i covers bearing 2πi/len(P). Values are non-negative likelihood
+// proxies; spectra are typically normalized to a unit maximum.
+type Spectrum struct {
+	P []float64
+}
+
+// NewSpectrum returns an all-zero spectrum with n bins.
+func NewSpectrum(n int) *Spectrum { return &Spectrum{P: make([]float64, n)} }
+
+// Bins returns the number of angular bins.
+func (s *Spectrum) Bins() int { return len(s.P) }
+
+// Theta returns the bearing (radians) of bin i.
+func (s *Spectrum) Theta(i int) float64 {
+	return 2 * math.Pi * float64(i) / float64(len(s.P))
+}
+
+// BinOf returns the bin index nearest to bearing theta.
+func (s *Spectrum) BinOf(theta float64) int {
+	n := len(s.P)
+	i := int(math.Round(theta/(2*math.Pi)*float64(n))) % n
+	if i < 0 {
+		i += n
+	}
+	return i
+}
+
+// At returns the spectrum value at bearing theta with linear
+// interpolation between bins. This is the Pᵢ(θᵢ) lookup in the
+// synthesis step (Eq. 8).
+func (s *Spectrum) At(theta float64) float64 {
+	n := float64(len(s.P))
+	pos := theta / (2 * math.Pi) * n
+	pos = math.Mod(pos, n)
+	if pos < 0 {
+		pos += n
+	}
+	i := int(pos)
+	frac := pos - float64(i)
+	j := (i + 1) % len(s.P)
+	return s.P[i]*(1-frac) + s.P[j]*frac
+}
+
+// Max returns the largest spectrum value and its bin.
+func (s *Spectrum) Max() (float64, int) {
+	best, bi := math.Inf(-1), 0
+	for i, v := range s.P {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return best, bi
+}
+
+// Normalize scales the spectrum to a unit maximum in place (no-op for
+// an all-zero spectrum) and returns the receiver.
+func (s *Spectrum) Normalize() *Spectrum {
+	m, _ := s.Max()
+	if m > 0 {
+		for i := range s.P {
+			s.P[i] /= m
+		}
+	}
+	return s
+}
+
+// Clone returns a deep copy.
+func (s *Spectrum) Clone() *Spectrum {
+	c := NewSpectrum(len(s.P))
+	copy(c.P, s.P)
+	return c
+}
+
+// Peak is a local maximum of a spectrum.
+type Peak struct {
+	// Theta is the peak bearing in radians.
+	Theta float64
+	// Power is the spectrum value at the peak.
+	Power float64
+	// Bin is the peak's bin index.
+	Bin int
+}
+
+// Peaks returns the spectrum's local maxima with value at least
+// minRel times the global maximum, strongest first. Neighbouring bins
+// wrap circularly. Plateaus report their first bin.
+func (s *Spectrum) Peaks(minRel float64) []Peak {
+	n := len(s.P)
+	if n < 3 {
+		return nil
+	}
+	max, _ := s.Max()
+	if max <= 0 {
+		return nil
+	}
+	var peaks []Peak
+	for i := 0; i < n; i++ {
+		prev := s.P[(i-1+n)%n]
+		next := s.P[(i+1)%n]
+		v := s.P[i]
+		if v > prev && v >= next && v >= minRel*max {
+			peaks = append(peaks, Peak{Theta: s.Theta(i), Power: v, Bin: i})
+		}
+	}
+	// Insertion sort by descending power (peak counts are tiny).
+	for i := 1; i < len(peaks); i++ {
+		j := i
+		for j > 0 && peaks[j-1].Power < peaks[j].Power {
+			peaks[j-1], peaks[j] = peaks[j], peaks[j-1]
+			j--
+		}
+	}
+	return peaks
+}
+
+// CorrelationMatrix estimates Rxx = E[x·xᴴ] from snapshots, each a
+// length-M per-antenna sample vector (Eq. 4's sample average).
+func CorrelationMatrix(snapshots [][]complex128) (*mat.Matrix, error) {
+	if len(snapshots) == 0 {
+		return nil, errors.New("music: no snapshots")
+	}
+	m := len(snapshots[0])
+	r := mat.New(m, m)
+	w := 1 / float64(len(snapshots))
+	for _, x := range snapshots {
+		if len(x) != m {
+			return nil, fmt.Errorf("music: ragged snapshot (%d vs %d antennas)", len(x), m)
+		}
+		r.OuterAccumulate(x, w)
+	}
+	return r, nil
+}
+
+// SnapshotsFromStreams transposes per-antenna sample streams into
+// per-time snapshot vectors, using at most maxSamples samples (§2.1
+// records just 10 samples of the preamble).
+func SnapshotsFromStreams(streams [][]complex128, maxSamples int) [][]complex128 {
+	return SnapshotsAt(streams, 0, maxSamples)
+}
+
+// SnapshotsAt is SnapshotsFromStreams starting at sample offset. If the
+// streams are shorter than offset, the offset is clamped to 0: better a
+// transient-polluted spectrum than none.
+func SnapshotsAt(streams [][]complex128, offset, maxSamples int) [][]complex128 {
+	if len(streams) == 0 {
+		return nil
+	}
+	ns := len(streams[0])
+	if offset < 0 || offset >= ns {
+		offset = 0
+	}
+	n := ns - offset
+	if maxSamples > 0 && n > maxSamples {
+		n = maxSamples
+	}
+	out := make([][]complex128, n)
+	for t := 0; t < n; t++ {
+		v := make([]complex128, len(streams))
+		for k := range streams {
+			v[k] = streams[k][offset+t]
+		}
+		out[t] = v
+	}
+	return out
+}
+
+// ForwardBackward returns the forward-backward averaged correlation
+// matrix (R + J·R̄·J)/2, where J is the exchange matrix. For a uniform
+// linear array this doubles the effective decorrelating groups of
+// spatial smoothing at no antenna cost — a standard companion to the
+// Shan–Wax–Kailath smoothing the paper uses.
+func ForwardBackward(r *mat.Matrix) *mat.Matrix {
+	m := r.Rows
+	out := mat.New(m, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			v := r.At(i, j)
+			w := r.At(m-1-i, m-1-j)
+			out.Set(i, j, (v+complex(real(w), -imag(w)))/2)
+		}
+	}
+	return out
+}
+
+// SpatialSmooth applies forward spatial smoothing with ng overlapping
+// subarray groups to an M×M correlation matrix, returning the
+// (M−ng+1)×(M−ng+1) smoothed matrix (§2.3.2, Figure 6). ng=1 returns a
+// copy. It decorrelates phase-locked multipath arrivals so MUSIC can
+// resolve them.
+func SpatialSmooth(r *mat.Matrix, ng int) (*mat.Matrix, error) {
+	m := r.Rows
+	if r.Cols != m {
+		return nil, errors.New("music: correlation matrix must be square")
+	}
+	if ng < 1 || ng >= m {
+		return nil, fmt.Errorf("music: invalid smoothing groups %d for %d antennas", ng, m)
+	}
+	sub := m - ng + 1
+	out := mat.New(sub, sub)
+	for g := 0; g < ng; g++ {
+		blk := r.Submatrix(g, g, sub, sub)
+		for i := range out.Data {
+			out.Data[i] += blk.Data[i]
+		}
+	}
+	scale := complex(1/float64(ng), 0)
+	for i := range out.Data {
+		out.Data[i] *= scale
+	}
+	return out, nil
+}
+
+// Subspaces splits the eigenvectors of a correlation matrix into noise
+// and signal subspaces. D, the signal count, is chosen as the number of
+// eigenvalues exceeding thresholdFrac times the largest eigenvalue
+// (§2.3.1: "a threshold that is a fraction of the largest eigenvalue"),
+// capped at maxD when maxD > 0. At low SNR the threshold rule alone
+// inflates D until almost no noise subspace remains — capping at M/2
+// (the caller's default) keeps the spectrum meaningful. At least one
+// eigenvector is always left in the noise subspace, since MUSIC needs
+// one.
+func Subspaces(r *mat.Matrix, thresholdFrac float64, maxD int) (noise, signal *mat.Matrix, d int, err error) {
+	e, err := mat.EigHermitian(r)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	m := r.Rows
+	top := e.Values[m-1]
+	d = 0
+	for _, v := range e.Values {
+		if v > thresholdFrac*top {
+			d++
+		}
+	}
+	if maxD > 0 && d > maxD {
+		d = maxD
+	}
+	if d >= m {
+		d = m - 1
+	}
+	if d < 1 {
+		d = 1
+	}
+	nN := m - d
+	noise = mat.New(m, nN)
+	signal = mat.New(m, d)
+	for k := 0; k < nN; k++ {
+		for i := 0; i < m; i++ {
+			noise.Set(i, k, e.Vectors.At(i, k))
+		}
+	}
+	for k := 0; k < d; k++ {
+		for i := 0; i < m; i++ {
+			signal.Set(i, k, e.Vectors.At(i, nN+k))
+		}
+	}
+	return noise, signal, d, nil
+}
+
+// Options configures AoA spectrum computation.
+type Options struct {
+	// Wavelength of the carrier in metres.
+	Wavelength float64
+	// SmoothingGroups is NG in §2.3.2; the paper settles on 2.
+	SmoothingGroups int
+	// SignalThresholdFrac selects D: eigenvalues above this fraction of
+	// the largest count as signals. The pipeline default is 0.05.
+	SignalThresholdFrac float64
+	// MaxSignals caps D (0 means half the smoothed subarray size).
+	MaxSignals int
+	// Bins is the angular resolution (DefaultBins if zero).
+	Bins int
+	// MaxSamples limits the snapshots consumed (10 in the paper; 0
+	// means all).
+	MaxSamples int
+	// SampleOffset skips this many leading samples before taking
+	// snapshots, so the samples come from the steady part of the
+	// preamble after detection rather than the detector's ramp-up.
+	SampleOffset int
+	// ForwardBackward enables forward-backward correlation averaging
+	// before spatial smoothing, strengthening decorrelation of
+	// coherent multipath on uniform linear arrays.
+	ForwardBackward bool
+	// CalibrationOffsets, if non-nil, are subtracted from every
+	// snapshot before processing (the §3 correction). Length must
+	// cover the antennas in use.
+	CalibrationOffsets []float64
+}
+
+func (o Options) bins() int {
+	if o.Bins <= 0 {
+		return DefaultBins
+	}
+	return o.Bins
+}
+
+func (o Options) thresh() float64 {
+	if o.SignalThresholdFrac <= 0 {
+		return 0.05
+	}
+	return o.SignalThresholdFrac
+}
+
+// ComputeSpectrum runs the §2.3 chain for one AP: snapshots →
+// calibration correction → correlation → spatial smoothing → eigen
+// subspaces → MUSIC pseudospectrum over the smoothed subarray. The
+// streams must be the array's main-row antennas (use the ninth antenna
+// only via SymmetryRemoval). The returned spectrum is normalized to a
+// unit maximum.
+func ComputeSpectrum(a *array.Array, streams [][]complex128, opt Options) (*Spectrum, error) {
+	if len(streams) < 2 {
+		return nil, errors.New("music: need at least two antenna streams")
+	}
+	if len(streams) > a.N {
+		return nil, fmt.Errorf("music: %d streams exceed the %d-element row", len(streams), a.N)
+	}
+	snaps := SnapshotsAt(streams, opt.SampleOffset, opt.MaxSamples)
+	if opt.CalibrationOffsets != nil {
+		for _, s := range snaps {
+			array.CorrectOffsets(s, opt.CalibrationOffsets)
+		}
+	}
+	r, err := CorrelationMatrix(snaps)
+	if err != nil {
+		return nil, err
+	}
+	if opt.ForwardBackward {
+		r = ForwardBackward(r)
+	}
+	ng := opt.SmoothingGroups
+	if ng < 1 {
+		ng = 1
+	}
+	rs, err := SpatialSmooth(r, ng)
+	if err != nil {
+		return nil, err
+	}
+	maxD := opt.MaxSignals
+	if maxD <= 0 {
+		maxD = rs.Rows / 2
+	}
+	noise, _, _, err := Subspaces(rs, opt.thresh(), maxD)
+	if err != nil {
+		return nil, err
+	}
+	sub := rs.Rows // smoothed subarray size
+	steer := func(theta float64) []complex128 {
+		return a.SteeringVectorRow(theta, opt.Wavelength)[:sub]
+	}
+	return MUSIC(noise, steer, opt.bins()), nil
+}
+
+// MUSIC evaluates the MUSIC pseudospectrum (Eq. 6)
+//
+//	P(θ) = 1 / (a(θ)ᴴ·E_N·E_Nᴴ·a(θ))
+//
+// over bins bearings, where en holds the noise-subspace eigenvectors in
+// its columns and steer produces the array steering vector. The result
+// is normalized to a unit maximum.
+func MUSIC(en *mat.Matrix, steer func(theta float64) []complex128, bins int) *Spectrum {
+	s := NewSpectrum(bins)
+	for i := 0; i < bins; i++ {
+		theta := 2 * math.Pi * float64(i) / float64(bins)
+		a := steer(theta)
+		// ‖E_Nᴴ a‖²: project onto the noise subspace.
+		var denom float64
+		for k := 0; k < en.Cols; k++ {
+			var dot complex128
+			for r := 0; r < en.Rows; r++ {
+				dot += cmplx.Conj(en.At(r, k)) * a[r]
+			}
+			denom += real(dot)*real(dot) + imag(dot)*imag(dot)
+		}
+		if denom < 1e-12 {
+			denom = 1e-12
+		}
+		s.P[i] = 1 / denom
+	}
+	return s.Normalize()
+}
+
+// Bartlett evaluates the conventional beamformer spectrum
+// P(θ) = a(θ)ᴴ·R·a(θ) — used by symmetry removal, where the
+// non-uniform 9-element geometry rules MUSIC's calibrated subspace
+// structure out but plain beamforming still measures side power.
+func Bartlett(r *mat.Matrix, steer func(theta float64) []complex128, bins int) *Spectrum {
+	s := NewSpectrum(bins)
+	for i := 0; i < bins; i++ {
+		theta := 2 * math.Pi * float64(i) / float64(bins)
+		a := steer(theta)
+		ra := r.MulVec(a)
+		v := mat.VecDot(a, ra)
+		p := real(v)
+		if p < 0 {
+			p = 0
+		}
+		s.P[i] = p
+	}
+	return s
+}
+
+// ApplyGeometryWeighting applies the confidence window W(θ) of Eq. 7 in
+// the array's local frame: bearings within 15° of the array axis, where
+// a linear array's resolution collapses, carry weight |sin ψ| (ψ the
+// angle off the axis) while all others carry weight 1. Because W
+// expresses *confidence* in the data rather than evidence against a
+// bearing, de-weighted bins are blended toward the spectrum's mean
+// value — an uninformative contribution in the Eq. 8 product — instead
+// of being zeroed, which would wrongly veto any client that happens to
+// sit near the array's end-fire. Returns the receiver.
+func (s *Spectrum) ApplyGeometryWeighting(arrayOrient float64) *Spectrum {
+	var neutral float64
+	for _, v := range s.P {
+		neutral += v
+	}
+	neutral /= float64(len(s.P))
+	for i := range s.P {
+		psi := math.Abs(math.Remainder(s.Theta(i)-arrayOrient, math.Pi)) // 0..π/2 off-axis fold
+		deg := psi * 180 / math.Pi
+		if deg < 15 {
+			w := math.Abs(math.Sin(psi))
+			s.P[i] = w*s.P[i] + (1-w)*neutral
+		}
+	}
+	return s
+}
+
+// symmetrySuppressFactor is the attenuation applied to the weaker side
+// during symmetry removal. Suppressing rather than zeroing keeps one
+// mistaken side decision from vetoing the true location outright when
+// several APs are fused.
+const symmetrySuppressFactor = 0.05
+
+// SymmetryRemoval suppresses mirror-image ambiguity in a linear-array
+// spectrum (§2.3.4) using the ninth antenna: for every spectrum bin it
+// compares the full-array Bartlett power at the bin's bearing against
+// the power at its mirror across the array axis, and attenuates the bin
+// when its mirror clearly wins. Comparing each bearing against its own
+// mirror — rather than summing whole-side power — stays robust when
+// coherent multipath puts genuine energy on both sides. Bearings within
+// 15° of the array axis, where the mirror is almost the same direction
+// and the vote is meaningless, are left untouched. Returns the
+// receiver.
+func SymmetryRemoval(s *Spectrum, a *array.Array, rFull *mat.Matrix, wavelength float64) *Spectrum {
+	steer := func(theta float64) []complex128 {
+		return a.SteeringVector(theta, wavelength)
+	}
+	b := Bartlett(rFull, steer, s.Bins())
+	// A bearing must lose to its mirror by this power ratio before it
+	// is suppressed; a margin keeps near-ties (no evidence either way)
+	// intact.
+	const loseMargin = 1.3
+	axisMargin := math.Sin(15 * math.Pi / 180)
+	out := make([]float64, len(s.P))
+	copy(out, s.P)
+	for i := range s.P {
+		theta := s.Theta(i)
+		sin := math.Sin(theta - a.Orient)
+		if math.Abs(sin) < axisMargin {
+			continue
+		}
+		mirror := geom.NormalizeAngle(2*a.Orient - theta)
+		if b.At(mirror) > loseMargin*b.At(theta) {
+			out[i] = s.P[i] * symmetrySuppressFactor
+		}
+	}
+	copy(s.P, out)
+	return s
+}

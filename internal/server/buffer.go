@@ -1,0 +1,127 @@
+// Package server implements ArrayTrack's system architecture (Figure 1
+// and §2.1, §4.4): packet detection feeding a circular buffer of frame
+// captures at each AP, a compact binary sample-transfer protocol
+// between APs and the central server over TCP, and the latency
+// accounting of §4.4.
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// Capture is one detected frame's worth of per-antenna samples,
+// annotated with where and when it was heard. It is the unit stored in
+// the circular buffer and shipped to the backend.
+type Capture struct {
+	// APID identifies the capturing access point.
+	APID uint32
+	// ClientID identifies the transmitter (learned out of band; the
+	// frame contents themselves are immaterial to ArrayTrack).
+	ClientID uint32
+	// Seq is a per-AP monotonically increasing capture number.
+	Seq uint32
+	// Timestamp is the detection time.
+	Timestamp time.Time
+	// Streams holds the per-antenna baseband samples of the captured
+	// preamble section.
+	Streams [][]complex128
+}
+
+// CircularBuffer is the fixed-capacity frame store of §2.1: one logical
+// entry per detected frame, overwriting the oldest entry when full. It
+// is safe for concurrent use (the detector goroutine writes while the
+// uploader reads).
+type CircularBuffer struct {
+	mu      sync.Mutex
+	entries []Capture
+	start   int // index of oldest entry
+	size    int
+}
+
+// NewCircularBuffer returns a buffer holding up to capacity captures.
+// It panics if capacity is not positive.
+func NewCircularBuffer(capacity int) *CircularBuffer {
+	if capacity <= 0 {
+		panic("server: circular buffer capacity must be positive")
+	}
+	return &CircularBuffer{entries: make([]Capture, capacity)}
+}
+
+// Push appends a capture, evicting the oldest when full. It reports
+// whether an eviction occurred.
+func (b *CircularBuffer) Push(c Capture) (evicted bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.size < len(b.entries) {
+		b.entries[(b.start+b.size)%len(b.entries)] = c
+		b.size++
+		return false
+	}
+	b.entries[b.start] = c
+	b.start = (b.start + 1) % len(b.entries)
+	return true
+}
+
+// Pop removes and returns the oldest capture.
+func (b *CircularBuffer) Pop() (Capture, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.size == 0 {
+		return Capture{}, false
+	}
+	c := b.entries[b.start]
+	b.entries[b.start] = Capture{} // release sample memory
+	b.start = (b.start + 1) % len(b.entries)
+	b.size--
+	return c, true
+}
+
+// Len returns the number of buffered captures.
+func (b *CircularBuffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.size
+}
+
+// Cap returns the buffer capacity.
+func (b *CircularBuffer) Cap() int { return len(b.entries) }
+
+// Snapshot returns the buffered captures oldest-first without removing
+// them.
+func (b *CircularBuffer) Snapshot() []Capture {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Capture, b.size)
+	for i := 0; i < b.size; i++ {
+		out[i] = b.entries[(b.start+i)%len(b.entries)]
+	}
+	return out
+}
+
+// RecentForClient returns the buffered captures for the given client
+// whose timestamps fall within window of the newest such capture —
+// the grouping rule of the multipath suppression algorithm (frames
+// spaced closer than 100 ms, §2.4).
+func (b *CircularBuffer) RecentForClient(clientID uint32, window time.Duration) []Capture {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var newest time.Time
+	for i := 0; i < b.size; i++ {
+		c := b.entries[(b.start+i)%len(b.entries)]
+		if c.ClientID == clientID && c.Timestamp.After(newest) {
+			newest = c.Timestamp
+		}
+	}
+	if newest.IsZero() {
+		return nil
+	}
+	var out []Capture
+	for i := 0; i < b.size; i++ {
+		c := b.entries[(b.start+i)%len(b.entries)]
+		if c.ClientID == clientID && newest.Sub(c.Timestamp) <= window {
+			out = append(out, c)
+		}
+	}
+	return out
+}

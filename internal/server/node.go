@@ -1,0 +1,259 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/dsp"
+)
+
+// Detector locates 802.11 preambles in continuous per-antenna sample
+// streams using the modified Schmidl–Cox metric of §2.1 and cuts out
+// the capture window that gets buffered and shipped.
+type Detector struct {
+	// Period is the short-training-symbol repetition period in
+	// samples (32 at the 40 Msps front-end rate).
+	Period int
+	// Threshold is the plateau level that counts as detection.
+	Threshold float64
+	// MinRun is the number of consecutive above-threshold samples
+	// required; spanning several short symbols rejects noise and is
+	// what lets detection work below decoding SNR (§4.3.4).
+	MinRun int
+	// CaptureLen is how many samples per antenna to record from the
+	// detected start.
+	CaptureLen int
+}
+
+// DefaultDetector returns the §2.1 configuration at 40 Msps: detection
+// over the short training symbols with a 640-sample (16 µs) capture.
+func DefaultDetector() *Detector {
+	return &Detector{Period: 32, Threshold: 0.8, MinRun: 96, CaptureLen: 640}
+}
+
+// Detect scans antenna 0's stream and returns the detected frame start.
+func (d *Detector) Detect(streams [][]complex128) (int, bool) {
+	if len(streams) == 0 {
+		return 0, false
+	}
+	return dsp.DetectFrame(streams[0], d.Period, d.Threshold, d.MinRun)
+}
+
+// Extract cuts the capture window at start from every stream, clamping
+// to stream length.
+func (d *Detector) Extract(streams [][]complex128, start int) [][]complex128 {
+	out := make([][]complex128, len(streams))
+	for k, st := range streams {
+		end := start + d.CaptureLen
+		if end > len(st) {
+			end = len(st)
+		}
+		if start >= end {
+			out[k] = nil
+			continue
+		}
+		w := make([]complex128, end-start)
+		copy(w, st[start:end])
+		out[k] = w
+	}
+	return out
+}
+
+// APNode is the access-point-side half of Figure 1: it owns the
+// circular buffer and streams captures to the backend.
+type APNode struct {
+	// ID identifies this AP in capture records.
+	ID uint32
+	// Buffer holds detected frames awaiting upload.
+	Buffer *CircularBuffer
+
+	seq uint32
+	mu  sync.Mutex
+}
+
+// NewAPNode returns an AP node with the given buffer capacity.
+func NewAPNode(id uint32, bufferCap int) *APNode {
+	return &APNode{ID: id, Buffer: NewCircularBuffer(bufferCap)}
+}
+
+// Record stamps a capture with this AP's identity and sequence number
+// and buffers it.
+func (n *APNode) Record(clientID uint32, ts time.Time, streams [][]complex128) {
+	n.mu.Lock()
+	seq := n.seq
+	n.seq++
+	n.mu.Unlock()
+	n.Buffer.Push(Capture{
+		APID:      n.ID,
+		ClientID:  clientID,
+		Seq:       seq,
+		Timestamp: ts,
+		Streams:   streams,
+	})
+}
+
+// Upload drains the buffer to w, encoding each capture in wire format.
+// It returns when the buffer is empty or the context is cancelled.
+func (n *APNode) Upload(ctx context.Context, w io.Writer) error {
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+		c, ok := n.Buffer.Pop()
+		if !ok {
+			return nil
+		}
+		if err := WriteCapture(w, &c); err != nil {
+			return err
+		}
+	}
+}
+
+// LocateFunc is the backend callback invoked once enough APs have
+// reported captures for a client: it receives every grouped capture
+// (possibly several frames per AP).
+type LocateFunc func(clientID uint32, captures []Capture)
+
+// Backend is the central ArrayTrack server: it ingests capture records
+// from every AP, groups them by client, and fires the localization
+// callback when a quorum of distinct APs has reported within the
+// grouping window.
+type Backend struct {
+	// Quorum is the number of distinct APs required before location
+	// synthesis runs.
+	Quorum int
+	// Window is the maximum capture age retained for grouping (the
+	// ≤100 ms rule of §2.4 applies downstream; the backend keeps a
+	// slightly generous margin).
+	Window time.Duration
+	// Locate is invoked with the grouped captures. Must be non-nil.
+	Locate LocateFunc
+
+	mu      sync.Mutex
+	pending map[uint32][]Capture // keyed by client
+}
+
+// NewBackend returns a backend with the given quorum and window.
+func NewBackend(quorum int, window time.Duration, locate LocateFunc) *Backend {
+	return &Backend{
+		Quorum:  quorum,
+		Window:  window,
+		Locate:  locate,
+		pending: make(map[uint32][]Capture),
+	}
+}
+
+// Ingest accepts one capture. When the client's pending set spans at
+// least Quorum distinct APs, the captures are handed to Locate and
+// cleared. Stale captures outside Window of the newest are dropped.
+func (b *Backend) Ingest(c *Capture) {
+	b.mu.Lock()
+	list := append(b.pending[c.ClientID], *c)
+	// Evict stale entries relative to the newest timestamp.
+	newest := list[0].Timestamp
+	for _, e := range list {
+		if e.Timestamp.After(newest) {
+			newest = e.Timestamp
+		}
+	}
+	fresh := list[:0]
+	for _, e := range list {
+		if newest.Sub(e.Timestamp) <= b.Window {
+			fresh = append(fresh, e)
+		}
+	}
+	aps := make(map[uint32]bool)
+	for _, e := range fresh {
+		aps[e.APID] = true
+	}
+	if len(aps) >= b.Quorum {
+		delete(b.pending, c.ClientID)
+		b.mu.Unlock()
+		b.Locate(c.ClientID, fresh)
+		return
+	}
+	b.pending[c.ClientID] = append([]Capture(nil), fresh...)
+	b.mu.Unlock()
+}
+
+// PendingClients returns the number of clients with partially grouped
+// captures (diagnostics).
+func (b *Backend) PendingClients() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.pending)
+}
+
+// ServeConn reads capture records from r until EOF or error, ingesting
+// each. A clean EOF returns nil.
+func (b *Backend) ServeConn(r io.Reader) error {
+	for {
+		c, err := ReadCapture(r)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		b.Ingest(c)
+	}
+}
+
+// Serve accepts connections from l until the context is cancelled,
+// running ServeConn for each in its own goroutine.
+func (b *Backend) Serve(ctx context.Context, l net.Listener) error {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	go func() {
+		<-ctx.Done()
+		l.Close()
+	}()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return fmt.Errorf("server: accept: %w", err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer conn.Close()
+			_ = b.ServeConn(conn)
+		}()
+	}
+}
+
+// Latency itemizes the end-to-end budget of §4.4.
+type Latency struct {
+	// Detection is Td: preamble air time until detection completes
+	// (16 µs of training symbols).
+	Detection time.Duration
+	// Transfer is Tt: serialization of the capture onto the AP-server
+	// link.
+	Transfer time.Duration
+	// Processing is Tp: server-side spectrum computation plus
+	// synthesis.
+	Processing time.Duration
+}
+
+// Total returns the summed latency the system adds after the packet
+// ends.
+func (l Latency) Total() time.Duration {
+	return l.Detection + l.Transfer + l.Processing
+}
+
+// TransferTime returns the §4.4 serialization-time model for a capture
+// of the given dimensions over a link of linkMbps.
+func TransferTime(nAnt, nSamp int, linkMbps float64) time.Duration {
+	bits := float64(RecordSize(nAnt, nSamp) * 8)
+	return time.Duration(bits / (linkMbps * 1e6) * float64(time.Second))
+}

@@ -1,0 +1,149 @@
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+)
+
+// Wire protocol: each capture travels as one length-prefixed record.
+//
+//	magic    uint32  'A''T'0x01 version tag
+//	apID     uint32
+//	clientID uint32
+//	seq      uint32
+//	tstampUS uint64  microseconds since Unix epoch
+//	scale    float32 amplitude of a full-scale int16 sample
+//	nAnt     uint16
+//	nSamp    uint16
+//	payload  nAnt × nSamp × (int16 I, int16 Q)
+//
+// Samples are 32 bits each — 16-bit I plus 16-bit Q — matching the
+// paper's "(10 samples)(32 bits/sample)(8 radios)" overhead arithmetic
+// (§4.3.3, §4.4). A per-record scale factor preserves absolute
+// amplitude despite the fixed-point encoding.
+
+const protocolMagic = 0x41540001 // "AT" + version 1
+
+// Encoding limits. A record never legitimately exceeds these; they
+// bound allocation when decoding untrusted input.
+const (
+	MaxAntennas = 64
+	MaxSamples  = 4096
+)
+
+var (
+	// ErrBadMagic means the stream is not an ArrayTrack sample feed.
+	ErrBadMagic = errors.New("server: bad protocol magic")
+	// ErrTooLarge means a record header declared an implausible size.
+	ErrTooLarge = errors.New("server: record exceeds protocol limits")
+)
+
+// WriteCapture encodes c to w in wire format.
+func WriteCapture(w io.Writer, c *Capture) error {
+	nAnt := len(c.Streams)
+	if nAnt == 0 || nAnt > MaxAntennas {
+		return fmt.Errorf("%w: %d antennas", ErrTooLarge, nAnt)
+	}
+	nSamp := len(c.Streams[0])
+	if nSamp == 0 || nSamp > MaxSamples {
+		return fmt.Errorf("%w: %d samples", ErrTooLarge, nSamp)
+	}
+	// Full-scale value: the largest |I| or |Q| over the record.
+	var peak float64
+	for _, st := range c.Streams {
+		if len(st) != nSamp {
+			return errors.New("server: ragged antenna streams")
+		}
+		for _, v := range st {
+			if a := math.Abs(real(v)); a > peak {
+				peak = a
+			}
+			if a := math.Abs(imag(v)); a > peak {
+				peak = a
+			}
+		}
+	}
+	if peak == 0 {
+		peak = 1
+	}
+
+	head := make([]byte, 4+4+4+4+8+4+2+2)
+	binary.BigEndian.PutUint32(head[0:], protocolMagic)
+	binary.BigEndian.PutUint32(head[4:], c.APID)
+	binary.BigEndian.PutUint32(head[8:], c.ClientID)
+	binary.BigEndian.PutUint32(head[12:], c.Seq)
+	binary.BigEndian.PutUint64(head[16:], uint64(c.Timestamp.UnixMicro()))
+	binary.BigEndian.PutUint32(head[24:], math.Float32bits(float32(peak)))
+	binary.BigEndian.PutUint16(head[28:], uint16(nAnt))
+	binary.BigEndian.PutUint16(head[30:], uint16(nSamp))
+	if _, err := w.Write(head); err != nil {
+		return err
+	}
+
+	payload := make([]byte, nAnt*nSamp*4)
+	off := 0
+	for _, st := range c.Streams {
+		for _, v := range st {
+			i16 := int16(math.Round(real(v) / peak * 32767))
+			q16 := int16(math.Round(imag(v) / peak * 32767))
+			binary.BigEndian.PutUint16(payload[off:], uint16(i16))
+			binary.BigEndian.PutUint16(payload[off+2:], uint16(q16))
+			off += 4
+		}
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadCapture decodes one record from r. io.EOF is returned unchanged
+// at a clean record boundary.
+func ReadCapture(r io.Reader) (*Capture, error) {
+	head := make([]byte, 32)
+	if _, err := io.ReadFull(r, head); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("server: short header: %w", err)
+	}
+	if binary.BigEndian.Uint32(head[0:]) != protocolMagic {
+		return nil, ErrBadMagic
+	}
+	c := &Capture{
+		APID:      binary.BigEndian.Uint32(head[4:]),
+		ClientID:  binary.BigEndian.Uint32(head[8:]),
+		Seq:       binary.BigEndian.Uint32(head[12:]),
+		Timestamp: time.UnixMicro(int64(binary.BigEndian.Uint64(head[16:]))).UTC(),
+	}
+	scale := float64(math.Float32frombits(binary.BigEndian.Uint32(head[24:])))
+	nAnt := int(binary.BigEndian.Uint16(head[28:]))
+	nSamp := int(binary.BigEndian.Uint16(head[30:]))
+	if nAnt == 0 || nAnt > MaxAntennas || nSamp == 0 || nSamp > MaxSamples {
+		return nil, ErrTooLarge
+	}
+	payload := make([]byte, nAnt*nSamp*4)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("server: short payload: %w", err)
+	}
+	c.Streams = make([][]complex128, nAnt)
+	off := 0
+	for a := 0; a < nAnt; a++ {
+		st := make([]complex128, nSamp)
+		for s := 0; s < nSamp; s++ {
+			i16 := int16(binary.BigEndian.Uint16(payload[off:]))
+			q16 := int16(binary.BigEndian.Uint16(payload[off+2:]))
+			st[s] = complex(float64(i16)/32767*scale, float64(q16)/32767*scale)
+			off += 4
+		}
+		c.Streams[a] = st
+	}
+	return c, nil
+}
+
+// RecordSize returns the on-wire size in bytes of a capture with the
+// given dimensions — the quantity behind §4.4's serialization-time
+// estimate.
+func RecordSize(nAnt, nSamp int) int { return 32 + nAnt*nSamp*4 }

@@ -1,0 +1,350 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"math/cmplx"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/wifi"
+)
+
+func TestCircularBufferBasics(t *testing.T) {
+	b := NewCircularBuffer(3)
+	if b.Cap() != 3 || b.Len() != 0 {
+		t.Fatal("fresh buffer wrong")
+	}
+	for i := uint32(0); i < 3; i++ {
+		if evicted := b.Push(Capture{Seq: i}); evicted {
+			t.Error("premature eviction")
+		}
+	}
+	if !b.Push(Capture{Seq: 3}) {
+		t.Error("full buffer should evict")
+	}
+	if b.Len() != 3 {
+		t.Errorf("Len = %d", b.Len())
+	}
+	// Oldest remaining entry is Seq 1.
+	c, ok := b.Pop()
+	if !ok || c.Seq != 1 {
+		t.Errorf("Pop = %+v %v", c, ok)
+	}
+	snap := b.Snapshot()
+	if len(snap) != 2 || snap[0].Seq != 2 || snap[1].Seq != 3 {
+		t.Errorf("Snapshot = %+v", snap)
+	}
+	b.Pop()
+	b.Pop()
+	if _, ok := b.Pop(); ok {
+		t.Error("empty Pop should fail")
+	}
+}
+
+func TestCircularBufferPanicsOnBadCap(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewCircularBuffer(0)
+}
+
+func TestCircularBufferConcurrent(t *testing.T) {
+	b := NewCircularBuffer(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(base uint32) {
+			defer wg.Done()
+			for i := uint32(0); i < 1000; i++ {
+				b.Push(Capture{Seq: base + i})
+				b.Pop()
+				b.Len()
+			}
+		}(uint32(w) * 10000)
+	}
+	wg.Wait()
+}
+
+func TestRecentForClient(t *testing.T) {
+	b := NewCircularBuffer(10)
+	t0 := time.Now()
+	b.Push(Capture{ClientID: 1, Seq: 0, Timestamp: t0})
+	b.Push(Capture{ClientID: 1, Seq: 1, Timestamp: t0.Add(50 * time.Millisecond)})
+	b.Push(Capture{ClientID: 1, Seq: 2, Timestamp: t0.Add(300 * time.Millisecond)})
+	b.Push(Capture{ClientID: 2, Seq: 3, Timestamp: t0.Add(300 * time.Millisecond)})
+	got := b.RecentForClient(1, 100*time.Millisecond)
+	if len(got) != 1 || got[0].Seq != 2 {
+		t.Errorf("RecentForClient = %+v", got)
+	}
+	if b.RecentForClient(99, time.Second) != nil {
+		t.Error("unknown client should return nil")
+	}
+}
+
+func randomCapture(rng *rand.Rand, nAnt, nSamp int) *Capture {
+	c := &Capture{
+		APID:      7,
+		ClientID:  13,
+		Seq:       42,
+		Timestamp: time.UnixMicro(1700000000123456).UTC(),
+		Streams:   make([][]complex128, nAnt),
+	}
+	for a := range c.Streams {
+		st := make([]complex128, nSamp)
+		for s := range st {
+			st[s] = complex(rng.NormFloat64(), rng.NormFloat64()) * 1e-3
+		}
+		c.Streams[a] = st
+	}
+	return c
+}
+
+func TestProtocolRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := randomCapture(rng, 8, 10)
+	var buf bytes.Buffer
+	if err := WriteCapture(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := buf.Len(), RecordSize(8, 10); got != want {
+		t.Errorf("record size = %d, want %d", got, want)
+	}
+	d, err := ReadCapture(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.APID != 7 || d.ClientID != 13 || d.Seq != 42 || !d.Timestamp.Equal(c.Timestamp) {
+		t.Errorf("metadata mismatch: %+v", d)
+	}
+	// 16-bit quantization: relative error bounded by ~2/32767 of peak.
+	var peak float64
+	for _, st := range c.Streams {
+		for _, v := range st {
+			if a := cmplx.Abs(v); a > peak {
+				peak = a
+			}
+		}
+	}
+	for a := range c.Streams {
+		for s := range c.Streams[a] {
+			if cmplx.Abs(d.Streams[a][s]-c.Streams[a][s]) > peak*1e-3 {
+				t.Fatalf("sample %d/%d quantization error too large", a, s)
+			}
+		}
+	}
+}
+
+func TestProtocolRejectsGarbage(t *testing.T) {
+	if _, err := ReadCapture(bytes.NewReader(make([]byte, 32))); err != ErrBadMagic {
+		t.Errorf("bad magic error = %v", err)
+	}
+	// Truncated stream.
+	rng := rand.New(rand.NewSource(2))
+	var buf bytes.Buffer
+	if err := WriteCapture(&buf, randomCapture(rng, 2, 4)); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:20]
+	if _, err := ReadCapture(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated header should error")
+	}
+	if _, err := ReadCapture(bytes.NewReader(buf.Bytes()[:40])); err == nil {
+		t.Error("truncated payload should error")
+	}
+	// Oversized declaration.
+	big := &Capture{Streams: make([][]complex128, MaxAntennas+1)}
+	if err := WriteCapture(io.Discard, big); err == nil {
+		t.Error("oversized write should error")
+	}
+	// Ragged streams.
+	ragged := &Capture{Streams: [][]complex128{make([]complex128, 3), make([]complex128, 5)}}
+	if err := WriteCapture(io.Discard, ragged); err == nil {
+		t.Error("ragged write should error")
+	}
+	// Empty capture.
+	empty := &Capture{}
+	if err := WriteCapture(io.Discard, empty); err == nil {
+		t.Error("empty write should error")
+	}
+	// Clean EOF at record boundary.
+	if _, err := ReadCapture(bytes.NewReader(nil)); err != io.EOF {
+		t.Errorf("clean EOF = %v", err)
+	}
+}
+
+func TestProtocolAllZeroSamples(t *testing.T) {
+	c := &Capture{Streams: [][]complex128{make([]complex128, 4)}}
+	var buf bytes.Buffer
+	if err := WriteCapture(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	d, err := ReadCapture(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range d.Streams[0] {
+		if v != 0 {
+			t.Errorf("zero sample decoded as %v", v)
+		}
+	}
+}
+
+func TestDetectorOnPreamble(t *testing.T) {
+	d := DefaultDetector()
+	p := wifi.Preamble40()
+	rng := rand.New(rand.NewSource(3))
+	streams := make([][]complex128, 2)
+	for k := range streams {
+		st := make([]complex128, 2000)
+		for i := range st {
+			st[i] = complex(rng.NormFloat64(), rng.NormFloat64()) * 0.01
+		}
+		for i, v := range p {
+			st[700+i] += v
+		}
+		streams[k] = st
+	}
+	start, ok := d.Detect(streams)
+	if !ok {
+		t.Fatal("preamble not detected")
+	}
+	if start < 700-64 || start > 700+96 {
+		t.Errorf("detected at %d, want near 700", start)
+	}
+	win := d.Extract(streams, start)
+	if len(win[0]) != d.CaptureLen {
+		t.Errorf("capture window = %d samples", len(win[0]))
+	}
+	// Degenerate extraction at end of stream.
+	tail := d.Extract(streams, 1999)
+	if len(tail[0]) != 1 {
+		t.Errorf("tail window = %d", len(tail[0]))
+	}
+	if _, ok := d.Detect(nil); ok {
+		t.Error("empty detect should fail")
+	}
+}
+
+func TestAPNodeRecordAndUpload(t *testing.T) {
+	n := NewAPNode(3, 8)
+	for i := 0; i < 3; i++ {
+		n.Record(1, time.Now(), [][]complex128{{1, 2}, {3, 4}})
+	}
+	if n.Buffer.Len() != 3 {
+		t.Fatalf("buffered = %d", n.Buffer.Len())
+	}
+	var buf bytes.Buffer
+	if err := n.Upload(context.Background(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if n.Buffer.Len() != 0 {
+		t.Error("upload should drain the buffer")
+	}
+	// Three decodable records with increasing seq.
+	for i := uint32(0); i < 3; i++ {
+		c, err := ReadCapture(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Seq != i || c.APID != 3 {
+			t.Errorf("record %d: %+v", i, c)
+		}
+	}
+}
+
+func TestBackendQuorumGrouping(t *testing.T) {
+	var mu sync.Mutex
+	var got []Capture
+	b := NewBackend(2, time.Second, func(clientID uint32, cs []Capture) {
+		mu.Lock()
+		defer mu.Unlock()
+		got = cs
+	})
+	now := time.Now()
+	b.Ingest(&Capture{APID: 1, ClientID: 9, Timestamp: now})
+	if got != nil {
+		t.Fatal("quorum fired early")
+	}
+	if b.PendingClients() != 1 {
+		t.Errorf("pending = %d", b.PendingClients())
+	}
+	b.Ingest(&Capture{APID: 2, ClientID: 9, Timestamp: now.Add(time.Millisecond)})
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 2 {
+		t.Fatalf("grouped = %d captures", len(got))
+	}
+	if b.PendingClients() != 0 {
+		t.Error("pending not cleared after quorum")
+	}
+}
+
+func TestBackendDropsStale(t *testing.T) {
+	fired := false
+	b := NewBackend(2, 100*time.Millisecond, func(uint32, []Capture) { fired = true })
+	t0 := time.Now()
+	b.Ingest(&Capture{APID: 1, ClientID: 5, Timestamp: t0})
+	// Second AP reports much later: the first capture is stale, no
+	// quorum.
+	b.Ingest(&Capture{APID: 2, ClientID: 5, Timestamp: t0.Add(time.Second)})
+	if fired {
+		t.Error("stale captures should not satisfy quorum")
+	}
+}
+
+func TestBackendOverTCP(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan uint32, 1)
+	b := NewBackend(1, time.Second, func(clientID uint32, cs []Capture) {
+		done <- clientID
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go b.Serve(ctx, l)
+
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := NewAPNode(1, 4)
+	n.Record(77, time.Now(), [][]complex128{{1 + 1i, 2}, {3, 4i}})
+	if err := n.Upload(ctx, conn); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	select {
+	case id := <-done:
+		if id != 77 {
+			t.Errorf("located client %d, want 77", id)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("backend never fired")
+	}
+}
+
+func TestTransferTimeModel(t *testing.T) {
+	// §4.4: 10 samples × 32 bits × 8 radios at 1 Mbit/s ≈ 2.56 ms.
+	// Our records carry a 32-byte header too, so allow a small margin.
+	got := TransferTime(8, 10, 1)
+	if got < 2500*time.Microsecond || got > 2900*time.Microsecond {
+		t.Errorf("TransferTime = %v, want ≈2.56 ms", got)
+	}
+}
+
+func TestLatencyTotal(t *testing.T) {
+	l := Latency{Detection: 16 * time.Microsecond, Transfer: 2560 * time.Microsecond, Processing: 90 * time.Millisecond}
+	want := 16*time.Microsecond + 2560*time.Microsecond + 90*time.Millisecond
+	if l.Total() != want {
+		t.Errorf("Total = %v", l.Total())
+	}
+}

@@ -1,0 +1,125 @@
+// Package stats provides the summary statistics and CDF machinery the
+// experiment harness uses to report location-error distributions.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary condenses a sample of non-negative values (location errors in
+// centimetres, latencies in milliseconds, …).
+type Summary struct {
+	N             int
+	Mean, Median  float64
+	P90, P95, P98 float64
+	Min, Max      float64
+}
+
+// Summarize computes a Summary. It copies and sorts the input.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	return Summary{
+		N:      len(s),
+		Mean:   sum / float64(len(s)),
+		Median: Percentile(s, 50),
+		P90:    Percentile(s, 90),
+		P95:    Percentile(s, 95),
+		P98:    Percentile(s, 98),
+		Min:    s[0],
+		Max:    s[len(s)-1],
+	}
+}
+
+// Percentile returns the p-th percentile (0–100) of sorted values via
+// linear interpolation. It panics if the input is unsorted in debug
+// use; callers pass sorted data.
+func Percentile(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	pos := p / 100 * float64(n-1)
+	i := int(math.Floor(pos))
+	if i >= n-1 {
+		return sorted[n-1]
+	}
+	frac := pos - float64(i)
+	return sorted[i]*(1-frac) + sorted[i+1]*frac
+}
+
+// CDF is an empirical cumulative distribution function.
+type CDF struct {
+	// X holds the sorted sample values.
+	X []float64
+}
+
+// NewCDF builds an empirical CDF from a sample (copied and sorted).
+func NewCDF(xs []float64) *CDF {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return &CDF{X: s}
+}
+
+// At returns the empirical P(X ≤ x).
+func (c *CDF) At(x float64) float64 {
+	if len(c.X) == 0 {
+		return math.NaN()
+	}
+	// Count of values ≤ x via binary search.
+	n := sort.SearchFloat64s(c.X, math.Nextafter(x, math.Inf(1)))
+	return float64(n) / float64(len(c.X))
+}
+
+// Quantile returns the q-th quantile (0–1).
+func (c *CDF) Quantile(q float64) float64 {
+	return Percentile(c.X, q*100)
+}
+
+// Table renders the CDF sampled at the given x values as aligned rows
+// "x  P(X≤x)", mirroring the paper's CDF figures in text form.
+func (c *CDF) Table(points []float64) string {
+	var b strings.Builder
+	for _, x := range points {
+		fmt.Fprintf(&b, "%10.1f  %6.3f\n", x, c.At(x))
+	}
+	return b.String()
+}
+
+// String renders a Summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f median=%.1f p90=%.1f p95=%.1f p98=%.1f max=%.1f",
+		s.N, s.Mean, s.Median, s.P90, s.P95, s.P98, s.Max)
+}
+
+// Mean returns the arithmetic mean (NaN for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, v := range xs {
+		sum += v
+	}
+	return sum / float64(len(xs))
+}
+
+// Median returns the median of the (unsorted) input.
+func Median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return Percentile(s, 50)
+}

@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2, 5})
+	if s.N != 5 || s.Mean != 3 || s.Median != 3 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if got := Summarize(nil); got.N != 0 {
+		t.Error("empty Summarize should be zero")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	if got := Percentile(sorted, 0); got != 10 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := Percentile(sorted, 100); got != 40 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := Percentile(sorted, 50); got != 25 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := Percentile([]float64{7}, 90); got != 7 {
+		t.Errorf("single-element percentile = %v", got)
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("empty percentile should be NaN")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	if got := c.At(2); got != 0.5 {
+		t.Errorf("At(2) = %v", got)
+	}
+	if got := c.At(0); got != 0 {
+		t.Errorf("At(0) = %v", got)
+	}
+	if got := c.At(10); got != 1 {
+		t.Errorf("At(10) = %v", got)
+	}
+	if got := c.Quantile(0.5); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("Quantile(0.5) = %v", got)
+	}
+	if !math.IsNaN(NewCDF(nil).At(1)) {
+		t.Error("empty CDF should return NaN")
+	}
+}
+
+func TestCDFTable(t *testing.T) {
+	c := NewCDF([]float64{1, 2})
+	out := c.Table([]float64{1, 2})
+	if !strings.Contains(out, "0.500") || !strings.Contains(out, "1.000") {
+		t.Errorf("Table = %q", out)
+	}
+}
+
+func TestMeanMedian(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("Median = %v", got)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if !strings.Contains(s.String(), "n=3") {
+		t.Errorf("String = %q", s.String())
+	}
+}

@@ -1,0 +1,223 @@
+package testbed
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/array"
+	"repro/internal/channel"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/music"
+	"repro/internal/stats"
+	"repro/internal/threed"
+	"repro/internal/wifi"
+)
+
+// RunThreeD exercises the §4.3.1 future-work extension: paired
+// horizontal + vertical arrays at three APs estimate clients in three
+// dimensions. Reports plan and height errors over a set of clients at
+// different heights.
+func (tb *Testbed) RunThreeD(seed int64) (*Report, error) {
+	rng := rand.New(rand.NewSource(seed))
+	const apHeight = 2.5
+	siteIdx := []int{0, 2, 4}
+	capOpt := DefaultCaptureOptions()
+	cfg := core.DefaultConfig(tb.Wavelength)
+	cfg.UseSuppression = false // one frame per AP in this experiment
+	sig := wifi.Preamble40()
+
+	clients := []threed.Point3{
+		{X: 8, Y: 6, Z: 1.0},
+		{X: 15, Y: 7, Z: 0.3}, // on the floor (§4.3.1's ground-level case)
+		{X: 25, Y: 6.5, Z: 1.5},
+		{X: 33, Y: 9, Z: 1.1},
+	}
+
+	r := &Report{ID: "threed", Title: "3-D localization with vertical arrays (future work §4.3.1)"}
+	r.Addf("%-22s %-22s %10s %10s", "true (x,y,z)", "estimate", "plan err", "height err")
+	var planErrs, zErrs []float64
+	for _, c := range clients {
+		var aps []threed.APSpectra
+		for _, si := range siteIdx {
+			site := tb.Sites[si]
+			arr := tb.NewArray(site, capOpt)
+			recH := tb.Model.Receive(c.Plan(), arr, sig, channel.RxConfig{
+				TxPowerDBm:    capOpt.TxPowerDBm,
+				NoiseFloorDBm: capOpt.NoiseFloorDBm,
+				HeightDiff:    apHeight - c.Z,
+				Rng:           rng,
+			})
+			az, err := core.ProcessAP(&core.AP{Array: arr}, []core.FrameCapture{{Streams: recH.Samples}}, cfg)
+			if err != nil {
+				return nil, err
+			}
+			recV := tb.Model.ReceiveVertical(c.Plan(), site.Pos, c.Z, apHeight, 8, tb.Wavelength/2, sig, channel.RxConfig{
+				TxPowerDBm:    capOpt.TxPowerDBm,
+				NoiseFloorDBm: capOpt.NoiseFloorDBm,
+				Rng:           rng,
+			})
+			el, err := threed.ElevationSpectrum(recV.Samples, tb.Wavelength/2, tb.spectrumOptions())
+			if err != nil {
+				return nil, err
+			}
+			aps = append(aps, threed.APSpectra{Pos: site.Pos, Height: apHeight, Azimuth: az, Elevation: el})
+		}
+		got, err := threed.Locate3D(aps, tb.Plan.Min, tb.Plan.Max, 0, 3, 0.25, 0.25)
+		if err != nil {
+			return nil, err
+		}
+		planErr := got.Plan().Dist(c.Plan()) * 100
+		zErr := math.Abs(got.Z-c.Z) * 100
+		planErrs = append(planErrs, planErr)
+		zErrs = append(zErrs, zErr)
+		r.Addf("(%5.1f,%5.1f,%4.1f)    (%5.1f,%5.1f,%4.1f)    %7.0fcm %8.0fcm",
+			c.X, c.Y, c.Z, got.X, got.Y, got.Z, planErr, zErr)
+	}
+	r.Addf("plan:   %v", stats.Summarize(planErrs))
+	r.Addf("height: %v", stats.Summarize(zErrs))
+	return r, nil
+}
+
+// RunCircular compares an 8-element circular array against the linear
+// default (the §6 discussion): the circular array resolves the full
+// 360° natively — no mirror ambiguity — at the cost of resolution for
+// the same element count, and spatial smoothing does not apply to its
+// geometry so coherent multipath hurts it more.
+func (tb *Testbed) RunCircular(seed int64) (*Report, error) {
+	capOpt := DefaultCaptureOptions()
+	capOpt.Frames = 1
+	sig := wifi.Preamble40()
+	r := &Report{ID: "circular", Title: "linear vs circular array geometry (§6 discussion)"}
+	r.Addf("%-10s %14s %14s %16s", "geometry", "AoA err med", "AoA err p90", "mirror resolved")
+
+	for _, mode := range []string{"linear", "circular"} {
+		rng := rand.New(rand.NewSource(seed))
+		var errs []float64
+		resolved := 0
+		trials := 0
+		for i := 0; i < 30; i++ {
+			site := tb.Sites[rng.Intn(len(tb.Sites))]
+			client := tb.Clients[rng.Intn(len(tb.Clients))]
+			offAxis := math.Abs(math.Remainder(site.Pos.Bearing(client)-site.Orient, math.Pi))
+			if offAxis < geom.Rad(20) {
+				continue
+			}
+			truth := site.Pos.Bearing(client)
+			var spec *music.Spectrum
+			if mode == "linear" {
+				arr := tb.NewArray(site, capOpt)
+				rec := tb.Model.Receive(client, arr, sig, channel.RxConfig{
+					TxPowerDBm: capOpt.TxPowerDBm, NoiseFloorDBm: capOpt.NoiseFloorDBm, Rng: rng,
+				})
+				var err error
+				spec, err = music.ComputeSpectrum(arr, rec.Samples[:arr.N], tb.spectrumOptions())
+				if err != nil {
+					return nil, err
+				}
+			} else {
+				// Same aperture budget: 8 elements on a circle of
+				// radius λ/2.
+				arr := array.NewCircular(site.Pos, tb.Wavelength/2, 8)
+				rec := tb.Model.Receive(client, arr, sig, channel.RxConfig{
+					TxPowerDBm: capOpt.TxPowerDBm, NoiseFloorDBm: capOpt.NoiseFloorDBm, Rng: rng,
+				})
+				spec = circularSpectrum(tb, arr, rec.Samples)
+			}
+			e := peakErrorDeg(spec, truth)
+			if math.IsInf(e, 1) {
+				continue
+			}
+			errs = append(errs, e)
+			trials++
+			// Mirror resolved: spectrum value at the mirror bearing is
+			// clearly below the true bearing's.
+			mirror := geom.NormalizeAngle(2*site.Orient - truth)
+			if spec.At(mirror) < 0.5*spec.At(truth) {
+				resolved++
+			}
+		}
+		s := stats.Summarize(errs)
+		r.Addf("%-10s %12.1f°  %12.1f°  %13d/%d", mode, s.Median, s.P90, resolved, trials)
+	}
+	return r, nil
+}
+
+// circularSpectrum computes plain MUSIC on a circular array: spatial
+// smoothing needs a translational-invariant (linear) geometry, so the
+// circular array runs unsmoothed — exactly the §6 trade-off.
+func circularSpectrum(tb *Testbed, arr *array.Array, streams [][]complex128) *music.Spectrum {
+	opt := tb.spectrumOptions()
+	snaps := music.SnapshotsAt(streams, opt.SampleOffset, opt.MaxSamples)
+	r, err := music.CorrelationMatrix(snaps)
+	if err != nil {
+		return music.NewSpectrum(music.DefaultBins)
+	}
+	noise, _, _, err := music.Subspaces(r, 0.05, arr.N/2)
+	if err != nil {
+		return music.NewSpectrum(music.DefaultBins)
+	}
+	return music.MUSIC(noise, func(th float64) []complex128 {
+		return arr.SteeringVector(th, tb.Wavelength)
+	}, music.DefaultBins)
+}
+
+// RunCalibrationSweep quantifies how residual phase-calibration error
+// degrades localization — the engineering requirement behind §3's
+// procedure. Residual per-element phase errors of the given standard
+// deviations are injected after calibration and the 3-AP accuracy
+// measured.
+func (tb *Testbed) RunCalibrationSweep(seed int64) (*Report, error) {
+	r := &Report{ID: "calib", Title: "localization vs residual calibration error (3 APs)"}
+	r.Addf("%-18s %10s %10s", "residual σ (rad)", "median", "mean")
+	siteIdx := []int{0, 2, 4}
+	capOpt := DefaultCaptureOptions()
+	cfg := core.DefaultConfig(tb.Wavelength)
+	clients := sampleClients(tb.Clients, 10)
+
+	for _, sigma := range []float64{0, 0.05, 0.15, 0.4, 1.0} {
+		rng := rand.New(rand.NewSource(seed))
+		var errs []float64
+		for _, c := range clients {
+			var aps []*core.AP
+			var captures [][]core.FrameCapture
+			for _, si := range siteIdx {
+				site := tb.Sites[si]
+				arr := tb.NewArray(site, capOpt)
+				// True hardware offsets, random per AP; the same array
+				// instance must capture the frames so the offsets are
+				// baked into the samples.
+				arr.RandomizePhaseOffsets(rng)
+				// Measured calibration = truth + residual error.
+				calib := make([]float64, arr.NumElements())
+				for k := 1; k < len(calib); k++ {
+					calib[k] = arr.PhaseOffsets[k] + rng.NormFloat64()*sigma
+				}
+				var frames []core.FrameCapture
+				pos := c
+				for f := 0; f < capOpt.Frames; f++ {
+					rec := tb.Model.Receive(pos, arr, wifi.Preamble40(), channel.RxConfig{
+						TxPowerDBm:    capOpt.TxPowerDBm,
+						NoiseFloorDBm: capOpt.NoiseFloorDBm,
+						Rng:           rng,
+					})
+					frames = append(frames, core.FrameCapture{Streams: rec.Samples})
+					pos = c.Add(geom.Vec{
+						X: (rng.Float64()*2 - 1) * capOpt.MoveSigma,
+						Y: (rng.Float64()*2 - 1) * capOpt.MoveSigma,
+					})
+				}
+				aps = append(aps, &core.AP{Array: arr, Calibration: calib})
+				captures = append(captures, frames)
+			}
+			pos, _, err := core.LocateClient(aps, captures, tb.Plan.Min, tb.Plan.Max, cfg)
+			if err != nil {
+				return nil, err
+			}
+			errs = append(errs, pos.Dist(c)*100)
+		}
+		s := stats.Summarize(errs)
+		r.Addf("%-18.2f %8.0fcm %8.0fcm", sigma, s.Median, s.Mean)
+	}
+	return r, nil
+}

@@ -1,0 +1,183 @@
+// Package threed implements the paper's §4.3.1 future-work extension:
+// three-dimensional localization from paired horizontal and vertical
+// antenna arrays at each AP. The horizontal array yields the azimuth
+// AoA spectrum exactly as in the 2-D system; the vertical array yields
+// an elevation spectrum via the same MUSIC machinery with a vertical
+// steering vector; and synthesis extends Eq. 8 to a 3-D likelihood
+//
+//	L(x, y, z) = Π_i Paz_i(θ_i(x,y)) · Pel_i(φ_i(x,y,z)).
+package threed
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/music"
+)
+
+// Point3 is a position in metres: plan coordinates plus height.
+type Point3 struct {
+	X, Y, Z float64
+}
+
+// Plan returns the plan-view projection.
+func (p Point3) Plan() geom.Point { return geom.Pt(p.X, p.Y) }
+
+// Dist returns the Euclidean distance to q.
+func (p Point3) Dist(q Point3) float64 {
+	dx, dy, dz := p.X-q.X, p.Y-q.Y, p.Z-q.Z
+	return math.Sqrt(dx*dx + dy*dy + dz*dz)
+}
+
+// APSpectra is one AP's processed spectra for 3-D synthesis.
+type APSpectra struct {
+	// Pos is the AP plan position; Height the array mounting height.
+	Pos    geom.Point
+	Height float64
+	// Azimuth is the horizontal-array spectrum over bearing.
+	Azimuth *music.Spectrum
+	// Elevation is the vertical-array spectrum; bearing bins are
+	// interpreted as elevation angles (φ ∈ (−π/2, π/2) meaningful, the
+	// rest near-zero).
+	Elevation *music.Spectrum
+}
+
+// ElevationSpectrum computes a MUSIC spectrum over elevation from the
+// per-element streams of an n-element vertical ULA. It reuses the full
+// §2.3 chain (forward-backward averaging and spatial smoothing apply to
+// any ULA, vertical included).
+func ElevationSpectrum(streams [][]complex128, spacing float64, opt music.Options) (*music.Spectrum, error) {
+	if len(streams) < 2 {
+		return nil, errors.New("threed: need at least two vertical elements")
+	}
+	snaps := music.SnapshotsAt(streams, opt.SampleOffset, opt.MaxSamples)
+	r, err := music.CorrelationMatrix(snaps)
+	if err != nil {
+		return nil, err
+	}
+	if opt.ForwardBackward {
+		r = music.ForwardBackward(r)
+	}
+	ng := opt.SmoothingGroups
+	if ng < 1 {
+		ng = 1
+	}
+	rs, err := music.SpatialSmooth(r, ng)
+	if err != nil {
+		return nil, err
+	}
+	maxD := opt.MaxSignals
+	if maxD <= 0 {
+		maxD = rs.Rows / 2
+	}
+	thresh := opt.SignalThresholdFrac
+	if thresh <= 0 {
+		thresh = 0.05
+	}
+	noise, _, _, err := music.Subspaces(rs, thresh, maxD)
+	if err != nil {
+		return nil, err
+	}
+	sub := rs.Rows
+	bins := opt.Bins
+	if bins <= 0 {
+		bins = music.DefaultBins
+	}
+	steer := func(phi float64) []complex128 {
+		// Bins cover [0, 2π); fold to a signed elevation so the
+		// spectrum is φ-periodic with the meaningful range (−π/2, π/2).
+		if phi > math.Pi {
+			phi -= 2 * math.Pi
+		}
+		out := make([]complex128, sub)
+		for k := 0; k < sub; k++ {
+			ph := 2 * math.Pi * float64(k) * spacing * math.Sin(phi) / opt.Wavelength
+			out[k] = complexExp(ph)
+		}
+		return out
+	}
+	return music.MUSIC(noise, steer, bins), nil
+}
+
+func complexExp(ph float64) complex128 {
+	return complex(math.Cos(ph), math.Sin(ph))
+}
+
+// Likelihood evaluates the 3-D product likelihood at x.
+func Likelihood(x Point3, aps []APSpectra) float64 {
+	const floor = 1e-6
+	l := 1.0
+	for _, ap := range aps {
+		az := ap.Azimuth.At(ap.Pos.Bearing(x.Plan()))
+		if az < floor {
+			az = floor
+		}
+		planDist := ap.Pos.Dist(x.Plan())
+		phi := math.Atan2(x.Z-ap.Height, planDist)
+		el := ap.Elevation.At(geom.NormalizeAngle(phi))
+		if el < floor {
+			el = floor
+		}
+		l *= az * el
+	}
+	return l
+}
+
+// Locate3D grid-searches the 3-D likelihood over the plan bounds and
+// height range, then refines with pattern search. planCell and zCell
+// are the grid pitches in metres.
+func Locate3D(aps []APSpectra, min, max geom.Point, zMin, zMax, planCell, zCell float64) (Point3, error) {
+	if len(aps) == 0 {
+		return Point3{}, errors.New("threed: no AP spectra")
+	}
+	if planCell <= 0 || zCell <= 0 || max.X <= min.X || max.Y <= min.Y || zMax < zMin {
+		return Point3{}, errors.New("threed: bad search volume")
+	}
+	best := Point3{X: min.X, Y: min.Y, Z: zMin}
+	bestL := math.Inf(-1)
+	for z := zMin; z <= zMax+1e-9; z += zCell {
+		for x := min.X; x <= max.X+1e-9; x += planCell {
+			for y := min.Y; y <= max.Y+1e-9; y += planCell {
+				p := Point3{X: x, Y: y, Z: z}
+				if l := Likelihood(p, aps); l > bestL {
+					best, bestL = p, l
+				}
+			}
+		}
+	}
+	// Pattern-search refinement in all three axes.
+	step := planCell
+	zStep := zCell
+	for step > 0.01 || zStep > 0.01 {
+		improved := false
+		cands := []Point3{
+			{best.X + step, best.Y, best.Z}, {best.X - step, best.Y, best.Z},
+			{best.X, best.Y + step, best.Z}, {best.X, best.Y - step, best.Z},
+			{best.X, best.Y, best.Z + zStep}, {best.X, best.Y, best.Z - zStep},
+		}
+		for _, c := range cands {
+			if c.X < min.X || c.X > max.X || c.Y < min.Y || c.Y > max.Y || c.Z < zMin || c.Z > zMax {
+				continue
+			}
+			if l := Likelihood(c, aps); l > bestL {
+				best, bestL = c, l
+				improved = true
+			}
+		}
+		if !improved {
+			step /= 2
+			zStep /= 2
+		}
+	}
+	return best, nil
+}
+
+// ProcessAzimuth runs the standard 2-D pipeline stages on a horizontal
+// capture (spectrum, weighting; suppression and symmetry removal are
+// the caller's choice via cfg) — a thin adapter so 3-D callers use the
+// same knobs as core.ProcessAP.
+func ProcessAzimuth(ap *core.AP, frames []core.FrameCapture, cfg core.Config) (*music.Spectrum, error) {
+	return core.ProcessAP(ap, frames, cfg)
+}

@@ -1,0 +1,203 @@
+// Package track adds the temporal layer the paper's introduction
+// motivates ("track wireless clients at a very fine granularity in real
+// time, as they roam about a building"): a constant-velocity Kalman
+// filter over the per-frame position fixes produced by the ArrayTrack
+// backend, plus gating that rejects the occasional catastrophic fix
+// (mirror-ambiguity or end-fire failures) which would otherwise yank
+// the track across the building.
+package track
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Filter is a 2-D constant-velocity Kalman filter with state
+// [x, y, vx, vy]. The zero value is not ready; use NewFilter.
+type Filter struct {
+	// x is the state estimate.
+	x [4]float64
+	// p is the state covariance (row-major 4×4).
+	p [16]float64
+	// processNoise is the white-acceleration spectral density q
+	// (m²/s³); larger tolerates more manoeuvring.
+	processNoise float64
+	// measNoise is the per-axis measurement standard deviation σ (m).
+	measNoise float64
+	// gate is the Mahalanobis-distance gate (in σ units) beyond which
+	// a fix is rejected as an outlier.
+	gate        float64
+	initialized bool
+	rejects     int
+}
+
+// NewFilter returns a tracker. processNoise is the acceleration
+// spectral density in m²/s³ (≈1 suits walking), measSigma the expected
+// per-axis fix error in metres (≈0.3–0.5 for ArrayTrack with several
+// APs), and gate the outlier gate in standard deviations (0 disables
+// gating; 3–5 is typical).
+func NewFilter(processNoise, measSigma, gate float64) *Filter {
+	return &Filter{
+		processNoise: math.Max(processNoise, 1e-6),
+		measNoise:    math.Max(measSigma, 1e-3),
+		gate:         gate,
+	}
+}
+
+// State returns the current position and velocity estimates.
+func (f *Filter) State() (pos geom.Point, vel geom.Vec) {
+	return geom.Pt(f.x[0], f.x[1]), geom.Vec{X: f.x[2], Y: f.x[3]}
+}
+
+// Rejected returns how many fixes the gate has discarded.
+func (f *Filter) Rejected() int { return f.rejects }
+
+// Predict advances the state by dt seconds without a measurement.
+func (f *Filter) Predict(dt float64) error {
+	if !f.initialized {
+		return errors.New("track: Predict before first Update")
+	}
+	if dt < 0 {
+		return errors.New("track: negative dt")
+	}
+	f.predict(dt)
+	return nil
+}
+
+func (f *Filter) predict(dt float64) {
+	// x ← F x with F = [I, dt·I; 0, I].
+	f.x[0] += dt * f.x[2]
+	f.x[1] += dt * f.x[3]
+	// P ← F P Fᵀ + Q, with the white-acceleration Q.
+	var fp [16]float64
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			v := f.p[r*4+c]
+			if r < 2 {
+				v += dt * f.p[(r+2)*4+c]
+			}
+			fp[r*4+c] = v
+		}
+	}
+	var pNew [16]float64
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			v := fp[r*4+c]
+			if c < 2 {
+				v += dt * fp[r*4+c+2]
+			}
+			pNew[r*4+c] = v
+		}
+	}
+	q := f.processNoise
+	dt2 := dt * dt
+	dt3 := dt2 * dt / 2
+	dt4 := dt2 * dt2 / 4
+	for axis := 0; axis < 2; axis++ {
+		pNew[axis*4+axis] += q * dt4
+		pNew[axis*4+axis+2] += q * dt3
+		pNew[(axis+2)*4+axis] += q * dt3
+		pNew[(axis+2)*4+axis+2] += q * dt2
+	}
+	f.p = pNew
+}
+
+// Update folds a position fix taken dt seconds after the previous one
+// into the track. The first call initializes the filter at the fix. It
+// reports whether the fix was accepted (false means the gate rejected
+// it and only the prediction advanced).
+func (f *Filter) Update(fix geom.Point, dt float64) (accepted bool, err error) {
+	if !f.initialized {
+		f.x = [4]float64{fix.X, fix.Y, 0, 0}
+		// Generous initial uncertainty: position at measurement noise,
+		// velocity unknown at walking scale.
+		for i := range f.p {
+			f.p[i] = 0
+		}
+		f.p[0] = f.measNoise * f.measNoise
+		f.p[5] = f.measNoise * f.measNoise
+		f.p[10] = 4
+		f.p[15] = 4
+		f.initialized = true
+		return true, nil
+	}
+	if dt < 0 {
+		return false, errors.New("track: negative dt")
+	}
+	f.predict(dt)
+
+	// Innovation and its covariance S = H P Hᵀ + R (H picks x, y).
+	iy0 := fix.X - f.x[0]
+	iy1 := fix.Y - f.x[1]
+	r2 := f.measNoise * f.measNoise
+	s00 := f.p[0] + r2
+	s01 := f.p[1]
+	s10 := f.p[4]
+	s11 := f.p[5] + r2
+	det := s00*s11 - s01*s10
+	if det <= 0 {
+		return false, errors.New("track: degenerate innovation covariance")
+	}
+	// Mahalanobis gate.
+	inv00, inv01, inv10, inv11 := s11/det, -s01/det, -s10/det, s00/det
+	d2 := iy0*(inv00*iy0+inv01*iy1) + iy1*(inv10*iy0+inv11*iy1)
+	if f.gate > 0 && d2 > f.gate*f.gate {
+		f.rejects++
+		return false, nil
+	}
+
+	// Kalman gain K = P Hᵀ S⁻¹ (4×2).
+	var k [8]float64
+	for r := 0; r < 4; r++ {
+		pc0 := f.p[r*4+0]
+		pc1 := f.p[r*4+1]
+		k[r*2+0] = pc0*inv00 + pc1*inv10
+		k[r*2+1] = pc0*inv01 + pc1*inv11
+	}
+	for r := 0; r < 4; r++ {
+		f.x[r] += k[r*2+0]*iy0 + k[r*2+1]*iy1
+	}
+	// P ← (I − K H) P.
+	var pNew [16]float64
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			v := f.p[r*4+c] - k[r*2+0]*f.p[0*4+c] - k[r*2+1]*f.p[1*4+c]
+			pNew[r*4+c] = v
+		}
+	}
+	f.p = pNew
+	return true, nil
+}
+
+// PositionVariance returns the per-axis position variances, a measure
+// of track confidence.
+func (f *Filter) PositionVariance() (vx, vy float64) {
+	return f.p[0], f.p[5]
+}
+
+// Track is a convenience wrapper that feeds a sequence of fixes through
+// a Filter and records the smoothed trail.
+type Track struct {
+	Filter *Filter
+	// Trail holds the smoothed positions after each accepted or
+	// predicted step.
+	Trail []geom.Point
+}
+
+// NewTrack returns a Track around a freshly configured filter.
+func NewTrack(processNoise, measSigma, gate float64) *Track {
+	return &Track{Filter: NewFilter(processNoise, measSigma, gate)}
+}
+
+// Add folds one fix (dt seconds after the previous) and appends the
+// smoothed position to the trail.
+func (t *Track) Add(fix geom.Point, dt float64) error {
+	if _, err := t.Filter.Update(fix, dt); err != nil {
+		return err
+	}
+	pos, _ := t.Filter.State()
+	t.Trail = append(t.Trail, pos)
+	return nil
+}

@@ -1,0 +1,144 @@
+package track
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestFilterInitializesAtFirstFix(t *testing.T) {
+	f := NewFilter(1, 0.3, 0)
+	ok, err := f.Update(geom.Pt(3, 4), 0)
+	if err != nil || !ok {
+		t.Fatalf("first update: %v %v", ok, err)
+	}
+	pos, vel := f.State()
+	if pos != geom.Pt(3, 4) || vel != (geom.Vec{}) {
+		t.Errorf("state after init = %v %v", pos, vel)
+	}
+}
+
+func TestFilterSmoothsNoisyStraightWalk(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := NewFilter(0.5, 0.4, 0)
+	const dt = 0.5
+	var rawErr, smoothErr float64
+	n := 0
+	for i := 0; i < 60; i++ {
+		truth := geom.Pt(1.2*float64(i)*dt, 5)
+		fix := truth.Add(geom.Vec{X: rng.NormFloat64() * 0.4, Y: rng.NormFloat64() * 0.4})
+		if _, err := f.Update(fix, dt); err != nil {
+			t.Fatal(err)
+		}
+		if i >= 10 { // after convergence
+			pos, _ := f.State()
+			rawErr += fix.Dist(truth)
+			smoothErr += pos.Dist(truth)
+			n++
+		}
+	}
+	if smoothErr >= rawErr {
+		t.Errorf("filter no better than raw fixes: %.2f vs %.2f", smoothErr/float64(n), rawErr/float64(n))
+	}
+	// Velocity should approach (1.2, 0).
+	_, vel := f.State()
+	if math.Abs(vel.X-1.2) > 0.4 || math.Abs(vel.Y) > 0.4 {
+		t.Errorf("velocity = %v, want ≈(1.2, 0)", vel)
+	}
+}
+
+func TestFilterGateRejectsOutlier(t *testing.T) {
+	f := NewFilter(0.5, 0.3, 4)
+	for i := 0; i < 20; i++ {
+		if _, err := f.Update(geom.Pt(float64(i)*0.3, 2), 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, _ := f.State()
+	// A catastrophic mirror fix 15 m away.
+	ok, err := f.Update(geom.Pt(before.X, 17), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("outlier fix accepted")
+	}
+	if f.Rejected() != 1 {
+		t.Errorf("Rejected = %d", f.Rejected())
+	}
+	after, _ := f.State()
+	if after.Dist(before) > 1 {
+		t.Errorf("outlier moved the track %v → %v", before, after)
+	}
+}
+
+func TestFilterPredictWithoutMeasurement(t *testing.T) {
+	f := NewFilter(0.5, 0.3, 0)
+	if err := f.Predict(0.5); err == nil {
+		t.Error("Predict before init should error")
+	}
+	// Converge on a moving target, then coast.
+	for i := 0; i < 30; i++ {
+		f.Update(geom.Pt(float64(i)*0.5, 0), 0.5)
+	}
+	pos0, _ := f.State()
+	if err := f.Predict(1.0); err != nil {
+		t.Fatal(err)
+	}
+	pos1, _ := f.State()
+	if pos1.X <= pos0.X {
+		t.Errorf("coasting did not advance: %v → %v", pos0, pos1)
+	}
+	vx0, _ := f.PositionVariance()
+	f.Predict(5)
+	vx1, _ := f.PositionVariance()
+	if vx1 <= vx0 {
+		t.Error("coasting should grow uncertainty")
+	}
+	if err := f.Predict(-1); err == nil {
+		t.Error("negative dt should error")
+	}
+}
+
+func TestFilterNegativeDtUpdate(t *testing.T) {
+	f := NewFilter(1, 0.3, 0)
+	f.Update(geom.Pt(0, 0), 0)
+	if _, err := f.Update(geom.Pt(1, 1), -0.5); err == nil {
+		t.Error("negative dt should error")
+	}
+}
+
+func TestTrackTrail(t *testing.T) {
+	tr := NewTrack(0.5, 0.3, 4)
+	for i := 0; i < 5; i++ {
+		if err := tr.Add(geom.Pt(float64(i), 0), 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(tr.Trail) != 5 {
+		t.Fatalf("trail = %d", len(tr.Trail))
+	}
+	// Trail is monotone in x for a straight walk.
+	for i := 1; i < len(tr.Trail); i++ {
+		if tr.Trail[i].X < tr.Trail[i-1].X-0.2 {
+			t.Errorf("trail regressed at %d: %v", i, tr.Trail)
+		}
+	}
+}
+
+func TestCovarianceStaysSymmetricPositive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := NewFilter(1, 0.3, 0)
+	for i := 0; i < 200; i++ {
+		fix := geom.Pt(rng.Float64()*10, rng.Float64()*10)
+		if _, err := f.Update(fix, 0.2); err != nil {
+			t.Fatal(err)
+		}
+		vx, vy := f.PositionVariance()
+		if vx <= 0 || vy <= 0 || math.IsNaN(vx) || math.IsNaN(vy) {
+			t.Fatalf("variance degenerate at step %d: %v %v", i, vx, vy)
+		}
+	}
+}
