@@ -8,10 +8,14 @@ package arraytrack
 // `go test -bench=. -benchmem` doubles as the reproduction harness.
 
 import (
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/music"
 	"repro/internal/stats"
 	"repro/internal/testbed"
 )
@@ -241,6 +245,112 @@ func BenchmarkAblationSmoothingNG1(b *testing.B) {
 
 func BenchmarkAblationSmoothingNG3(b *testing.B) {
 	benchAblationVariant(b, func(c *core.Config) { c.SmoothingGroups = 3 })
+}
+
+// Throughput benches: the concurrent engine versus the seed's serial
+// loop, at the batch sizes of the paper's many-clients scenario. The
+// fixture (capture synthesis through the channel model) is built once
+// and shared; requests beyond 41 clients cycle the testbed positions.
+
+var (
+	throughputOnce sync.Once
+	throughputBase []engine.Request
+	throughputTB   *testbed.Testbed
+	throughputOpt  testbed.ThroughputOptions
+)
+
+func throughputRequests(b *testing.B, n int) []engine.Request {
+	b.Helper()
+	throughputOnce.Do(func() {
+		throughputTB = testbed.New()
+		throughputOpt = testbed.DefaultThroughputOptions()
+		throughputBase = throughputTB.ThroughputRequests(256, throughputOpt)
+	})
+	if n > len(throughputBase) {
+		b.Fatalf("fixture holds %d requests, need %d", len(throughputBase), n)
+	}
+	return throughputBase[:n]
+}
+
+var throughputClientCounts = []int{1, 8, 64, 256}
+
+// BenchmarkLocateSerial is the seed path: one client after another,
+// one AP at a time, steering vectors recomputed for every bin.
+func BenchmarkLocateSerial(b *testing.B) {
+	for _, n := range throughputClientCounts {
+		b.Run(fmt.Sprintf("clients-%d", n), func(b *testing.B) {
+			reqs := throughputRequests(b, n)
+			cfg := core.DefaultConfig(throughputTB.Wavelength)
+			cfg.GridCell = throughputOpt.GridCell
+			cfg.Steering = nil
+			cfg.APWorkers = 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, q := range reqs {
+					if _, _, err := core.LocateClient(q.APs, q.Captures, q.Min, q.Max, cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "fixes/sec")
+		})
+	}
+}
+
+// BenchmarkLocateBatch is the engine: a worker pool across clients
+// with the shared steering cache.
+func BenchmarkLocateBatch(b *testing.B) {
+	for _, n := range throughputClientCounts {
+		b.Run(fmt.Sprintf("clients-%d", n), func(b *testing.B) {
+			reqs := throughputRequests(b, n)
+			cfg := core.DefaultConfig(throughputTB.Wavelength)
+			cfg.GridCell = throughputOpt.GridCell
+			eng := engine.New(engine.Options{Config: cfg})
+			defer eng.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, r := range eng.LocateBatch(reqs) {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+			b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "fixes/sec")
+		})
+	}
+}
+
+// BenchmarkComputeSpectrum isolates the steering-cache win on the
+// hottest single computation: one MUSIC spectrum for one frame.
+func BenchmarkComputeSpectrum(b *testing.B) {
+	reqs := throughputRequests(b, 1)
+	ap := reqs[0].APs[0]
+	streams := reqs[0].Captures[0][0].Streams[:ap.Array.N]
+	for _, cached := range []bool{false, true} {
+		name := "uncached"
+		if cached {
+			name = "cached"
+		}
+		b.Run(name, func(b *testing.B) {
+			opt := music.Options{
+				Wavelength:      throughputTB.Wavelength,
+				SmoothingGroups: 2,
+				MaxSamples:      10,
+				SampleOffset:    100,
+				ForwardBackward: true,
+			}
+			if cached {
+				opt.Steering = music.NewSteeringCache()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := music.ComputeSpectrum(ap.Array, streams, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // Extension benches: the future-work and discussion features.

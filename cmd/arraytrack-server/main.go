@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/server"
 	"repro/internal/testbed"
 )
@@ -30,38 +31,38 @@ func main() {
 	listen := flag.String("listen", ":7100", "TCP listen address")
 	quorum := flag.Int("quorum", 3, "distinct APs required before localizing")
 	window := flag.Duration("window", time.Second, "capture grouping window")
+	workers := flag.Int("workers", 0, "localization worker pool size (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	tb := testbed.New()
 	capOpt := testbed.DefaultCaptureOptions()
 	cfg := core.DefaultConfig(tb.Wavelength)
 
-	backend := server.NewBackend(*quorum, *window, func(clientID uint32, cs []server.Capture) {
-		// Group captures per AP and rebuild the pipeline inputs.
-		byAP := map[uint32][]core.FrameCapture{}
-		for _, c := range cs {
-			byAP[c.APID] = append(byAP[c.APID], core.FrameCapture{Streams: c.Streams})
-		}
-		var aps []*core.AP
-		var captures [][]core.FrameCapture
-		for apID, frames := range byAP {
+	eng := engine.New(engine.Options{Workers: *workers, Config: cfg})
+	defer eng.Close()
+
+	sink := &engine.CaptureSink{
+		Engine: eng,
+		Resolve: func(apID uint32) *core.AP {
 			idx := int(apID) - 1
 			if idx < 0 || idx >= len(tb.Sites) {
-				log.Printf("client %d: unknown AP id %d, skipping", clientID, apID)
-				continue
+				log.Printf("unknown AP id %d, skipping", apID)
+				return nil
 			}
-			aps = append(aps, &core.AP{Array: tb.NewArray(tb.Sites[idx], capOpt)})
-			captures = append(captures, frames)
-		}
-		start := time.Now()
-		pos, _, err := core.LocateClient(aps, captures, tb.Plan.Min, tb.Plan.Max, cfg)
-		if err != nil {
-			log.Printf("client %d: localization failed: %v", clientID, err)
-			return
-		}
-		fmt.Printf("client %d located at %v  (%d APs, %d captures, %v)\n",
-			clientID, pos, len(aps), len(cs), time.Since(start).Round(time.Millisecond))
-	})
+			return &core.AP{Array: tb.NewArray(tb.Sites[idx], capOpt)}
+		},
+		Min: tb.Plan.Min,
+		Max: tb.Plan.Max,
+		OnResult: func(r engine.Result) {
+			if r.Err != nil {
+				log.Printf("client %d: localization failed: %v", r.ClientID, r.Err)
+				return
+			}
+			fmt.Printf("client %d located at %v  (%d APs)\n",
+				r.ClientID, r.Pos, len(r.Spectra))
+		},
+	}
+	backend := server.NewBackendDispatcher(*quorum, *window, sink)
 
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {

@@ -98,6 +98,13 @@ var experiments = []experiment{
 	{"calib", "accuracy vs residual calibration error", func(tb *testbed.Testbed, _ bool) (*testbed.Report, error) {
 		return tb.RunCalibrationSweep(33)
 	}},
+	{"throughput", "multi-client fixes/sec: seed-serial vs cached vs engine", func(tb *testbed.Testbed, fast bool) (*testbed.Report, error) {
+		opt := testbed.DefaultThroughputOptions()
+		if fast {
+			opt.ClientCounts = []int{1, 8, 32}
+		}
+		return tb.RunThroughput(opt)
+	}},
 	{"ablation", "pipeline ablations", func(tb *testbed.Testbed, fast bool) (*testbed.Report, error) {
 		opt := accuracyOpts(fast)
 		opt.APCounts = []int{3}

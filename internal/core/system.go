@@ -3,6 +3,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"repro/internal/array"
 	"repro/internal/geom"
@@ -37,6 +39,15 @@ type Config struct {
 	PeakMatchTolDeg float64
 	// GridCell is the synthesis grid pitch in metres (paper: 0.10).
 	GridCell float64
+	// Steering shares precomputed steering-vector tables across every
+	// spectrum computed under this config. nil recomputes a(θ) per bin
+	// (the seed behaviour); DefaultConfig wires in the process-wide
+	// cache. Spectra are bit-identical either way.
+	Steering *music.SteeringCache
+	// APWorkers bounds the goroutines LocateClient uses to process
+	// APs concurrently. 0 or 1 processes APs serially; DefaultConfig
+	// sets GOMAXPROCS. Results are deterministic regardless.
+	APWorkers int
 }
 
 // DefaultConfig returns the full ArrayTrack pipeline with the paper's
@@ -54,6 +65,8 @@ func DefaultConfig(wavelength float64) Config {
 		UseSymmetryRemoval:  true,
 		PeakMatchTolDeg:     DefaultPeakMatchTolDeg,
 		GridCell:            0.10,
+		Steering:            music.SharedSteeringCache(),
+		APWorkers:           runtime.GOMAXPROCS(0),
 	}
 }
 
@@ -102,6 +115,7 @@ func ProcessAP(ap *AP, frames []FrameCapture, cfg Config) (*music.Spectrum, erro
 		MaxSamples:          cfg.MaxSamples,
 		SampleOffset:        cfg.SampleOffset,
 		ForwardBackward:     cfg.ForwardBackward,
+		Steering:            cfg.Steering,
 	}
 	if ap.Calibration != nil {
 		opt.CalibrationOffsets = ap.Calibration
@@ -149,7 +163,7 @@ func ProcessAP(ap *AP, frames []FrameCapture, cfg Config) (*music.Spectrum, erro
 		if err != nil {
 			return nil, err
 		}
-		music.SymmetryRemoval(out, ap.Array, rFull, cfg.Wavelength)
+		music.SymmetryRemovalCached(out, ap.Array, rFull, cfg.Wavelength, cfg.Steering)
 	}
 
 	out.Normalize()
@@ -164,19 +178,57 @@ func LocateClient(aps []*AP, captures [][]FrameCapture, min, max geom.Point, cfg
 	if len(aps) != len(captures) {
 		return geom.Point{}, nil, errors.New("core: captures must align with APs")
 	}
-	var specs []APSpectrum
-	for i, ap := range aps {
-		if len(captures[i]) == 0 {
-			continue
+	var contrib []int
+	for i := range aps {
+		if len(captures[i]) > 0 {
+			contrib = append(contrib, i)
 		}
-		s, err := ProcessAP(ap, captures[i], cfg)
-		if err != nil {
-			return geom.Point{}, nil, fmt.Errorf("core: AP %d: %w", i, err)
-		}
-		specs = append(specs, APSpectrum{Pos: ap.Array.Pos, Spectrum: s})
 	}
-	if len(specs) == 0 {
+	if len(contrib) == 0 {
 		return geom.Point{}, nil, errors.New("core: no AP overheard the client")
+	}
+
+	// Per-AP processing is independent; fan it out over a bounded
+	// worker pool when the config allows. Results land in AP-indexed
+	// slots, so ordering — and therefore the synthesis output — is
+	// identical to the serial path.
+	spectra := make([]*music.Spectrum, len(aps))
+	errs := make([]error, len(aps))
+	workers := cfg.APWorkers
+	if workers > len(contrib) {
+		workers = len(contrib)
+	}
+	if workers > 1 {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					spectra[i], errs[i] = ProcessAP(aps[i], captures[i], cfg)
+				}
+			}()
+		}
+		for _, i := range contrib {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	} else {
+		for _, i := range contrib {
+			if spectra[i], errs[i] = ProcessAP(aps[i], captures[i], cfg); errs[i] != nil {
+				break
+			}
+		}
+	}
+
+	specs := make([]APSpectrum, 0, len(contrib))
+	for _, i := range contrib {
+		if errs[i] != nil {
+			return geom.Point{}, nil, fmt.Errorf("core: AP %d: %w", i, errs[i])
+		}
+		specs = append(specs, APSpectrum{Pos: aps[i].Array.Pos, Spectrum: spectra[i]})
 	}
 	cell := cfg.GridCell
 	if cell <= 0 {

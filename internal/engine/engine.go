@@ -1,0 +1,195 @@
+// Package engine is the concurrent localization engine: a bounded
+// worker pool that ingests per-client capture groups from many APs and
+// emits location fixes. The seed processed one client at a time,
+// serially; the engine is what lets the backend sustain ArrayTrack's
+// system-level claim — fixes for many roaming clients at once — by
+// parallelizing across clients while the steering-vector cache
+// (music.SteeringCache) removes the per-spectrum recomputation the
+// serial path paid for every frame.
+package engine
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// ErrClosed is returned by Submit-family calls after Close.
+var ErrClosed = errors.New("engine: closed")
+
+// Request is one localization job: every capture the backend grouped
+// for one client, organized per AP (Captures[i] holds AP i's frames;
+// APs with no frames are skipped, as in core.LocateClient).
+type Request struct {
+	ClientID uint32
+	APs      []*core.AP
+	Captures [][]core.FrameCapture
+	// Min, Max bound the synthesis search area.
+	Min, Max geom.Point
+}
+
+// Result is one location fix (or failure) for a client.
+type Result struct {
+	ClientID uint32
+	Pos      geom.Point
+	Spectra  []core.APSpectrum
+	Err      error
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Workers is the pool size; 0 means GOMAXPROCS.
+	Workers int
+	// Queue is the job queue depth; 0 means 4×Workers. Submit blocks
+	// once the queue is full, providing natural backpressure.
+	Queue int
+	// Config is the pipeline configuration applied to every job. The
+	// engine clamps Config.APWorkers to 1: the pool already keeps
+	// every core busy across clients, so per-AP fan-out inside a
+	// worker would only oversubscribe the machine.
+	Config core.Config
+}
+
+// Stats is a snapshot of engine counters.
+type Stats struct {
+	// Fixes is the number of successful localizations completed.
+	Fixes uint64
+	// Failures is the number of jobs that returned an error.
+	Failures uint64
+	// Workers is the pool size.
+	Workers int
+	// Queued is the instantaneous queue depth.
+	Queued int
+}
+
+type job struct {
+	req  Request
+	done func(Result)
+}
+
+// Engine runs localization jobs on a fixed worker pool. All methods
+// are safe for concurrent use.
+type Engine struct {
+	cfg      core.Config
+	jobs     chan job
+	wg       sync.WaitGroup
+	mu       sync.RWMutex
+	closed   bool
+	fixes    atomic.Uint64
+	failures atomic.Uint64
+	workers  int
+}
+
+// New starts an engine with opt.Workers workers. Close it when done.
+func New(opt Options) *Engine {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	queue := opt.Queue
+	if queue <= 0 {
+		queue = 4 * workers
+	}
+	cfg := opt.Config
+	if cfg.APWorkers > 1 {
+		cfg.APWorkers = 1
+	}
+	e := &Engine{
+		cfg:     cfg,
+		jobs:    make(chan job, queue),
+		workers: workers,
+	}
+	e.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for j := range e.jobs {
+		j.done(e.run(j.req))
+	}
+}
+
+func (e *Engine) run(req Request) Result {
+	pos, specs, err := core.LocateClient(req.APs, req.Captures, req.Min, req.Max, e.cfg)
+	if err != nil {
+		e.failures.Add(1)
+	} else {
+		e.fixes.Add(1)
+	}
+	return Result{ClientID: req.ClientID, Pos: pos, Spectra: specs, Err: err}
+}
+
+// Submit enqueues a job; done is invoked exactly once, from a worker
+// goroutine, with the job's result. Submit blocks while the queue is
+// full and returns ErrClosed after Close.
+func (e *Engine) Submit(req Request, done func(Result)) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return ErrClosed
+	}
+	e.jobs <- job{req: req, done: done}
+	return nil
+}
+
+// Locate runs one job synchronously through the pool.
+func (e *Engine) Locate(req Request) Result {
+	ch := make(chan Result, 1)
+	if err := e.Submit(req, func(r Result) { ch <- r }); err != nil {
+		return Result{ClientID: req.ClientID, Err: err}
+	}
+	return <-ch
+}
+
+// LocateBatch runs many jobs concurrently and returns results aligned
+// with reqs. It blocks until every job completes.
+func (e *Engine) LocateBatch(reqs []Request) []Result {
+	out := make([]Result, len(reqs))
+	var wg sync.WaitGroup
+	for i := range reqs {
+		i := i
+		wg.Add(1)
+		err := e.Submit(reqs[i], func(r Result) {
+			out[i] = r
+			wg.Done()
+		})
+		if err != nil {
+			out[i] = Result{ClientID: reqs[i].ClientID, Err: err}
+			wg.Done()
+		}
+	}
+	wg.Wait()
+	return out
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Fixes:    e.fixes.Load(),
+		Failures: e.failures.Load(),
+		Workers:  e.workers,
+		Queued:   len(e.jobs),
+	}
+}
+
+// Close stops accepting jobs, drains the queue, and waits for the
+// workers to exit. Safe to call once.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	close(e.jobs)
+	e.mu.Unlock()
+	e.wg.Wait()
+}

@@ -1,0 +1,326 @@
+package engine_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/array"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/geom"
+	"repro/internal/music"
+	"repro/internal/server"
+	"repro/internal/testbed"
+)
+
+// testbedRequests builds a deterministic batch of localization
+// requests through the simulated office (shared across tests; capture
+// synthesis through the channel model is the expensive part).
+var (
+	fixtureOnce sync.Once
+	fixtureTB   *testbed.Testbed
+	fixtureReqs []engine.Request
+)
+
+func testbedRequests(t *testing.T, n int) (*testbed.Testbed, []engine.Request) {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		fixtureTB = testbed.New()
+		opt := testbed.DefaultThroughputOptions()
+		opt.Capture.Antennas = 6
+		opt.Capture.Frames = 2
+		fixtureReqs = fixtureTB.ThroughputRequests(16, opt)
+	})
+	if n > len(fixtureReqs) {
+		t.Fatalf("fixture holds %d requests, need %d", len(fixtureReqs), n)
+	}
+	return fixtureTB, fixtureReqs[:n]
+}
+
+// TestEngineMatchesSerial is the tentpole's second correctness anchor:
+// a batch through the worker pool must produce exactly the fixes the
+// serial loop produces, position and spectra alike.
+func TestEngineMatchesSerial(t *testing.T) {
+	tb, reqs := testbedRequests(t, 8)
+	cfg := core.DefaultConfig(tb.Wavelength)
+	cfg.GridCell = 0.25
+
+	serial := make([]engine.Result, len(reqs))
+	serialCfg := cfg
+	serialCfg.APWorkers = 0
+	serialCfg.Steering = nil // seed path: uncached, single-threaded
+	for i, q := range reqs {
+		pos, specs, err := core.LocateClient(q.APs, q.Captures, q.Min, q.Max, serialCfg)
+		serial[i] = engine.Result{ClientID: q.ClientID, Pos: pos, Spectra: specs, Err: err}
+	}
+
+	eng := engine.New(engine.Options{Workers: 4, Config: cfg})
+	defer eng.Close()
+	batch := eng.LocateBatch(reqs)
+
+	if len(batch) != len(serial) {
+		t.Fatalf("batch returned %d results for %d requests", len(batch), len(serial))
+	}
+	for i := range serial {
+		s, b := serial[i], batch[i]
+		if s.Err != nil || b.Err != nil {
+			t.Fatalf("request %d errored: serial=%v batch=%v", i, s.Err, b.Err)
+		}
+		if b.ClientID != s.ClientID {
+			t.Fatalf("request %d: batch result for client %d, want %d", i, b.ClientID, s.ClientID)
+		}
+		if b.Pos != s.Pos {
+			t.Fatalf("request %d: engine pos %v, serial pos %v", i, b.Pos, s.Pos)
+		}
+		if len(b.Spectra) != len(s.Spectra) {
+			t.Fatalf("request %d: %d vs %d spectra", i, len(b.Spectra), len(s.Spectra))
+		}
+		for j := range s.Spectra {
+			if b.Spectra[j].Pos != s.Spectra[j].Pos {
+				t.Fatalf("request %d spectrum %d: AP pos differs", i, j)
+			}
+			sp, bp := s.Spectra[j].Spectrum.P, b.Spectra[j].Spectrum.P
+			for k := range sp {
+				if d := math.Abs(bp[k] - sp[k]); d > 1e-12 {
+					t.Fatalf("request %d spectrum %d bin %d: Δ=%g", i, j, k, d)
+				}
+			}
+		}
+	}
+}
+
+func TestEngineLocateSingle(t *testing.T) {
+	tb, reqs := testbedRequests(t, 1)
+	cfg := core.DefaultConfig(tb.Wavelength)
+	cfg.GridCell = 0.25
+	eng := engine.New(engine.Options{Workers: 2, Config: cfg})
+	defer eng.Close()
+	r := eng.Locate(reqs[0])
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if r.ClientID != reqs[0].ClientID {
+		t.Fatalf("result for client %d, want %d", r.ClientID, reqs[0].ClientID)
+	}
+	st := eng.Stats()
+	if st.Fixes != 1 || st.Failures != 0 {
+		t.Fatalf("stats %+v, want 1 fix", st)
+	}
+}
+
+func TestEngineErrorPropagation(t *testing.T) {
+	tb, reqs := testbedRequests(t, 1)
+	cfg := core.DefaultConfig(tb.Wavelength)
+	eng := engine.New(engine.Options{Workers: 1, Config: cfg})
+	defer eng.Close()
+	bad := engine.Request{ClientID: 9, APs: reqs[0].APs, Captures: make([][]core.FrameCapture, len(reqs[0].APs)), Min: tb.Plan.Min, Max: tb.Plan.Max}
+	r := eng.Locate(bad)
+	if r.Err == nil {
+		t.Fatal("empty captures must fail")
+	}
+	if st := eng.Stats(); st.Failures != 1 {
+		t.Fatalf("stats %+v, want 1 failure", st)
+	}
+}
+
+func TestEngineSubmitAfterClose(t *testing.T) {
+	eng := engine.New(engine.Options{Workers: 1, Config: core.Config{}})
+	eng.Close()
+	eng.Close() // idempotent
+	if err := eng.Submit(engine.Request{}, func(engine.Result) {}); err != engine.ErrClosed {
+		t.Fatalf("Submit after Close = %v, want engine.ErrClosed", err)
+	}
+	r := eng.Locate(engine.Request{ClientID: 3})
+	if r.Err != engine.ErrClosed || r.ClientID != 3 {
+		t.Fatalf("Locate after Close = %+v", r)
+	}
+}
+
+// syntheticSetup builds a cheap two-AP scene with random streams —
+// noise-only spectra are fine for concurrency testing, where the point
+// is hammering the engine and backend, not localization accuracy.
+func syntheticSetup() (aps []*core.AP, cfg core.Config, mkStreams func(rng *rand.Rand) [][]complex128) {
+	lambda := 0.1225
+	aps = []*core.AP{
+		{Array: array.NewLinear(geom.Pt(0, 0), 0, 4, lambda)},
+		{Array: array.NewLinear(geom.Pt(6, 0), math.Pi/2, 4, lambda)},
+	}
+	cfg = core.Config{
+		Wavelength:          lambda,
+		SmoothingGroups:     2,
+		MaxSamples:          8,
+		SignalThresholdFrac: 0.05,
+		GridCell:            0.5,
+		Steering:            music.NewSteeringCache(),
+	}
+	mkStreams = func(rng *rand.Rand) [][]complex128 {
+		st := make([][]complex128, 4)
+		for k := range st {
+			st[k] = make([]complex128, 16)
+			for i := range st[k] {
+				st[k][i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			}
+		}
+		return st
+	}
+	return aps, cfg, mkStreams
+}
+
+// TestEngineConcurrentStress drives 128 clients from 128 goroutines
+// through one engine; run under -race this exercises the worker pool,
+// the steering cache's double-checked insert, and the atomics.
+func TestEngineConcurrentStress(t *testing.T) {
+	aps, cfg, mkStreams := syntheticSetup()
+	const clients = 128
+	eng := engine.New(engine.Options{Workers: 8, Config: cfg})
+	defer eng.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c)))
+			captures := [][]core.FrameCapture{
+				{{Streams: mkStreams(rng)}},
+				{{Streams: mkStreams(rng)}},
+			}
+			r := eng.Locate(engine.Request{
+				ClientID: uint32(c + 1),
+				APs:      aps,
+				Captures: captures,
+				Min:      geom.Pt(0, 0),
+				Max:      geom.Pt(6, 4),
+			})
+			if r.Err != nil {
+				errs <- fmt.Errorf("client %d: %w", c+1, r.Err)
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if st := eng.Stats(); st.Fixes != clients {
+		t.Fatalf("engine completed %d fixes, want %d", st.Fixes, clients)
+	}
+}
+
+// TestBackendToEngineStress runs the full ingest path — sharded
+// Backend quorum grouping into a engine.CaptureSink into the engine — with
+// 120 clients ingesting concurrently from 8 simulated AP feeds.
+func TestBackendToEngineStress(t *testing.T) {
+	aps, cfg, mkStreams := syntheticSetup()
+	const clients = 120
+	eng := engine.New(engine.Options{Workers: 8, Config: cfg})
+	defer eng.Close()
+
+	results := make(chan engine.Result, clients)
+	sink := &engine.CaptureSink{
+		Engine: eng,
+		Resolve: func(apID uint32) *core.AP {
+			if int(apID) < 1 || int(apID) > len(aps) {
+				return nil
+			}
+			return aps[apID-1]
+		},
+		Min:      geom.Pt(0, 0),
+		Max:      geom.Pt(6, 4),
+		OnResult: func(r engine.Result) { results <- r },
+	}
+	backend := server.NewBackendDispatcher(2, time.Minute, sink)
+
+	now := time.Now()
+	var wg sync.WaitGroup
+	for ap := uint32(1); ap <= 2; ap++ {
+		for feed := 0; feed < 4; feed++ {
+			wg.Add(1)
+			go func(ap uint32, feed int) {
+				defer wg.Done()
+				for c := feed; c < clients; c += 4 {
+					rng := rand.New(rand.NewSource(int64(c)*10 + int64(ap)))
+					backend.Ingest(&server.Capture{
+						APID:      ap,
+						ClientID:  uint32(c + 1),
+						Timestamp: now,
+						Streams:   mkStreams(rng),
+					})
+				}
+			}(ap, feed)
+		}
+	}
+	wg.Wait()
+
+	seen := make(map[uint32]bool)
+	for i := 0; i < clients; i++ {
+		select {
+		case r := <-results:
+			if r.Err != nil {
+				t.Fatalf("client %d: %v", r.ClientID, r.Err)
+			}
+			if seen[r.ClientID] {
+				t.Fatalf("client %d localized twice", r.ClientID)
+			}
+			seen[r.ClientID] = true
+		case <-time.After(30 * time.Second):
+			t.Fatalf("timed out with %d/%d fixes", i, clients)
+		}
+	}
+	if backend.PendingClients() != 0 {
+		t.Fatalf("%d clients left pending after full quorum", backend.PendingClients())
+	}
+}
+
+func TestCaptureSinkUnknownAPs(t *testing.T) {
+	eng := engine.New(engine.Options{Workers: 1, Config: core.Config{}})
+	defer eng.Close()
+	results := make(chan engine.Result, 1)
+	sink := &engine.CaptureSink{
+		Engine:   eng,
+		Resolve:  func(uint32) *core.AP { return nil },
+		OnResult: func(r engine.Result) { results <- r },
+	}
+	sink.Dispatch(7, []server.Capture{{APID: 1, ClientID: 7}})
+	r := <-results
+	if r.Err != engine.ErrNoKnownAP || r.ClientID != 7 {
+		t.Fatalf("got %+v, want engine.ErrNoKnownAP for client 7", r)
+	}
+}
+
+func TestCaptureSinkGroupsFramesPerAP(t *testing.T) {
+	aps, cfg, mkStreams := syntheticSetup()
+	eng := engine.New(engine.Options{Workers: 1, Config: cfg})
+	defer eng.Close()
+	results := make(chan engine.Result, 1)
+	sink := &engine.CaptureSink{
+		Engine:   eng,
+		Resolve:  func(apID uint32) *core.AP { return aps[apID-1] },
+		Min:      geom.Pt(0, 0),
+		Max:      geom.Pt(6, 4),
+		OnResult: func(r engine.Result) { results <- r },
+	}
+	rng := rand.New(rand.NewSource(5))
+	// Two frames from AP 1 interleaved with one from AP 2.
+	sink.Dispatch(3, []server.Capture{
+		{APID: 1, ClientID: 3, Streams: mkStreams(rng)},
+		{APID: 2, ClientID: 3, Streams: mkStreams(rng)},
+		{APID: 1, ClientID: 3, Streams: mkStreams(rng)},
+	})
+	r := <-results
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if len(r.Spectra) != 2 {
+		t.Fatalf("got %d AP spectra, want 2", len(r.Spectra))
+	}
+	// First-seen order: AP 1's array position first.
+	if r.Spectra[0].Pos != aps[0].Array.Pos || r.Spectra[1].Pos != aps[1].Array.Pos {
+		t.Fatal("per-AP grouping lost first-seen order")
+	}
+}

@@ -1,0 +1,67 @@
+package engine
+
+import (
+	"errors"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/server"
+)
+
+// ErrNoKnownAP is delivered to OnResult when none of a flush's capture
+// records came from a resolvable AP.
+var ErrNoKnownAP = errors.New("engine: quorum flush contained no known AP")
+
+// CaptureSink bridges server.Backend's quorum flushes into the engine:
+// it satisfies server.Dispatcher, so the backend's ingest path hands
+// grouped captures off asynchronously instead of running the whole
+// localization pipeline inline under the caller.
+type CaptureSink struct {
+	// Engine executes the localization jobs. Required.
+	Engine *Engine
+	// Resolve maps a wire AP identifier to its array description;
+	// returning nil skips that AP's captures. Required.
+	Resolve func(apID uint32) *core.AP
+	// Min, Max bound the synthesis search area.
+	Min, Max geom.Point
+	// OnResult receives every fix or failure; nil discards results.
+	OnResult func(Result)
+}
+
+// Dispatch groups a flushed capture set per AP (first-seen order,
+// several frames per AP) and submits the localization job. It is
+// called by the backend on its ingest path, so it only enqueues —
+// blocking at most on engine backpressure, never on the pipeline.
+func (s *CaptureSink) Dispatch(clientID uint32, captures []server.Capture) {
+	var order []uint32
+	byAP := make(map[uint32][]core.FrameCapture)
+	for _, c := range captures {
+		if _, ok := byAP[c.APID]; !ok {
+			order = append(order, c.APID)
+		}
+		byAP[c.APID] = append(byAP[c.APID], core.FrameCapture{Streams: c.Streams})
+	}
+	var aps []*core.AP
+	var frames [][]core.FrameCapture
+	for _, id := range order {
+		ap := s.Resolve(id)
+		if ap == nil {
+			continue
+		}
+		aps = append(aps, ap)
+		frames = append(frames, byAP[id])
+	}
+	deliver := func(r Result) {
+		if s.OnResult != nil {
+			s.OnResult(r)
+		}
+	}
+	if len(aps) == 0 {
+		deliver(Result{ClientID: clientID, Err: ErrNoKnownAP})
+		return
+	}
+	req := Request{ClientID: clientID, APs: aps, Captures: frames, Min: s.Min, Max: s.Max}
+	if err := s.Engine.Submit(req, deliver); err != nil {
+		deliver(Result{ClientID: clientID, Err: err})
+	}
+}

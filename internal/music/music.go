@@ -308,6 +308,11 @@ type Options struct {
 	// snapshot before processing (the §3 correction). Length must
 	// cover the antennas in use.
 	CalibrationOffsets []float64
+	// Steering, if non-nil, supplies precomputed steering-vector
+	// tables so the MUSIC scan reuses one matrix per (geometry,
+	// wavelength, bins) instead of recomputing a(θ) for every bin of
+	// every frame. nil keeps the seed's allocate-per-bin path.
+	Steering *SteeringCache
 }
 
 func (o Options) bins() int {
@@ -366,6 +371,10 @@ func ComputeSpectrum(a *array.Array, streams [][]complex128, opt Options) (*Spec
 	if err != nil {
 		return nil, err
 	}
+	if opt.Steering != nil {
+		tab := opt.Steering.Table(a, opt.Wavelength, opt.bins())
+		return MUSICWithTable(noise, tab), nil
+	}
 	sub := rs.Rows // smoothed subarray size
 	steer := func(theta float64) []complex128 {
 		return a.SteeringVectorRow(theta, opt.Wavelength)[:sub]
@@ -381,10 +390,19 @@ func ComputeSpectrum(a *array.Array, streams [][]complex128, opt Options) (*Spec
 // its columns and steer produces the array steering vector. The result
 // is normalized to a unit maximum.
 func MUSIC(en *mat.Matrix, steer func(theta float64) []complex128, bins int) *Spectrum {
+	return musicSpectrum(en, bins, func(_ int, theta float64) []complex128 {
+		return steer(theta)
+	})
+}
+
+// musicSpectrum is the shared MUSIC scan: at(i, θᵢ) supplies the
+// steering vector per bin, either freshly computed or a cached table
+// row, so both paths run bit-identical arithmetic.
+func musicSpectrum(en *mat.Matrix, bins int, at func(i int, theta float64) []complex128) *Spectrum {
 	s := NewSpectrum(bins)
 	for i := 0; i < bins; i++ {
 		theta := 2 * math.Pi * float64(i) / float64(bins)
-		a := steer(theta)
+		a := at(i, theta)
 		// ‖E_Nᴴ a‖²: project onto the noise subspace.
 		var denom float64
 		for k := 0; k < en.Cols; k++ {
@@ -407,10 +425,17 @@ func MUSIC(en *mat.Matrix, steer func(theta float64) []complex128, bins int) *Sp
 // non-uniform 9-element geometry rules MUSIC's calibrated subspace
 // structure out but plain beamforming still measures side power.
 func Bartlett(r *mat.Matrix, steer func(theta float64) []complex128, bins int) *Spectrum {
+	return bartlettSpectrum(r, bins, func(_ int, theta float64) []complex128 {
+		return steer(theta)
+	})
+}
+
+// bartlettSpectrum is the shared Bartlett scan (see musicSpectrum).
+func bartlettSpectrum(r *mat.Matrix, bins int, at func(i int, theta float64) []complex128) *Spectrum {
 	s := NewSpectrum(bins)
 	for i := 0; i < bins; i++ {
 		theta := 2 * math.Pi * float64(i) / float64(bins)
-		a := steer(theta)
+		a := at(i, theta)
 		ra := r.MulVec(a)
 		v := mat.VecDot(a, ra)
 		p := real(v)
@@ -469,6 +494,12 @@ func SymmetryRemoval(s *Spectrum, a *array.Array, rFull *mat.Matrix, wavelength 
 		return a.SteeringVector(theta, wavelength)
 	}
 	b := Bartlett(rFull, steer, s.Bins())
+	return symmetryRemovalAgainst(s, a, b)
+}
+
+// symmetryRemovalAgainst applies the mirror-vote suppression given an
+// already-computed full-array Bartlett spectrum b.
+func symmetryRemovalAgainst(s *Spectrum, a *array.Array, b *Spectrum) *Spectrum {
 	// A bearing must lose to its mirror by this power ratio before it
 	// is suppressed; a margin keeps near-ties (no evidence either way)
 	// intact.

@@ -1,0 +1,110 @@
+package music
+
+// Property/invariant tests for Spectrum: these pin down contracts the
+// rest of the pipeline (suppression pairing, synthesis lookup, peak
+// ranking) silently relies on, over randomized inputs with fixed
+// seeds.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randomSpectrum(n int, rng *rand.Rand) *Spectrum {
+	s := NewSpectrum(n)
+	for i := range s.P {
+		s.P[i] = rng.Float64() * 10
+	}
+	return s
+}
+
+func TestPropNormalizeIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + rng.Intn(512)
+		s := randomSpectrum(n, rng)
+		once := s.Clone().Normalize()
+		twice := once.Clone().Normalize()
+		for i := range once.P {
+			if once.P[i] != twice.P[i] {
+				t.Fatalf("n=%d bin %d: %v then %v", n, i, once.P[i], twice.P[i])
+			}
+		}
+		if m, _ := once.Max(); m != 1 {
+			t.Fatalf("n=%d: normalized max %v, want 1", n, m)
+		}
+	}
+	// All-zero spectra must survive (and stay zero).
+	z := NewSpectrum(16).Normalize().Normalize()
+	for i, v := range z.P {
+		if v != 0 {
+			t.Fatalf("zero spectrum bin %d became %v", i, v)
+		}
+	}
+}
+
+func TestPropBinOfThetaRoundTrip(t *testing.T) {
+	for _, n := range []int{3, 7, 90, 359, 360, 361, 1024} {
+		s := NewSpectrum(n)
+		for i := 0; i < n; i++ {
+			if got := s.BinOf(s.Theta(i)); got != i {
+				t.Fatalf("n=%d: BinOf(Theta(%d)) = %d", n, i, got)
+			}
+		}
+	}
+}
+
+func TestPropBinOfAlwaysInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	s := NewSpectrum(360)
+	for trial := 0; trial < 1000; trial++ {
+		theta := (rng.Float64() - 0.5) * 50 // well outside [0, 2π)
+		if i := s.BinOf(theta); i < 0 || i >= s.Bins() {
+			t.Fatalf("BinOf(%v) = %d out of range", theta, i)
+		}
+	}
+}
+
+func TestPropPeaksSortedAndInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + rng.Intn(512)
+		s := randomSpectrum(n, rng)
+		peaks := s.Peaks(0.1 + rng.Float64()*0.8)
+		max, _ := s.Max()
+		for i, p := range peaks {
+			if i > 0 && peaks[i-1].Power < p.Power {
+				t.Fatalf("trial %d: peaks not sorted descending at %d", trial, i)
+			}
+			if p.Theta < 0 || p.Theta >= 2*math.Pi {
+				t.Fatalf("trial %d: peak bearing %v outside [0, 2π)", trial, p.Theta)
+			}
+			if p.Bin < 0 || p.Bin >= n {
+				t.Fatalf("trial %d: peak bin %d outside spectrum", trial, p.Bin)
+			}
+			if s.P[p.Bin] != p.Power {
+				t.Fatalf("trial %d: peak power %v disagrees with bin value %v", trial, p.Power, s.P[p.Bin])
+			}
+			if s.Theta(p.Bin) != p.Theta {
+				t.Fatalf("trial %d: peak bearing %v disagrees with bin bearing %v", trial, p.Theta, s.Theta(p.Bin))
+			}
+			if p.Power > max {
+				t.Fatalf("trial %d: peak power %v exceeds global max %v", trial, p.Power, max)
+			}
+		}
+	}
+}
+
+func TestPropAtInterpolationBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	s := randomSpectrum(128, rng)
+	max, _ := s.Max()
+	for trial := 0; trial < 500; trial++ {
+		theta := (rng.Float64() - 0.5) * 30
+		v := s.At(theta)
+		if v < 0 || v > max {
+			t.Fatalf("At(%v) = %v outside [0, %v]", theta, v, max)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package music
+
+// Steering-vector caching. MUSIC and Bartlett evaluate a(θ) for every
+// one of the spectrum's bins (360 by default) on every frame, and the
+// seed implementation allocated a fresh []complex128 per bin per call —
+// the hottest allocation site in the whole pipeline. The steering
+// vector depends only on the array *geometry* (element layout relative
+// to element 0), the carrier wavelength, and the bin count — not on the
+// array's position or on the received samples — so one precomputed
+// table serves every frame of every client heard by an AP with that
+// geometry, and identical APs share a single table.
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/array"
+	"repro/internal/mat"
+)
+
+// SteeringTable holds a(θᵢ) for every bin bearing θᵢ = 2πi/bins of one
+// (array geometry, wavelength, bins) combination, stored row-major.
+// Tables are immutable after construction and safe for concurrent use.
+type SteeringTable struct {
+	bins int
+	n    int // elements per steering vector
+	data []complex128
+}
+
+// NewSteeringTable precomputes the steering matrix for the array's full
+// element set (ninth antenna included when present).
+func NewSteeringTable(a *array.Array, lambda float64, bins int) *SteeringTable {
+	n := a.NumElements()
+	t := &SteeringTable{bins: bins, n: n, data: make([]complex128, bins*n)}
+	for i := 0; i < bins; i++ {
+		theta := 2 * math.Pi * float64(i) / float64(bins)
+		copy(t.data[i*n:(i+1)*n], a.SteeringVector(theta, lambda))
+	}
+	return t
+}
+
+// Bins returns the table's angular resolution.
+func (t *SteeringTable) Bins() int { return t.bins }
+
+// Elements returns the length of each steering vector.
+func (t *SteeringTable) Elements() int { return t.n }
+
+// Vector returns a(θᵢ) as a read-only view into the table. Callers must
+// not modify it; slice it ([:sub]) to restrict to a leading subarray.
+func (t *SteeringTable) Vector(i int) []complex128 {
+	return t.data[i*t.n : (i+1)*t.n : (i+1)*t.n]
+}
+
+// steeringKey captures everything a steering table depends on. The
+// array's absolute position cancels out of the element-relative phase
+// differences, so two APs at different positions with the same layout
+// share one table.
+type steeringKey struct {
+	geom    array.Geometry
+	n       int
+	ninth   bool
+	spacing float64
+	orient  float64
+	lambda  float64
+	bins    int
+}
+
+func keyFor(a *array.Array, lambda float64, bins int) steeringKey {
+	return steeringKey{
+		geom:    a.Geom,
+		n:       a.N,
+		ninth:   a.NinthAntenna && a.Geom == array.Linear,
+		spacing: a.Spacing,
+		orient:  a.Orient,
+		lambda:  lambda,
+		bins:    bins,
+	}
+}
+
+// SteeringCache memoizes steering tables per geometry key. It is safe
+// for concurrent use; lookups on the hot path take only a read lock.
+type SteeringCache struct {
+	mu     sync.RWMutex
+	tables map[steeringKey]*SteeringTable
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// NewSteeringCache returns an empty cache.
+func NewSteeringCache() *SteeringCache {
+	return &SteeringCache{tables: make(map[steeringKey]*SteeringTable)}
+}
+
+var sharedSteering = NewSteeringCache()
+
+// SharedSteeringCache returns the process-wide cache that
+// core.DefaultConfig wires into every pipeline by default.
+func SharedSteeringCache() *SteeringCache { return sharedSteering }
+
+// Table returns the steering table for (array geometry, wavelength,
+// bins), computing and memoizing it on first use. Concurrent first
+// lookups may compute the table more than once; exactly one result is
+// kept, so callers always converge on a canonical table.
+func (c *SteeringCache) Table(a *array.Array, lambda float64, bins int) *SteeringTable {
+	key := keyFor(a, lambda, bins)
+	c.mu.RLock()
+	t, ok := c.tables[key]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return t
+	}
+
+	fresh := NewSteeringTable(a, lambda, bins)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t, ok := c.tables[key]; ok {
+		c.hits.Add(1)
+		return t
+	}
+	c.misses.Add(1)
+	c.tables[key] = fresh
+	return fresh
+}
+
+// Len returns the number of distinct tables held.
+func (c *SteeringCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.tables)
+}
+
+// Stats returns cumulative hit and miss counts (diagnostics).
+func (c *SteeringCache) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// MUSICWithTable is MUSIC evaluated against a precomputed steering
+// table: identical arithmetic, no per-bin allocation. The noise
+// subspace may span a leading subarray (spatial smoothing shrinks it);
+// each table row is truncated to en.Rows elements.
+func MUSICWithTable(en *mat.Matrix, tab *SteeringTable) *Spectrum {
+	return musicSpectrum(en, tab.bins, func(i int, _ float64) []complex128 {
+		return tab.Vector(i)[:en.Rows]
+	})
+}
+
+// BartlettWithTable is Bartlett evaluated against a precomputed
+// steering table.
+func BartlettWithTable(r *mat.Matrix, tab *SteeringTable) *Spectrum {
+	return bartlettSpectrum(r, tab.bins, func(i int, _ float64) []complex128 {
+		return tab.Vector(i)[:r.Cols]
+	})
+}
+
+// SymmetryRemovalCached is SymmetryRemoval drawing its Bartlett
+// steering vectors from the cache when one is provided (nil falls back
+// to per-bin computation).
+func SymmetryRemovalCached(s *Spectrum, a *array.Array, rFull *mat.Matrix, wavelength float64, cache *SteeringCache) *Spectrum {
+	var b *Spectrum
+	if cache != nil {
+		b = BartlettWithTable(rFull, cache.Table(a, wavelength, s.Bins()))
+	} else {
+		b = Bartlett(rFull, func(theta float64) []complex128 {
+			return a.SteeringVector(theta, wavelength)
+		}, s.Bins())
+	}
+	return symmetryRemovalAgainst(s, a, b)
+}

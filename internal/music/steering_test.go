@@ -1,0 +1,194 @@
+package music
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/array"
+	"repro/internal/geom"
+)
+
+// steeringCases spans the geometries the pipeline actually uses: row
+// sizes from Figure 16's sweep, with and without the ninth antenna,
+// assorted orientations, a circular array, and non-default bin counts.
+var steeringCases = []struct {
+	name   string
+	build  func() *array.Array
+	lambda float64
+	bins   int
+}{
+	{"linear-4", func() *array.Array { return array.NewLinear(geom.Pt(0, 0), 0, 4, 0.1225) }, 0.1225, 360},
+	{"linear-8", func() *array.Array { return array.NewLinear(geom.Pt(2, 3), math.Pi/3, 8, 0.1225) }, 0.1225, 360},
+	{"linear-8-ninth", func() *array.Array {
+		a := array.NewLinear(geom.Pt(1, 1), -math.Pi/4, 8, 0.1225)
+		a.NinthAntenna = true
+		return a
+	}, 0.1225, 360},
+	{"linear-6-5ghz", func() *array.Array { return array.NewLinear(geom.Pt(0, 0), math.Pi/2, 6, 0.0577) }, 0.0577, 720},
+	{"circular-8", func() *array.Array { return array.NewCircular(geom.Pt(5, 5), 0.08, 8) }, 0.1225, 180},
+}
+
+func TestSteeringTableMatchesDirect(t *testing.T) {
+	for _, tc := range steeringCases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := tc.build()
+			tab := NewSteeringTable(a, tc.lambda, tc.bins)
+			if tab.Bins() != tc.bins || tab.Elements() != a.NumElements() {
+				t.Fatalf("table %dx%d, want %dx%d", tab.Bins(), tab.Elements(), tc.bins, a.NumElements())
+			}
+			for i := 0; i < tc.bins; i++ {
+				theta := 2 * math.Pi * float64(i) / float64(tc.bins)
+				want := a.SteeringVector(theta, tc.lambda)
+				got := tab.Vector(i)
+				for k := range want {
+					if got[k] != want[k] {
+						t.Fatalf("bin %d element %d: table %v, direct %v", i, k, got[k], want[k])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCachedSpectrumMatchesUncached is the tentpole's correctness
+// anchor: the full ComputeSpectrum chain must produce bin-for-bin
+// identical spectra whether steering vectors are cached or recomputed.
+func TestCachedSpectrumMatchesUncached(t *testing.T) {
+	const tol = 1e-12
+	for _, tc := range steeringCases {
+		if tc.name == "circular-8" {
+			continue // ComputeSpectrum's smoothing chain targets linear rows
+		}
+		t.Run(tc.name, func(t *testing.T) {
+			a := tc.build()
+			rng := rand.New(rand.NewSource(42))
+			streams := synth(a, []float64{0.7, 2.1}, []complex128{1, 0.6i}, 48, true, 0.05, rng)
+			opt := Options{
+				Wavelength:      tc.lambda,
+				SmoothingGroups: 2,
+				MaxSamples:      10,
+				SampleOffset:    8,
+				ForwardBackward: true,
+				Bins:            tc.bins,
+			}
+			plain, err := ComputeSpectrum(a, streams[:a.N], opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt.Steering = NewSteeringCache()
+			cached, err := ComputeSpectrum(a, streams[:a.N], opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cached.Bins() != plain.Bins() {
+				t.Fatalf("bins %d vs %d", cached.Bins(), plain.Bins())
+			}
+			for i := range plain.P {
+				if d := math.Abs(cached.P[i] - plain.P[i]); d > tol {
+					t.Fatalf("bin %d: cached %.17g, uncached %.17g (Δ=%g)", i, cached.P[i], plain.P[i], d)
+				}
+			}
+		})
+	}
+}
+
+func TestCachedBartlettAndSymmetryMatchUncached(t *testing.T) {
+	const tol = 1e-12
+	a := array.NewLinear(geom.Pt(0, 0), 0, 8, lambda)
+	a.NinthAntenna = true
+	rng := rand.New(rand.NewSource(7))
+	streams := synth(a, []float64{0.9}, []complex128{1}, 32, false, 0.02, rng)
+	snaps := SnapshotsFromStreams(streams, 0)
+	rFull, err := CorrelationMatrix(snaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewSteeringCache()
+	tab := cache.Table(a, lambda, DefaultBins)
+
+	plainB := Bartlett(rFull, func(theta float64) []complex128 {
+		return a.SteeringVector(theta, lambda)
+	}, DefaultBins)
+	cachedB := BartlettWithTable(rFull, tab)
+	for i := range plainB.P {
+		if d := math.Abs(cachedB.P[i] - plainB.P[i]); d > tol {
+			t.Fatalf("bartlett bin %d: Δ=%g", i, d)
+		}
+	}
+
+	// Same spectrum through both symmetry-removal paths.
+	base := NewSpectrum(DefaultBins)
+	for i := range base.P {
+		base.P[i] = rng.Float64()
+	}
+	plainS := SymmetryRemoval(base.Clone(), a, rFull, lambda)
+	cachedS := SymmetryRemovalCached(base.Clone(), a, rFull, lambda, cache)
+	for i := range plainS.P {
+		if d := math.Abs(cachedS.P[i] - plainS.P[i]); d > tol {
+			t.Fatalf("symmetry bin %d: Δ=%g", i, d)
+		}
+	}
+}
+
+func TestSteeringCacheReusesTables(t *testing.T) {
+	c := NewSteeringCache()
+	a1 := array.NewLinear(geom.Pt(0, 0), 0, 8, lambda)
+	a2 := array.NewLinear(geom.Pt(9, 4), 0, 8, lambda) // same layout, different position
+	t1 := c.Table(a1, lambda, 360)
+	t2 := c.Table(a2, lambda, 360)
+	if t1 != t2 {
+		t.Error("same geometry at different positions should share one table")
+	}
+	if got := c.Len(); got != 1 {
+		t.Errorf("cache holds %d tables, want 1", got)
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats hits=%d misses=%d, want 1/1", hits, misses)
+	}
+
+	// Distinct geometry, wavelength, or resolution must not collide.
+	variants := []*array.Array{
+		array.NewLinear(geom.Pt(0, 0), 0.1, 8, lambda), // different orient
+		array.NewLinear(geom.Pt(0, 0), 0, 4, lambda),   // different N
+		array.NewCircular(geom.Pt(0, 0), lambda/2, 8),  // different layout
+	}
+	for _, v := range variants {
+		if c.Table(v, lambda, 360) == t1 {
+			t.Errorf("distinct geometry %+v collided with base table", v)
+		}
+	}
+	if c.Table(a1, lambda*2, 360) == t1 || c.Table(a1, lambda, 180) == t1 {
+		t.Error("wavelength/bins variants collided with base table")
+	}
+	ninth := array.NewLinear(geom.Pt(0, 0), 0, 8, lambda)
+	ninth.NinthAntenna = true
+	if c.Table(ninth, lambda, 360) == t1 {
+		t.Error("ninth-antenna variant collided with base table")
+	}
+}
+
+func TestSteeringCacheConcurrent(t *testing.T) {
+	c := NewSteeringCache()
+	a := array.NewLinear(geom.Pt(0, 0), 0, 8, lambda)
+	var wg sync.WaitGroup
+	tables := make([]*SteeringTable, 16)
+	for i := range tables {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tables[i] = c.Table(a, lambda, 360)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(tables); i++ {
+		if tables[i] != tables[0] {
+			t.Fatal("concurrent lookups returned non-canonical tables")
+		}
+	}
+	if c.Len() != 1 {
+		t.Fatalf("cache holds %d tables, want 1", c.Len())
+	}
+}

@@ -121,10 +121,31 @@ func (n *APNode) Upload(ctx context.Context, w io.Writer) error {
 // (possibly several frames per AP).
 type LocateFunc func(clientID uint32, captures []Capture)
 
+// Dispatcher receives a client's grouped captures when a quorum of APs
+// has reported. Unlike LocateFunc — which the seed called inline on
+// the ingest path, serializing every location fix behind one lock —
+// a Dispatcher is expected to enqueue the work (e.g. onto the
+// localization engine's worker pool) and return promptly.
+type Dispatcher interface {
+	Dispatch(clientID uint32, captures []Capture)
+}
+
+// pendingShards is the number of independently locked groups the
+// per-client pending state is split across. Captures for different
+// clients arriving on different connections contend only when their
+// clients hash to the same shard.
+const pendingShards = 64
+
+type backendShard struct {
+	mu      sync.Mutex
+	pending map[uint32][]Capture // keyed by client
+}
+
 // Backend is the central ArrayTrack server: it ingests capture records
-// from every AP, groups them by client, and fires the localization
-// callback when a quorum of distinct APs has reported within the
-// grouping window.
+// from every AP, groups them by client, and hands the group to the
+// Dispatcher (or legacy Locate callback) when a quorum of distinct APs
+// has reported within the grouping window. Per-client state is sharded
+// so concurrent AP connections do not serialize on one lock.
 type Backend struct {
 	// Quorum is the number of distinct APs required before location
 	// synthesis runs.
@@ -133,29 +154,53 @@ type Backend struct {
 	// ≤100 ms rule of §2.4 applies downstream; the backend keeps a
 	// slightly generous margin).
 	Window time.Duration
-	// Locate is invoked with the grouped captures. Must be non-nil.
+	// Locate is invoked inline with the grouped captures when no
+	// Dispatcher is set. One of Locate or Dispatcher must be non-nil.
 	Locate LocateFunc
+	// Dispatcher, when non-nil, receives quorum flushes instead of
+	// Locate — the engine handoff path.
+	Dispatcher Dispatcher
 
-	mu      sync.Mutex
-	pending map[uint32][]Capture // keyed by client
+	shards [pendingShards]backendShard
 }
 
-// NewBackend returns a backend with the given quorum and window.
+// NewBackend returns a backend that runs locate inline on each quorum
+// flush (the seed behaviour).
 func NewBackend(quorum int, window time.Duration, locate LocateFunc) *Backend {
-	return &Backend{
-		Quorum:  quorum,
-		Window:  window,
-		Locate:  locate,
-		pending: make(map[uint32][]Capture),
+	b := &Backend{Quorum: quorum, Window: window, Locate: locate}
+	b.initShards()
+	return b
+}
+
+// NewBackendDispatcher returns a backend that hands quorum flushes to
+// d — typically an engine.CaptureSink — instead of localizing inline.
+func NewBackendDispatcher(quorum int, window time.Duration, d Dispatcher) *Backend {
+	b := &Backend{Quorum: quorum, Window: window, Dispatcher: d}
+	b.initShards()
+	return b
+}
+
+func (b *Backend) initShards() {
+	for i := range b.shards {
+		b.shards[i].pending = make(map[uint32][]Capture)
 	}
 }
 
+func (b *Backend) shard(clientID uint32) *backendShard {
+	// Fibonacci-hash the client ID so sequential IDs spread across
+	// shards instead of clustering mod a power of two.
+	return &b.shards[(clientID*2654435761)>>26%pendingShards]
+}
+
 // Ingest accepts one capture. When the client's pending set spans at
-// least Quorum distinct APs, the captures are handed to Locate and
-// cleared. Stale captures outside Window of the newest are dropped.
+// least Quorum distinct APs, the captures are flushed to the
+// Dispatcher (or Locate) and cleared. Stale captures outside Window of
+// the newest are dropped. Only the client's shard is locked, and the
+// flush itself runs outside the lock.
 func (b *Backend) Ingest(c *Capture) {
-	b.mu.Lock()
-	list := append(b.pending[c.ClientID], *c)
+	sh := b.shard(c.ClientID)
+	sh.mu.Lock()
+	list := append(sh.pending[c.ClientID], *c)
 	// Evict stale entries relative to the newest timestamp.
 	newest := list[0].Timestamp
 	for _, e := range list {
@@ -174,21 +219,30 @@ func (b *Backend) Ingest(c *Capture) {
 		aps[e.APID] = true
 	}
 	if len(aps) >= b.Quorum {
-		delete(b.pending, c.ClientID)
-		b.mu.Unlock()
-		b.Locate(c.ClientID, fresh)
+		delete(sh.pending, c.ClientID)
+		sh.mu.Unlock()
+		if b.Dispatcher != nil {
+			b.Dispatcher.Dispatch(c.ClientID, fresh)
+		} else {
+			b.Locate(c.ClientID, fresh)
+		}
 		return
 	}
-	b.pending[c.ClientID] = append([]Capture(nil), fresh...)
-	b.mu.Unlock()
+	sh.pending[c.ClientID] = append([]Capture(nil), fresh...)
+	sh.mu.Unlock()
 }
 
 // PendingClients returns the number of clients with partially grouped
 // captures (diagnostics).
 func (b *Backend) PendingClients() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return len(b.pending)
+	n := 0
+	for i := range b.shards {
+		sh := &b.shards[i]
+		sh.mu.Lock()
+		n += len(sh.pending)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // ServeConn reads capture records from r until EOF or error, ingesting

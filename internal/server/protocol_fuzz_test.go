@@ -1,0 +1,76 @@
+package server
+
+// Fuzzing for the wire decoder: the backend reads capture records from
+// whatever connects to its TCP port, so ReadCapture and ServeConn must
+// reject arbitrary garbage with an error — never a panic, and never an
+// unbounded allocation. `go test` runs the seed corpus; `go test
+// -fuzz=FuzzReadCapture ./internal/server` explores further.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"time"
+)
+
+// validRecord encodes one well-formed capture to seed the corpus.
+func validRecord(tb testing.TB) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	c := &Capture{
+		APID:      3,
+		ClientID:  7,
+		Seq:       1,
+		Timestamp: time.UnixMicro(1700000000000000).UTC(),
+		Streams: [][]complex128{
+			{complex(0.5, -0.25), complex(-1, 0.125)},
+			{complex(0.75, 0.5), complex(0.25, -0.75)},
+		},
+	}
+	if err := WriteCapture(&buf, c); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func FuzzReadCapture(f *testing.F) {
+	valid := validRecord(f)
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(valid[:8])                   // truncated header
+	f.Add(valid[:len(valid)-3])        // truncated payload
+	f.Add(bytes.Repeat([]byte{0}, 64)) // zero magic
+
+	// Plausible header fields with hostile dimensions.
+	hostile := append([]byte(nil), valid...)
+	binary.BigEndian.PutUint16(hostile[28:], 0xFFFF) // nAnt far over MaxAntennas
+	binary.BigEndian.PutUint16(hostile[30:], 0xFFFF) // nSamp far over MaxSamples
+	f.Add(hostile)
+	zeroDims := append([]byte(nil), valid...)
+	binary.BigEndian.PutUint16(zeroDims[28:], 0)
+	f.Add(zeroDims)
+	nanScale := append([]byte(nil), valid...)
+	binary.BigEndian.PutUint32(nanScale[24:], 0x7FC00000) // NaN scale
+	f.Add(nanScale)
+	f.Add(append(append([]byte(nil), valid...), valid...)) // two records
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := ReadCapture(bytes.NewReader(data))
+		if err == nil {
+			if c == nil {
+				t.Fatal("nil capture with nil error")
+			}
+			if len(c.Streams) == 0 || len(c.Streams) > MaxAntennas || len(c.Streams[0]) > MaxSamples {
+				t.Fatalf("decoded record violates protocol limits: %d antennas", len(c.Streams))
+			}
+			// Anything that decodes must re-encode.
+			if err := WriteCapture(&bytes.Buffer{}, c); err != nil {
+				t.Fatalf("decoded capture failed to re-encode: %v", err)
+			}
+		}
+		// The ingest path must swallow the same bytes without
+		// panicking, whatever the error outcome.
+		b := NewBackend(1000, time.Second, func(uint32, []Capture) {})
+		_ = b.ServeConn(bytes.NewReader(data))
+	})
+}
