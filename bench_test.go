@@ -275,7 +275,9 @@ func throughputRequests(b *testing.B, n int) []engine.Request {
 var throughputClientCounts = []int{1, 8, 64, 256}
 
 // BenchmarkLocateSerial is the seed path: one client after another,
-// one AP at a time, steering vectors recomputed for every bin.
+// one AP at a time, steering vectors recomputed for every bin, every
+// intermediate allocated per frame. Compare against
+// BenchmarkLocateStreaming for the workspace-path allocs/op reduction.
 func BenchmarkLocateSerial(b *testing.B) {
 	for _, n := range throughputClientCounts {
 		b.Run(fmt.Sprintf("clients-%d", n), func(b *testing.B) {
@@ -284,6 +286,39 @@ func BenchmarkLocateSerial(b *testing.B) {
 			cfg.GridCell = throughputOpt.GridCell
 			cfg.Steering = nil
 			cfg.APWorkers = 0
+			cfg.Workspaces = nil
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, q := range reqs {
+					if _, _, err := core.LocateClient(q.APs, q.Captures, q.Min, q.Max, cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "fixes/sec")
+		})
+	}
+}
+
+// BenchmarkLocateStreaming is the refactored steady-state path: the
+// same serial loop with the steering cache and the pooled workspaces —
+// what one engine worker runs per job. The allocs/op column versus
+// BenchmarkLocateSerial is the headline of this PR's workspace
+// refactor (≥3x fewer even against the cache-only variant).
+func BenchmarkLocateStreaming(b *testing.B) {
+	for _, n := range throughputClientCounts {
+		b.Run(fmt.Sprintf("clients-%d", n), func(b *testing.B) {
+			reqs := throughputRequests(b, n)
+			cfg := core.DefaultConfig(throughputTB.Wavelength)
+			cfg.GridCell = throughputOpt.GridCell
+			cfg.APWorkers = 0
+			// Warm caches and the workspace pool.
+			q0 := reqs[0]
+			if _, _, err := core.LocateClient(q0.APs, q0.Captures, q0.Min, q0.Max, cfg); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				for _, q := range reqs {
@@ -320,18 +355,17 @@ func BenchmarkLocateBatch(b *testing.B) {
 	}
 }
 
-// BenchmarkComputeSpectrum isolates the steering-cache win on the
+// BenchmarkComputeSpectrum isolates the per-spectrum wins on the
 // hottest single computation: one MUSIC spectrum for one frame.
+// "uncached" is the seed path; "cached" adds the steering table;
+// "workspace" adds the per-worker scratch state — the steady-state
+// engine path, allocating only the escaping spectrum.
 func BenchmarkComputeSpectrum(b *testing.B) {
 	reqs := throughputRequests(b, 1)
 	ap := reqs[0].APs[0]
 	streams := reqs[0].Captures[0][0].Streams[:ap.Array.N]
-	for _, cached := range []bool{false, true} {
-		name := "uncached"
-		if cached {
-			name = "cached"
-		}
-		b.Run(name, func(b *testing.B) {
+	for _, mode := range []string{"uncached", "cached", "workspace"} {
+		b.Run(mode, func(b *testing.B) {
 			opt := music.Options{
 				Wavelength:      throughputTB.Wavelength,
 				SmoothingGroups: 2,
@@ -339,13 +373,20 @@ func BenchmarkComputeSpectrum(b *testing.B) {
 				SampleOffset:    100,
 				ForwardBackward: true,
 			}
-			if cached {
+			var ws *music.Workspace
+			if mode != "uncached" {
 				opt.Steering = music.NewSteeringCache()
+			}
+			if mode == "workspace" {
+				ws = music.NewWorkspace()
+				if _, err := music.ComputeSpectrumWS(ws, ap.Array, streams, opt); err != nil {
+					b.Fatal(err)
+				}
 			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := music.ComputeSpectrum(ap.Array, streams, opt); err != nil {
+				if _, err := music.ComputeSpectrumWS(ws, ap.Array, streams, opt); err != nil {
 					b.Fatal(err)
 				}
 			}

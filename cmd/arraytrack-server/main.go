@@ -1,14 +1,17 @@
 // Command arraytrack-server is the central ArrayTrack backend (Figure
 // 1, right half): it accepts capture records from AP nodes over TCP,
-// groups them per client, and prints a location estimate once a quorum
-// of APs has reported.
+// groups them per client, localizes once a quorum of APs has reported,
+// and streams both the raw fix and the Kalman-smoothed track for every
+// client.
 //
 // AP identities 1–6 map to the simulated testbed's sites, so the server
 // knows each reporting array's position and orientation.
 //
 //	arraytrack-server -listen :7100 -quorum 3
 //
-// Pair with cmd/arraytrack-ap.
+// Engine and tracker counters are logged every -stats-every interval
+// and, on Unix, dumped on demand with SIGUSR1. Pair with
+// cmd/arraytrack-ap.
 package main
 
 import (
@@ -23,22 +26,39 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/music"
 	"repro/internal/server"
 	"repro/internal/testbed"
 )
+
+func logStats(eng *engine.Engine, backend *server.Backend) {
+	st := eng.Stats()
+	log.Printf("stats: submitted=%d completed=%d fixes=%d failures=%d rejected=%d tracked=%d gate_rejects=%d queued=%d pending_clients=%d workers=%d",
+		st.Submitted, st.Completed, st.Fixes, st.Failures, st.Rejected,
+		st.TrackedClients, st.TrackRejects, st.Queued, backend.PendingClients(), st.Workers)
+}
 
 func main() {
 	listen := flag.String("listen", ":7100", "TCP listen address")
 	quorum := flag.Int("quorum", 3, "distinct APs required before localizing")
 	window := flag.Duration("window", time.Second, "capture grouping window")
 	workers := flag.Int("workers", 0, "localization worker pool size (0 = GOMAXPROCS)")
+	estimator := flag.String("estimator", "music", "AoA estimator: music, bartlett, or baseline")
+	trackTTL := flag.Duration("track-ttl", 30*time.Second, "evict a client's track after this much silence")
+	statsEvery := flag.Duration("stats-every", 30*time.Second, "period for the stats log line (0 disables)")
 	flag.Parse()
 
 	tb := testbed.New()
 	capOpt := testbed.DefaultCaptureOptions()
 	cfg := core.DefaultConfig(tb.Wavelength)
+	est, err := music.EstimatorByName(*estimator)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.Estimator = est
 
-	eng := engine.New(engine.Options{Workers: *workers, Config: cfg})
+	tracker := engine.NewTracker(engine.TrackerOptions{TTL: *trackTTL})
+	eng := engine.New(engine.Options{Workers: *workers, Config: cfg, Tracker: tracker})
 	defer eng.Close()
 
 	sink := &engine.CaptureSink{
@@ -61,6 +81,14 @@ func main() {
 			fmt.Printf("client %d located at %v  (%d APs)\n",
 				r.ClientID, r.Pos, len(r.Spectra))
 		},
+		OnTrack: func(u engine.TrackUpdate) {
+			status := "tracked"
+			if !u.Accepted {
+				status = "gated"
+			}
+			fmt.Printf("client %d %s at (%.2f,%.2f) vel (%.2f,%.2f) m/s  raw (%.2f,%.2f)\n",
+				u.ClientID, status, u.Smoothed.X, u.Smoothed.Y, u.Vel.X, u.Vel.Y, u.Raw.X, u.Raw.Y)
+		},
 	}
 	backend := server.NewBackendDispatcher(*quorum, *window, sink)
 
@@ -68,10 +96,27 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("ArrayTrack server listening on %s (quorum %d)", l.Addr(), *quorum)
+	log.Printf("ArrayTrack server listening on %s (quorum %d, estimator %s)", l.Addr(), *quorum, est.Name())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if *statsEvery > 0 {
+		go func() {
+			t := time.NewTicker(*statsEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					logStats(eng, backend)
+				}
+			}
+		}()
+	}
+	notifyStatsSignal(ctx, func() { logStats(eng, backend) })
+
 	if err := backend.Serve(ctx, l); err != nil && ctx.Err() == nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package main
+
+import "context"
+
+// notifyStatsSignal is a no-op on platforms without SIGUSR1; the
+// periodic -stats-every log line still runs.
+func notifyStatsSignal(context.Context, func()) {}

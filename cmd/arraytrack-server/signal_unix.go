@@ -1,0 +1,28 @@
+//go:build unix
+
+package main
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// notifyStatsSignal dumps engine/tracker stats whenever the process
+// receives SIGUSR1 (kill -USR1 <pid>).
+func notifyStatsSignal(ctx context.Context, dump func()) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGUSR1)
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				signal.Stop(ch)
+				return
+			case <-ch:
+				dump()
+			}
+		}
+	}()
+}

@@ -7,13 +7,21 @@
 //	atbench -exp fig13          # one experiment
 //	atbench -exp all            # everything (several minutes)
 //	atbench -exp fig15 -fast    # capped sweep for a quick look
+//	atbench -exp perf -json bench.json   # machine-readable perf rows
 //	atbench -list               # enumerate experiments
+//
+// With -json <path>, every run experiment's headline metrics
+// (fixes/sec, latency percentiles, allocs/op, tracking RMSE, …) are
+// also written as a JSON document — the repo's perf trajectory format,
+// uploaded as a CI artifact so numbers are diffable across commits.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/testbed"
@@ -105,6 +113,23 @@ var experiments = []experiment{
 		}
 		return tb.RunThroughput(opt)
 	}},
+	{"tracking", "roaming client: raw fixes vs Kalman-smoothed track", func(tb *testbed.Testbed, fast bool) (*testbed.Report, error) {
+		opt := testbed.DefaultTrackingOptions()
+		if fast {
+			opt.Steps = 12
+			opt.Sites = []int{0, 1, 3, 5}
+		}
+		r, _, err := tb.RunTracking(opt)
+		return r, err
+	}},
+	{"perf", "workspace-path allocs/op and per-fix latency", func(tb *testbed.Testbed, fast bool) (*testbed.Report, error) {
+		opt := testbed.DefaultPerfOptions()
+		if fast {
+			opt.Clients = 8
+			opt.AllocRuns = 10
+		}
+		return tb.RunPerf(opt)
+	}},
 	{"ablation", "pipeline ablations", func(tb *testbed.Testbed, fast bool) (*testbed.Report, error) {
 		opt := accuracyOpts(fast)
 		opt.APCounts = []int{3}
@@ -116,10 +141,43 @@ var experiments = []experiment{
 	}},
 }
 
+// jsonExperiment is one experiment's machine-readable record.
+type jsonExperiment struct {
+	ID      string           `json:"id"`
+	Title   string           `json:"title"`
+	Seconds float64          `json:"seconds"`
+	Metrics []testbed.Metric `json:"metrics,omitempty"`
+}
+
+// jsonDoc is the -json output: the BENCH_*.json perf-trajectory
+// format.
+type jsonDoc struct {
+	GeneratedUnix int64            `json:"generated_unix"`
+	GoVersion     string           `json:"go_version"`
+	GOMAXPROCS    int              `json:"gomaxprocs"`
+	Fast          bool             `json:"fast"`
+	Experiments   []jsonExperiment `json:"experiments"`
+}
+
+func writeJSON(path string, doc jsonDoc) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 func main() {
 	exp := flag.String("exp", "", "experiment id (or 'all')")
 	fast := flag.Bool("fast", false, "cap sweep sizes for a quick run")
 	list := flag.Bool("list", false, "list experiments")
+	jsonPath := flag.String("json", "", "also write run results as machine-readable JSON to this path")
 	flag.Parse()
 
 	if *list || *exp == "" {
@@ -134,6 +192,12 @@ func main() {
 	}
 
 	tb := testbed.New()
+	doc := jsonDoc{
+		GeneratedUnix: time.Now().Unix(),
+		GoVersion:     runtime.Version(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Fast:          *fast,
+	}
 	ran := false
 	for _, e := range experiments {
 		if *exp != "all" && *exp != e.id {
@@ -146,11 +210,25 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.id, err)
 			os.Exit(1)
 		}
+		elapsed := time.Since(start)
 		fmt.Print(r.String())
-		fmt.Printf("(%s in %v)\n\n", e.id, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s in %v)\n\n", e.id, elapsed.Round(time.Millisecond))
+		doc.Experiments = append(doc.Experiments, jsonExperiment{
+			ID:      r.ID,
+			Title:   r.Title,
+			Seconds: elapsed.Seconds(),
+			Metrics: r.Metrics,
+		})
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
 		os.Exit(2)
+	}
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, doc); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d experiments)\n", *jsonPath, len(doc.Experiments))
 	}
 }

@@ -1,0 +1,252 @@
+package core
+
+// The streaming localization pipeline. The seed's LocateClient was one
+// monolithic function: every stage inlined, every intermediate
+// allocated per call. This file restructures it into explicit stages —
+//
+//	snapshots → correlation → subspace → spectrum   (per frame, via the
+//	                                                 injected Estimator)
+//	suppression → weighting → symmetry removal      (per AP, across frames)
+//	synthesis                                       (across APs, Eq. 8)
+//
+// — with every stage threading a music.Workspace drawn from a
+// sync.Pool, so the steady-state hot path allocates only what escapes
+// (the spectra and the fix). The estimator is pluggable
+// (Config.Estimator); the math is bit-identical to the seed for the
+// default MUSIC estimator, pinned by equivalence tests.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/array"
+	"repro/internal/geom"
+	"repro/internal/music"
+)
+
+// Pipeline binds a Config to its resolved estimator and workspace
+// pool. It is cheap to construct and safe for concurrent use: every
+// public method acquires its own workspace from the pool.
+type Pipeline struct {
+	cfg  Config
+	est  music.Estimator
+	pool *music.WorkspacePool
+}
+
+// NewPipeline resolves the config's estimator (nil means MUSIC) and
+// workspace pool (nil means allocate per call, the seed behaviour).
+func NewPipeline(cfg Config) *Pipeline {
+	est := cfg.Estimator
+	if est == nil {
+		est = music.MUSICEstimator
+	}
+	return &Pipeline{cfg: cfg, est: est, pool: cfg.Workspaces}
+}
+
+// Estimator returns the pipeline's resolved estimator.
+func (p *Pipeline) Estimator() music.Estimator { return p.est }
+
+// musicOptions translates the pipeline config into per-frame spectrum
+// options for the given AP.
+func (p *Pipeline) musicOptions(ap *AP) music.Options {
+	opt := music.Options{
+		Wavelength:          p.cfg.Wavelength,
+		SmoothingGroups:     p.cfg.SmoothingGroups,
+		SignalThresholdFrac: p.cfg.SignalThresholdFrac,
+		MaxSamples:          p.cfg.MaxSamples,
+		SampleOffset:        p.cfg.SampleOffset,
+		ForwardBackward:     p.cfg.ForwardBackward,
+		Steering:            p.cfg.Steering,
+	}
+	if ap.Calibration != nil {
+		opt.CalibrationOffsets = ap.Calibration
+	}
+	return opt
+}
+
+// FrameSpectrum is the per-frame stage chain (snapshots → correlation
+// → subspace → spectrum), delegated to the estimator with the given
+// workspace (nil allocates).
+func (p *Pipeline) FrameSpectrum(ws *music.Workspace, ap *AP, frame FrameCapture) (*music.Spectrum, error) {
+	streams, err := frameRowStreams(ap, frame)
+	if err != nil {
+		return nil, fmt.Errorf("core: frame %w", err)
+	}
+	return p.est.Spectrum(ws, ap.Array, streams, p.musicOptions(ap))
+}
+
+// frameRowStreams validates a frame against the AP's row size and
+// returns the main-row streams. The error is unprefixed; callers add
+// their own context.
+func frameRowStreams(ap *AP, frame FrameCapture) ([][]complex128, error) {
+	nRow := ap.Array.N
+	if len(frame.Streams) < nRow {
+		return nil, fmt.Errorf("has %d streams, need %d row antennas", len(frame.Streams), nRow)
+	}
+	return frame.Streams[:nRow], nil
+}
+
+// frameSpectrumIndexed is FrameSpectrum with the seed's per-frame
+// error messages (no double package prefix when wrapped with the frame
+// index).
+func (p *Pipeline) frameSpectrumIndexed(ws *music.Workspace, ap *AP, frame FrameCapture, i int) (*music.Spectrum, error) {
+	streams, err := frameRowStreams(ap, frame)
+	if err != nil {
+		return nil, fmt.Errorf("core: frame %d %w", i, err)
+	}
+	s, err := p.est.Spectrum(ws, ap.Array, streams, p.musicOptions(ap))
+	if err != nil {
+		return nil, fmt.Errorf("core: frame %d: %w", i, err)
+	}
+	return s, nil
+}
+
+// CombineAP is the cross-frame stage for one AP: multipath suppression
+// over the frame spectra (§2.4), geometry weighting (§2.3.3), and
+// ninth-antenna symmetry removal (§2.3.4). frames supplies the raw
+// streams symmetry removal needs; spectra are the FrameSpectrum
+// outputs in frame order. The returned spectrum is freshly allocated
+// and normalized.
+func (p *Pipeline) CombineAP(ws *music.Workspace, ap *AP, frames []FrameCapture, spectra []*music.Spectrum) (*music.Spectrum, error) {
+	if len(spectra) == 0 {
+		return nil, errors.New("core: no spectra to combine")
+	}
+	var out *music.Spectrum
+	if p.cfg.UseSuppression && len(spectra) >= 2 {
+		// Group at most three spectra, per step 1 of the algorithm.
+		group := spectra
+		if len(group) > 3 {
+			group = group[:3]
+		}
+		out = SuppressMultipath(group, p.cfg.PeakMatchTolDeg)
+	} else {
+		out = spectra[0].Clone()
+	}
+
+	if p.cfg.UseWeighting {
+		out.ApplyGeometryWeighting(ap.Array.Orient)
+	}
+
+	if p.cfg.UseSymmetryRemoval && ap.Array.NinthAntenna &&
+		len(frames) > 0 && len(frames[0].Streams) >= ap.Array.NumElements() {
+		full := frames[0].Streams[:ap.Array.NumElements()]
+		snaps := music.SnapshotsAtWS(ws, full, p.cfg.SampleOffset, p.cfg.MaxSamples)
+		if ap.Calibration != nil {
+			for _, s := range snaps {
+				array.CorrectOffsets(s, ap.Calibration)
+			}
+		}
+		rFull, err := music.CorrelationMatrixWS(ws, snaps)
+		if err != nil {
+			return nil, err
+		}
+		music.SymmetryRemovalCached(out, ap.Array, rFull, p.cfg.Wavelength, p.cfg.Steering)
+	}
+
+	out.Normalize()
+	return out, nil
+}
+
+// ProcessAP runs the per-AP half of the pipeline (frame spectra, then
+// the combine stage) with one workspace drawn from the pool.
+func (p *Pipeline) ProcessAP(ap *AP, frames []FrameCapture) (*music.Spectrum, error) {
+	if len(frames) == 0 {
+		return nil, errors.New("core: no frames captured")
+	}
+	ws := p.pool.Get()
+	defer p.pool.Put(ws)
+	return p.processAP(ws, ap, frames)
+}
+
+func (p *Pipeline) processAP(ws *music.Workspace, ap *AP, frames []FrameCapture) (*music.Spectrum, error) {
+	spectra := make([]*music.Spectrum, 0, len(frames))
+	for i, f := range frames {
+		s, err := p.frameSpectrumIndexed(ws, ap, f, i)
+		if err != nil {
+			return nil, err
+		}
+		spectra = append(spectra, s)
+	}
+	return p.CombineAP(ws, ap, frames, spectra)
+}
+
+// Synthesize is the final stage: the Eq. 8 product over AP spectra,
+// grid search plus hill climbing (§2.5).
+func (p *Pipeline) Synthesize(specs []APSpectrum, min, max geom.Point) (geom.Point, error) {
+	cell := p.cfg.GridCell
+	if cell <= 0 {
+		cell = 0.10
+	}
+	pos, _, err := Localize(specs, min, max, cell)
+	return pos, err
+}
+
+// Locate runs the complete pipeline for one client: per-AP processing
+// of every contributing AP (fanned across Config.APWorkers when >1),
+// then synthesis. captures[i] holds the frames AP i overheard; APs
+// with no captures are skipped. At least one AP must contribute.
+func (p *Pipeline) Locate(aps []*AP, captures [][]FrameCapture, min, max geom.Point) (geom.Point, []APSpectrum, error) {
+	if len(aps) != len(captures) {
+		return geom.Point{}, nil, errors.New("core: captures must align with APs")
+	}
+	var contrib []int
+	for i := range aps {
+		if len(captures[i]) > 0 {
+			contrib = append(contrib, i)
+		}
+	}
+	if len(contrib) == 0 {
+		return geom.Point{}, nil, errors.New("core: no AP overheard the client")
+	}
+
+	// Per-AP processing is independent; fan it out over a bounded
+	// worker pool when the config allows. Results land in AP-indexed
+	// slots, so ordering — and therefore the synthesis output — is
+	// identical to the serial path. Each worker holds its own
+	// workspace for its whole run.
+	spectra := make([]*music.Spectrum, len(aps))
+	errs := make([]error, len(aps))
+	workers := p.cfg.APWorkers
+	if workers > len(contrib) {
+		workers = len(contrib)
+	}
+	if workers > 1 {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ws := p.pool.Get()
+				defer p.pool.Put(ws)
+				for i := range idx {
+					spectra[i], errs[i] = p.processAP(ws, aps[i], captures[i])
+				}
+			}()
+		}
+		for _, i := range contrib {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	} else {
+		ws := p.pool.Get()
+		for _, i := range contrib {
+			if spectra[i], errs[i] = p.processAP(ws, aps[i], captures[i]); errs[i] != nil {
+				break
+			}
+		}
+		p.pool.Put(ws)
+	}
+
+	specs := make([]APSpectrum, 0, len(contrib))
+	for _, i := range contrib {
+		if errs[i] != nil {
+			return geom.Point{}, nil, fmt.Errorf("core: AP %d: %w", i, errs[i])
+		}
+		specs = append(specs, APSpectrum{Pos: aps[i].Array.Pos, Spectrum: spectra[i]})
+	}
+	pos, err := p.Synthesize(specs, min, max)
+	return pos, specs, err
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/music"
+)
+
+// TestPipelineWorkspaceEquivalence pins the refactor's contract: the
+// pooled-workspace pipeline must produce bit-identical spectra and the
+// identical fix versus the allocating path, including under per-AP
+// fan-out.
+func TestPipelineWorkspaceEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	client := geom.Pt(6.5, 7.1)
+	aps, captures, plan := buildTestbedAPs(t, client, 3, 3, rng)
+
+	alloc := DefaultConfig(lambda)
+	alloc.Workspaces = nil
+	alloc.APWorkers = 0
+
+	pooled := DefaultConfig(lambda)
+	pooled.Workspaces = music.NewWorkspacePool()
+
+	posA, specsA, err := LocateClient(aps, captures, plan.Min, plan.Max, alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	posP, specsP, err := LocateClient(aps, captures, plan.Min, plan.Max, pooled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if posA != posP {
+		t.Fatalf("fix differs: allocating %v vs pooled %v", posA, posP)
+	}
+	if len(specsA) != len(specsP) {
+		t.Fatalf("spectra count differs")
+	}
+	for i := range specsA {
+		for b := range specsA[i].Spectrum.P {
+			if specsA[i].Spectrum.P[b] != specsP[i].Spectrum.P[b] {
+				t.Fatalf("AP %d bin %d differs (not bit-identical)", i, b)
+			}
+		}
+	}
+}
+
+// TestPipelineStagesComposeToProcessAP: running the explicit stages by
+// hand must equal the packaged ProcessAP.
+func TestPipelineStagesComposeToProcessAP(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	client := geom.Pt(11.5, 5.0)
+	aps, captures, plan := buildTestbedAPs(t, client, 2, 3, rng)
+
+	cfg := DefaultConfig(lambda)
+	p := NewPipeline(cfg)
+
+	want, err := ProcessAP(aps[0], captures[0], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ws := music.NewWorkspace()
+	var spectra []*music.Spectrum
+	for _, f := range captures[0] {
+		s, err := p.FrameSpectrum(ws, aps[0], f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spectra = append(spectra, s)
+	}
+	got, err := p.CombineAP(ws, aps[0], captures[0], spectra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := range want.P {
+		if got.P[b] != want.P[b] {
+			t.Fatalf("bin %d differs between staged and packaged path", b)
+		}
+	}
+
+	// And synthesis over the staged spectra must agree with Locate.
+	wantPos, specs, err := LocateClient(aps, captures, plan.Min, plan.Max, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotPos, err := p.Synthesize(specs, plan.Min, plan.Max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantPos != gotPos {
+		t.Fatalf("synthesis differs: %v vs %v", wantPos, gotPos)
+	}
+}
+
+// TestPipelineEstimatorInjection: non-default estimators must run end
+// to end, and the estimator must actually be consulted (spectra from
+// Bartlett differ from MUSIC's).
+func TestPipelineEstimatorInjection(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	client := geom.Pt(9.0, 6.0)
+	aps, captures, plan := buildTestbedAPs(t, client, 3, 3, rng)
+
+	for _, name := range music.EstimatorNames() {
+		est, err := music.EstimatorByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig(lambda)
+		cfg.Estimator = est
+		pos, specs, err := LocateClient(aps, captures, plan.Min, plan.Max, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(specs) != 3 {
+			t.Fatalf("%s: got %d spectra", name, len(specs))
+		}
+		// All estimators should localize a strong line-of-sight client
+		// to within a loose bound on this benign fixture.
+		if d := pos.Dist(client); d > 3.0 {
+			t.Errorf("%s: error %.2f m, want < 3 m", name, d)
+		}
+	}
+
+	musicCfg := DefaultConfig(lambda)
+	_, musicSpecs, err := LocateClient(aps, captures, plan.Min, plan.Max, musicCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bartCfg := DefaultConfig(lambda)
+	bartCfg.Estimator = music.BartlettEstimator
+	_, bartSpecs, err := LocateClient(aps, captures, plan.Min, plan.Max, bartCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for b := range musicSpecs[0].Spectrum.P {
+		if musicSpecs[0].Spectrum.P[b] != bartSpecs[0].Spectrum.P[b] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("Bartlett estimator produced MUSIC's spectrum — injection is not wired through")
+	}
+}

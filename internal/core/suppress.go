@@ -54,10 +54,16 @@ func SuppressMultipath(spectra []*music.Spectrum, tolDeg float64) *music.Spectru
 		tolDeg = DefaultPeakMatchTolDeg
 	}
 	out := primary.Clone()
+	// Each spectrum's peaks are found once; the per-primary-peak loop
+	// only scans the cached lists.
+	otherPeaks := make([][]music.Peak, len(spectra)-1)
+	for i, other := range spectra[1:] {
+		otherPeaks[i] = other.Peaks(DefaultPeakFloor)
+	}
 	for _, pk := range primary.Peaks(DefaultPeakFloor) {
 		stable := false
-		for _, other := range spectra[1:] {
-			if hasMatchingPeak(other, pk.Theta, tolDeg) {
+		for _, ops := range otherPeaks {
+			if matchInPeaks(ops, pk.Theta, tolDeg) {
 				stable = true
 				break
 			}
@@ -70,7 +76,11 @@ func SuppressMultipath(spectra []*music.Spectrum, tolDeg float64) *music.Spectru
 }
 
 func hasMatchingPeak(s *music.Spectrum, theta, tolDeg float64) bool {
-	for _, pk := range s.Peaks(DefaultPeakFloor) {
+	return matchInPeaks(s.Peaks(DefaultPeakFloor), theta, tolDeg)
+}
+
+func matchInPeaks(peaks []music.Peak, theta, tolDeg float64) bool {
+	for _, pk := range peaks {
 		if geom.AngleDiff(pk.Theta, theta) <= geom.Rad(tolDeg) {
 			return true
 		}

@@ -60,8 +60,12 @@ func ComputeHeatmap(aps []APSpectrum, min, max geom.Point, cell float64) (*Heatm
 	nx := int(math.Floor((max.X-min.X)/cell)) + 1
 	ny := int(math.Floor((max.Y-min.Y)/cell)) + 1
 	h := &Heatmap{Min: min, Cell: cell, Vals: make([][]float64, ny)}
+	// One flat backing array for all rows: the heatmap is the biggest
+	// single allocation on the synthesis path, and row-at-a-time
+	// allocation made it ny+1 allocations instead of two.
+	flat := make([]float64, nx*ny)
 	for iy := 0; iy < ny; iy++ {
-		h.Vals[iy] = make([]float64, nx)
+		h.Vals[iy] = flat[iy*nx : (iy+1)*nx : (iy+1)*nx]
 		for ix := 0; ix < nx; ix++ {
 			h.Vals[iy][ix] = Likelihood(h.CellCenter(ix, iy), aps)
 		}

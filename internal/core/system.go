@@ -1,10 +1,7 @@
 package core
 
 import (
-	"errors"
-	"fmt"
 	"runtime"
-	"sync"
 
 	"repro/internal/array"
 	"repro/internal/geom"
@@ -48,6 +45,14 @@ type Config struct {
 	// APs concurrently. 0 or 1 processes APs serially; DefaultConfig
 	// sets GOMAXPROCS. Results are deterministic regardless.
 	APWorkers int
+	// Estimator is the pluggable frame→spectrum stage (nil means
+	// MUSIC, the paper's pipeline). See music.EstimatorByName.
+	Estimator music.Estimator
+	// Workspaces supplies per-worker scratch state for the spectrum
+	// stages. nil allocates every intermediate per call (the seed
+	// behaviour); DefaultConfig wires in the process-wide pool.
+	// Results are bit-identical either way.
+	Workspaces *music.WorkspacePool
 }
 
 // DefaultConfig returns the full ArrayTrack pipeline with the paper's
@@ -67,6 +72,7 @@ func DefaultConfig(wavelength float64) Config {
 		GridCell:            0.10,
 		Steering:            music.SharedSteeringCache(),
 		APWorkers:           runtime.GOMAXPROCS(0),
+		Workspaces:          music.SharedWorkspacePool(),
 	}
 }
 
@@ -101,139 +107,19 @@ type FrameCapture struct {
 
 // ProcessAP runs the per-AP half of the pipeline (Figure 1, server
 // side) on one or more frame captures from the same client: AoA
-// spectrum per frame, multipath suppression across frames, geometry
-// weighting, and symmetry removal. It returns the final spectrum for
-// synthesis.
+// spectrum per frame (via the configured estimator), multipath
+// suppression across frames, geometry weighting, and symmetry removal.
+// It returns the final spectrum for synthesis. See Pipeline for the
+// explicit stage structure.
 func ProcessAP(ap *AP, frames []FrameCapture, cfg Config) (*music.Spectrum, error) {
-	if len(frames) == 0 {
-		return nil, errors.New("core: no frames captured")
-	}
-	opt := music.Options{
-		Wavelength:          cfg.Wavelength,
-		SmoothingGroups:     cfg.SmoothingGroups,
-		SignalThresholdFrac: cfg.SignalThresholdFrac,
-		MaxSamples:          cfg.MaxSamples,
-		SampleOffset:        cfg.SampleOffset,
-		ForwardBackward:     cfg.ForwardBackward,
-		Steering:            cfg.Steering,
-	}
-	if ap.Calibration != nil {
-		opt.CalibrationOffsets = ap.Calibration
-	}
-
-	nRow := ap.Array.N
-	spectra := make([]*music.Spectrum, 0, len(frames))
-	for i, f := range frames {
-		if len(f.Streams) < nRow {
-			return nil, fmt.Errorf("core: frame %d has %d streams, need %d row antennas", i, len(f.Streams), nRow)
-		}
-		s, err := music.ComputeSpectrum(ap.Array, f.Streams[:nRow], opt)
-		if err != nil {
-			return nil, fmt.Errorf("core: frame %d: %w", i, err)
-		}
-		spectra = append(spectra, s)
-	}
-
-	var out *music.Spectrum
-	if cfg.UseSuppression && len(spectra) >= 2 {
-		// Group at most three spectra, per step 1 of the algorithm.
-		group := spectra
-		if len(group) > 3 {
-			group = group[:3]
-		}
-		out = SuppressMultipath(group, cfg.PeakMatchTolDeg)
-	} else {
-		out = spectra[0].Clone()
-	}
-
-	if cfg.UseWeighting {
-		out.ApplyGeometryWeighting(ap.Array.Orient)
-	}
-
-	if cfg.UseSymmetryRemoval && ap.Array.NinthAntenna &&
-		len(frames[0].Streams) >= ap.Array.NumElements() {
-		full := frames[0].Streams[:ap.Array.NumElements()]
-		snaps := music.SnapshotsAt(full, cfg.SampleOffset, cfg.MaxSamples)
-		if ap.Calibration != nil {
-			for _, s := range snaps {
-				array.CorrectOffsets(s, ap.Calibration)
-			}
-		}
-		rFull, err := music.CorrelationMatrix(snaps)
-		if err != nil {
-			return nil, err
-		}
-		music.SymmetryRemovalCached(out, ap.Array, rFull, cfg.Wavelength, cfg.Steering)
-	}
-
-	out.Normalize()
-	return out, nil
+	return NewPipeline(cfg).ProcessAP(ap, frames)
 }
 
 // LocateClient runs the complete backend for one client: per-AP
 // processing of that client's frames at every AP, then synthesis over
 // the given area. captures[i] holds the frames AP i overheard; APs
-// with no captures are skipped. At least one AP must contribute.
+// with no captures are skipped. At least one AP must contribute. See
+// Pipeline for the explicit stage structure.
 func LocateClient(aps []*AP, captures [][]FrameCapture, min, max geom.Point, cfg Config) (geom.Point, []APSpectrum, error) {
-	if len(aps) != len(captures) {
-		return geom.Point{}, nil, errors.New("core: captures must align with APs")
-	}
-	var contrib []int
-	for i := range aps {
-		if len(captures[i]) > 0 {
-			contrib = append(contrib, i)
-		}
-	}
-	if len(contrib) == 0 {
-		return geom.Point{}, nil, errors.New("core: no AP overheard the client")
-	}
-
-	// Per-AP processing is independent; fan it out over a bounded
-	// worker pool when the config allows. Results land in AP-indexed
-	// slots, so ordering — and therefore the synthesis output — is
-	// identical to the serial path.
-	spectra := make([]*music.Spectrum, len(aps))
-	errs := make([]error, len(aps))
-	workers := cfg.APWorkers
-	if workers > len(contrib) {
-		workers = len(contrib)
-	}
-	if workers > 1 {
-		idx := make(chan int)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range idx {
-					spectra[i], errs[i] = ProcessAP(aps[i], captures[i], cfg)
-				}
-			}()
-		}
-		for _, i := range contrib {
-			idx <- i
-		}
-		close(idx)
-		wg.Wait()
-	} else {
-		for _, i := range contrib {
-			if spectra[i], errs[i] = ProcessAP(aps[i], captures[i], cfg); errs[i] != nil {
-				break
-			}
-		}
-	}
-
-	specs := make([]APSpectrum, 0, len(contrib))
-	for _, i := range contrib {
-		if errs[i] != nil {
-			return geom.Point{}, nil, fmt.Errorf("core: AP %d: %w", i, errs[i])
-		}
-		specs = append(specs, APSpectrum{Pos: aps[i].Array.Pos, Spectrum: spectra[i]})
-	}
-	cell := cfg.GridCell
-	if cell <= 0 {
-		cell = 0.10
-	}
-	pos, _, err := Localize(specs, min, max, cell)
-	return pos, specs, err
+	return NewPipeline(cfg).Locate(aps, captures, min, max)
 }

@@ -13,6 +13,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/geom"
@@ -30,6 +31,9 @@ type Request struct {
 	Captures [][]core.FrameCapture
 	// Min, Max bound the synthesis search area.
 	Min, Max geom.Point
+	// Time is the capture timestamp, used by the tracker to advance
+	// the client's Kalman state. Zero means the tracker's clock.
+	Time time.Time
 }
 
 // Result is one location fix (or failure) for a client.
@@ -38,6 +42,9 @@ type Result struct {
 	Pos      geom.Point
 	Spectra  []core.APSpectrum
 	Err      error
+	// Track is the smoothed track update for this fix when the engine
+	// has a Tracker; nil otherwise (and on failures).
+	Track *TrackUpdate
 }
 
 // Options configures an Engine.
@@ -52,14 +59,30 @@ type Options struct {
 	// every core busy across clients, so per-AP fan-out inside a
 	// worker would only oversubscribe the machine.
 	Config core.Config
+	// Tracker, when non-nil, folds every successful fix into the
+	// client's Kalman track; results carry the smoothed update and
+	// subscribers stream them (Tracker.Subscribe).
+	Tracker *Tracker
 }
 
 // Stats is a snapshot of engine counters.
 type Stats struct {
+	// Submitted is the number of jobs accepted into the queue.
+	Submitted uint64
+	// Completed is the number of jobs finished (fixes + failures).
+	Completed uint64
 	// Fixes is the number of successful localizations completed.
 	Fixes uint64
 	// Failures is the number of jobs that returned an error.
 	Failures uint64
+	// Rejected is the number of submissions refused (engine closed).
+	Rejected uint64
+	// TrackedClients is the number of live client tracks (0 without a
+	// tracker).
+	TrackedClients int
+	// TrackRejects is the cumulative number of fixes the tracker's
+	// outlier gate discarded (0 without a tracker).
+	TrackRejects uint64
 	// Workers is the pool size.
 	Workers int
 	// Queued is the instantaneous queue depth.
@@ -74,14 +97,17 @@ type job struct {
 // Engine runs localization jobs on a fixed worker pool. All methods
 // are safe for concurrent use.
 type Engine struct {
-	cfg      core.Config
-	jobs     chan job
-	wg       sync.WaitGroup
-	mu       sync.RWMutex
-	closed   bool
-	fixes    atomic.Uint64
-	failures atomic.Uint64
-	workers  int
+	cfg       core.Config
+	tracker   *Tracker
+	jobs      chan job
+	wg        sync.WaitGroup
+	mu        sync.RWMutex
+	closed    bool
+	submitted atomic.Uint64
+	rejected  atomic.Uint64
+	fixes     atomic.Uint64
+	failures  atomic.Uint64
+	workers   int
 }
 
 // New starts an engine with opt.Workers workers. Close it when done.
@@ -100,6 +126,7 @@ func New(opt Options) *Engine {
 	}
 	e := &Engine{
 		cfg:     cfg,
+		tracker: opt.Tracker,
 		jobs:    make(chan job, queue),
 		workers: workers,
 	}
@@ -119,12 +146,17 @@ func (e *Engine) worker() {
 
 func (e *Engine) run(req Request) Result {
 	pos, specs, err := core.LocateClient(req.APs, req.Captures, req.Min, req.Max, e.cfg)
+	r := Result{ClientID: req.ClientID, Pos: pos, Spectra: specs, Err: err}
 	if err != nil {
 		e.failures.Add(1)
-	} else {
-		e.fixes.Add(1)
+		return r
 	}
-	return Result{ClientID: req.ClientID, Pos: pos, Spectra: specs, Err: err}
+	e.fixes.Add(1)
+	if e.tracker != nil {
+		upd := e.tracker.Observe(req.ClientID, pos, req.Time)
+		r.Track = &upd
+	}
+	return r
 }
 
 // Submit enqueues a job; done is invoked exactly once, from a worker
@@ -134,11 +166,19 @@ func (e *Engine) Submit(req Request, done func(Result)) error {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if e.closed {
+		e.rejected.Add(1)
 		return ErrClosed
 	}
+	// Count before the send: a worker can dequeue and complete the job
+	// the instant it lands, and Stats must never show Completed >
+	// Submitted.
+	e.submitted.Add(1)
 	e.jobs <- job{req: req, done: done}
 	return nil
 }
+
+// Tracker returns the engine's tracker (nil when tracking is off).
+func (e *Engine) Tracker() *Tracker { return e.tracker }
 
 // Locate runs one job synchronously through the pool.
 func (e *Engine) Locate(req Request) Result {
@@ -172,12 +212,23 @@ func (e *Engine) LocateBatch(reqs []Request) []Result {
 
 // Stats returns a snapshot of the engine's counters.
 func (e *Engine) Stats() Stats {
-	return Stats{
-		Fixes:    e.fixes.Load(),
-		Failures: e.failures.Load(),
-		Workers:  e.workers,
-		Queued:   len(e.jobs),
+	fixes := e.fixes.Load()
+	failures := e.failures.Load()
+	s := Stats{
+		Submitted: e.submitted.Load(),
+		Completed: fixes + failures,
+		Fixes:     fixes,
+		Failures:  failures,
+		Rejected:  e.rejected.Load(),
+		Workers:   e.workers,
+		Queued:    len(e.jobs),
 	}
+	if e.tracker != nil {
+		ts := e.tracker.Stats()
+		s.TrackedClients = ts.Clients
+		s.TrackRejects = ts.GateRejects
+	}
+	return s
 }
 
 // Close stops accepting jobs, drains the queue, and waits for the

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"errors"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/geom"
@@ -26,6 +27,10 @@ type CaptureSink struct {
 	Min, Max geom.Point
 	// OnResult receives every fix or failure; nil discards results.
 	OnResult func(Result)
+	// OnTrack receives the smoothed track update for every successful
+	// fix when the engine runs a Tracker; nil discards them. It fires
+	// in addition to OnResult (whose Result carries the same update).
+	OnTrack func(TrackUpdate)
 }
 
 // Dispatch groups a flushed capture set per AP (first-seen order,
@@ -35,14 +40,22 @@ type CaptureSink struct {
 func (s *CaptureSink) Dispatch(clientID uint32, captures []server.Capture) {
 	var order []uint32
 	byAP := make(map[uint32][]core.FrameCapture)
+	newest := make(map[uint32]time.Time)
 	for _, c := range captures {
 		if _, ok := byAP[c.APID]; !ok {
 			order = append(order, c.APID)
 		}
 		byAP[c.APID] = append(byAP[c.APID], core.FrameCapture{Streams: c.Streams})
+		if c.Timestamp.After(newest[c.APID]) {
+			newest[c.APID] = c.Timestamp
+		}
 	}
 	var aps []*core.AP
 	var frames [][]core.FrameCapture
+	// The newest *resolved* capture timestamp advances the client's
+	// track; records from unknown APs are discarded entirely, so a
+	// bogus timestamp on one must not poison the Kalman state either.
+	var at time.Time
 	for _, id := range order {
 		ap := s.Resolve(id)
 		if ap == nil {
@@ -50,17 +63,23 @@ func (s *CaptureSink) Dispatch(clientID uint32, captures []server.Capture) {
 		}
 		aps = append(aps, ap)
 		frames = append(frames, byAP[id])
+		if newest[id].After(at) {
+			at = newest[id]
+		}
 	}
 	deliver := func(r Result) {
 		if s.OnResult != nil {
 			s.OnResult(r)
+		}
+		if s.OnTrack != nil && r.Track != nil {
+			s.OnTrack(*r.Track)
 		}
 	}
 	if len(aps) == 0 {
 		deliver(Result{ClientID: clientID, Err: ErrNoKnownAP})
 		return
 	}
-	req := Request{ClientID: clientID, APs: aps, Captures: frames, Min: s.Min, Max: s.Max}
+	req := Request{ClientID: clientID, APs: aps, Captures: frames, Min: s.Min, Max: s.Max, Time: at}
 	if err := s.Engine.Submit(req, deliver); err != nil {
 		deliver(Result{ClientID: clientID, Err: err})
 	}

@@ -1,0 +1,281 @@
+package engine
+
+// Tracker is the temporal layer over the engine: the paper's headline
+// is *tracking* roaming clients in real time, not one-shot fixes. The
+// engine produces a fix per quorum flush; the Tracker folds each fix
+// into a per-client constant-velocity Kalman filter (internal/track),
+// keeps that state across captures, evicts clients that go quiet, and
+// streams smoothed track updates to subscribers alongside the raw
+// fixes.
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/track"
+)
+
+// TrackerOptions configures a Tracker. The zero value picks walking-
+// scale defaults.
+type TrackerOptions struct {
+	// ProcessNoise is the Kalman acceleration spectral density in
+	// m²/s³ (0 means 1.0, which suits walking).
+	ProcessNoise float64
+	// MeasSigma is the expected per-axis fix error in metres (0 means
+	// 0.5, ArrayTrack-with-several-APs scale).
+	MeasSigma float64
+	// Gate is the Mahalanobis outlier gate in standard deviations
+	// (0 means 4; negative disables gating).
+	Gate float64
+	// TTL evicts a client whose last fix is older than this (0 means
+	// 30 s; negative disables eviction).
+	TTL time.Duration
+	// Now overrides the clock, for tests and simulations. nil means
+	// time.Now.
+	Now func() time.Time
+}
+
+func (o TrackerOptions) withDefaults() TrackerOptions {
+	if o.ProcessNoise == 0 {
+		o.ProcessNoise = 1.0
+	}
+	if o.MeasSigma == 0 {
+		o.MeasSigma = 0.5
+	}
+	if o.Gate == 0 {
+		o.Gate = 4
+	} else if o.Gate < 0 {
+		o.Gate = 0
+	}
+	if o.TTL == 0 {
+		o.TTL = 30 * time.Second
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+// TrackUpdate is one smoothed track point, emitted for every fix the
+// tracker observes.
+type TrackUpdate struct {
+	ClientID uint32
+	// Time is the fix timestamp the update was computed at.
+	Time time.Time
+	// Raw is the unsmoothed position fix from the localization
+	// pipeline.
+	Raw geom.Point
+	// Smoothed is the Kalman state after folding the fix in. When the
+	// gate rejected the fix, Smoothed is the predicted position.
+	Smoothed geom.Point
+	// Vel is the velocity estimate.
+	Vel geom.Vec
+	// Accepted reports whether the fix passed the outlier gate.
+	Accepted bool
+}
+
+// TrackerStats is a snapshot of tracker counters.
+type TrackerStats struct {
+	// Clients is the number of live (non-evicted) tracks.
+	Clients int
+	// Observed is the cumulative number of fixes folded in.
+	Observed uint64
+	// GateRejects is the cumulative number of fixes the Mahalanobis
+	// gate discarded.
+	GateRejects uint64
+	// Evicted is the cumulative number of stale clients removed.
+	Evicted uint64
+}
+
+type clientTrack struct {
+	mu     sync.Mutex
+	filter *track.Filter
+	last   time.Time
+}
+
+// Tracker keeps per-client Kalman state across captures. All methods
+// are safe for concurrent use; distinct clients do not contend beyond
+// a short map lookup.
+type Tracker struct {
+	opt TrackerOptions
+
+	mu        sync.Mutex
+	clients   map[uint32]*clientTrack
+	lastSweep time.Time
+	subs      map[int]chan TrackUpdate
+	nextSub   int
+
+	observed    uint64
+	gateRejects uint64
+	evicted     uint64
+}
+
+// NewTracker returns a tracker with the given options.
+func NewTracker(opt TrackerOptions) *Tracker {
+	return &Tracker{
+		opt:     opt.withDefaults(),
+		clients: make(map[uint32]*clientTrack),
+		subs:    make(map[int]chan TrackUpdate),
+	}
+}
+
+// Observe folds one raw fix for a client into its track and returns
+// the resulting update. A zero timestamp uses the tracker's clock. The
+// first fix for a client initializes its filter at the fix; fixes
+// older than the track's last timestamp are treated as simultaneous
+// (dt = 0) rather than rejected, since capture grouping can reorder
+// flushes slightly. A client returning after more than TTL of silence
+// gets a fresh track: extrapolating a constant-velocity state across a
+// long gap would predict a position (and gate) with no relation to
+// where the client reappears.
+func (t *Tracker) Observe(clientID uint32, fix geom.Point, at time.Time) TrackUpdate {
+	if at.IsZero() {
+		at = t.opt.Now()
+	}
+
+	t.mu.Lock()
+	ct, ok := t.clients[clientID]
+	if ok && t.opt.TTL > 0 {
+		ct.mu.Lock()
+		stale := !ct.last.IsZero() && at.Sub(ct.last) > t.opt.TTL
+		ct.mu.Unlock()
+		if stale {
+			t.evicted++
+			ok = false
+		}
+	}
+	if !ok {
+		ct = &clientTrack{filter: track.NewFilter(t.opt.ProcessNoise, t.opt.MeasSigma, t.opt.Gate)}
+		t.clients[clientID] = ct
+	}
+	t.maybeSweepLocked(at)
+	// Take the per-client lock before releasing the map lock (the
+	// sweep acquires them in the same order): otherwise a concurrent
+	// Observe's sweep could judge this entry stale and evict it while
+	// the fix is being folded in.
+	ct.mu.Lock()
+	t.mu.Unlock()
+
+	dt := 0.0
+	if !ct.last.IsZero() {
+		if d := at.Sub(ct.last).Seconds(); d > 0 {
+			dt = d
+		}
+	}
+	accepted, err := ct.filter.Update(fix, dt)
+	if err != nil {
+		// Degenerate covariance: restart the track at the fix.
+		ct.filter = track.NewFilter(t.opt.ProcessNoise, t.opt.MeasSigma, t.opt.Gate)
+		accepted, _ = ct.filter.Update(fix, 0)
+	}
+	if at.After(ct.last) {
+		ct.last = at
+	}
+	pos, vel := ct.filter.State()
+	ct.mu.Unlock()
+
+	t.mu.Lock()
+	t.observed++
+	if !accepted {
+		t.gateRejects++
+	}
+	upd := TrackUpdate{
+		ClientID: clientID,
+		Time:     at,
+		Raw:      fix,
+		Smoothed: pos,
+		Vel:      vel,
+		Accepted: accepted,
+	}
+	for _, ch := range t.subs {
+		select {
+		case ch <- upd:
+		default:
+			// A slow subscriber drops updates rather than stalling the
+			// engine's workers.
+		}
+	}
+	t.mu.Unlock()
+	return upd
+}
+
+// maybeSweepLocked evicts stale clients at most once per TTL/4. Caller
+// holds t.mu.
+func (t *Tracker) maybeSweepLocked(now time.Time) {
+	if t.opt.TTL <= 0 {
+		return
+	}
+	if !t.lastSweep.IsZero() && now.Sub(t.lastSweep) < t.opt.TTL/4 {
+		return
+	}
+	t.lastSweep = now
+	for id, ct := range t.clients {
+		ct.mu.Lock()
+		stale := !ct.last.IsZero() && now.Sub(ct.last) > t.opt.TTL
+		ct.mu.Unlock()
+		if stale {
+			delete(t.clients, id)
+			t.evicted++
+		}
+	}
+}
+
+// Snapshot returns a client's current smoothed state, if it is being
+// tracked.
+func (t *Tracker) Snapshot(clientID uint32) (TrackUpdate, bool) {
+	t.mu.Lock()
+	ct, ok := t.clients[clientID]
+	t.mu.Unlock()
+	if !ok {
+		return TrackUpdate{}, false
+	}
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	pos, vel := ct.filter.State()
+	return TrackUpdate{
+		ClientID: clientID,
+		Time:     ct.last,
+		Smoothed: pos,
+		Vel:      vel,
+		Accepted: true,
+	}, true
+}
+
+// Subscribe registers a buffered stream of track updates. Updates are
+// dropped (never blocking) when the buffer is full. The returned
+// cancel function unregisters and closes the channel; it is safe to
+// call more than once.
+func (t *Tracker) Subscribe(buf int) (<-chan TrackUpdate, func()) {
+	if buf < 1 {
+		buf = 16
+	}
+	ch := make(chan TrackUpdate, buf)
+	t.mu.Lock()
+	id := t.nextSub
+	t.nextSub++
+	t.subs[id] = ch
+	t.mu.Unlock()
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			t.mu.Lock()
+			delete(t.subs, id)
+			t.mu.Unlock()
+			close(ch)
+		})
+	}
+	return ch, cancel
+}
+
+// Stats returns a snapshot of the tracker's counters.
+func (t *Tracker) Stats() TrackerStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return TrackerStats{
+		Clients:     len(t.clients),
+		Observed:    t.observed,
+		GateRejects: t.gateRejects,
+		Evicted:     t.evicted,
+	}
+}

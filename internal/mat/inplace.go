@@ -1,0 +1,152 @@
+package mat
+
+// In-place / into variants of the allocating Matrix operations, plus
+// the eigendecomposition workspace. These exist for one reason: the
+// MUSIC pipeline runs the same tiny (≤16×16) linear algebra for every
+// frame of every client, and at production rates the per-frame garbage
+// — not the arithmetic — dominates. Every function here performs
+// arithmetic identical (bit for bit) to its allocating counterpart; the
+// only difference is where the result lands.
+
+import (
+	"fmt"
+	"math/cmplx"
+)
+
+// Zero sets every element of m to zero and returns the receiver.
+func (m *Matrix) Zero() *Matrix {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+	return m
+}
+
+// CopyInto copies src into dst, which must have the same shape.
+func (dst *Matrix) CopyInto(src *Matrix) *Matrix {
+	dst.mustSameShape(src)
+	copy(dst.Data, src.Data)
+	return dst
+}
+
+// ReuseMatrix returns m resized to rows×cols, reusing its backing
+// storage when capacity allows and allocating otherwise. A nil m
+// allocates fresh. Contents are unspecified after the call; use Zero
+// when the caller needs a clean slate.
+func ReuseMatrix(m *Matrix, rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("mat: invalid shape %d×%d", rows, cols))
+	}
+	if m == nil {
+		return New(rows, cols)
+	}
+	need := rows * cols
+	if cap(m.Data) < need {
+		m.Data = make([]complex128, need)
+	} else {
+		m.Data = m.Data[:need]
+	}
+	m.Rows, m.Cols = rows, cols
+	return m
+}
+
+// IdentityInto overwrites the square matrix m with the identity and
+// returns it.
+func IdentityInto(m *Matrix) *Matrix {
+	if m.Rows != m.Cols {
+		panic("mat: IdentityInto needs a square matrix")
+	}
+	m.Zero()
+	for i := 0; i < m.Rows; i++ {
+		m.Data[i*m.Cols+i] = 1
+	}
+	return m
+}
+
+// MulInto computes a·b into dst and returns dst. dst must be
+// a.Rows×b.Cols and must not alias a or b. The accumulation order
+// matches Mul exactly, so results are bit-identical.
+func MulInto(dst, a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: MulInto shape mismatch %d×%d · %d×%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MulInto dst is %d×%d, need %d×%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
+	}
+	if dst == a || dst == b {
+		panic("mat: MulInto dst aliases an operand")
+	}
+	dst.Zero()
+	for i := 0; i < a.Rows; i++ {
+		for k := 0; k < a.Cols; k++ {
+			av := a.Data[i*a.Cols+k]
+			if av == 0 {
+				continue
+			}
+			row := b.Data[k*b.Cols:]
+			out := dst.Data[i*b.Cols:]
+			for j := 0; j < b.Cols; j++ {
+				out[j] += av * row[j]
+			}
+		}
+	}
+	return dst
+}
+
+// HInto writes the Hermitian (conjugate) transpose of m into dst and
+// returns dst. dst must be m.Cols×m.Rows and must not alias m.
+func HInto(dst, m *Matrix) *Matrix {
+	if dst.Rows != m.Cols || dst.Cols != m.Rows {
+		panic(fmt.Sprintf("mat: HInto dst is %d×%d, need %d×%d", dst.Rows, dst.Cols, m.Cols, m.Rows))
+	}
+	if dst == m {
+		panic("mat: HInto dst aliases the operand")
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			dst.Set(j, i, cmplx.Conj(m.At(i, j)))
+		}
+	}
+	return dst
+}
+
+// EigWorkspace holds every buffer EigHermitianWS needs, so repeated
+// decompositions of same-order matrices run with zero steady-state
+// allocations. The zero value is ready to use; buffers grow on demand
+// and are reused across calls, including across different matrix
+// orders (the backing arrays keep their largest-seen capacity).
+//
+// The Eig returned by EigHermitianWS aliases the workspace's buffers:
+// it is valid only until the next call with the same workspace. Callers
+// that need the result to survive must copy it out.
+type EigWorkspace struct {
+	w, v, vecs *Matrix
+	vals       []float64
+	svals      []float64
+	idx        []int
+}
+
+// sortedVals returns the length-n buffer that receives the sorted
+// eigenvalues (distinct from vals, which holds the unsorted diagonal).
+func (ws *EigWorkspace) sortedVals(n int) []float64 {
+	if cap(ws.svals) < n {
+		ws.svals = make([]float64, n)
+	}
+	ws.svals = ws.svals[:n]
+	return ws.svals
+}
+
+func (ws *EigWorkspace) ensure(n int) {
+	ws.w = ReuseMatrix(ws.w, n, n)
+	ws.v = ReuseMatrix(ws.v, n, n)
+	ws.vecs = ReuseMatrix(ws.vecs, n, n)
+	if cap(ws.vals) < n {
+		ws.vals = make([]float64, n)
+	} else {
+		ws.vals = ws.vals[:n]
+	}
+	if cap(ws.idx) < n {
+		ws.idx = make([]int, n)
+	} else {
+		ws.idx = ws.idx[:n]
+	}
+}

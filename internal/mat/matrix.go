@@ -159,19 +159,27 @@ func (m *Matrix) T() *Matrix {
 
 // MulVec returns m·v for a column vector v of length m.Cols.
 func (m *Matrix) MulVec(v []complex128) []complex128 {
+	return m.MulVecInto(make([]complex128, m.Rows), v)
+}
+
+// MulVecInto computes m·v into dst (length m.Rows) and returns dst.
+// dst must not alias v.
+func (m *Matrix) MulVecInto(dst, v []complex128) []complex128 {
 	if len(v) != m.Cols {
 		panic("mat: MulVec length mismatch")
 	}
-	out := make([]complex128, m.Rows)
+	if len(dst) != m.Rows {
+		panic("mat: MulVecInto dst length mismatch")
+	}
 	for i := 0; i < m.Rows; i++ {
 		var s complex128
 		row := m.Data[i*m.Cols:]
 		for j := 0; j < m.Cols; j++ {
 			s += row[j] * v[j]
 		}
-		out[i] = s
+		dst[i] = s
 	}
-	return out
+	return dst
 }
 
 // Col returns a copy of column j.
@@ -275,6 +283,16 @@ type Eig struct {
 // modified. For the ≤16×16 matrices ArrayTrack produces the residual
 // ‖AV−VΛ‖ is at machine-precision level.
 func EigHermitian(a *Matrix) (Eig, error) {
+	return EigHermitianWS(a, nil)
+}
+
+// EigHermitianWS is EigHermitian drawing every buffer it needs from ws.
+// A nil ws allocates fresh buffers (identical to EigHermitian); a
+// non-nil ws makes the decomposition allocation-free in steady state,
+// at the cost that the returned Eig aliases ws and is valid only until
+// the next call with the same workspace. The arithmetic is identical
+// either way, so results are bit-for-bit the same.
+func EigHermitianWS(a *Matrix, ws *EigWorkspace) (Eig, error) {
 	n := a.Rows
 	if a.Cols != n {
 		return Eig{}, errors.New("mat: EigHermitian needs a square matrix")
@@ -283,13 +301,28 @@ func EigHermitian(a *Matrix) (Eig, error) {
 	scale := a.FrobeniusNorm()
 	if scale == 0 {
 		// The zero matrix: all eigenvalues zero, identity eigenvectors.
-		return Eig{Values: make([]float64, n), Vectors: Identity(n)}, nil
+		if ws == nil {
+			return Eig{Values: make([]float64, n), Vectors: Identity(n)}, nil
+		}
+		ws.ensure(n)
+		for i := range ws.vals {
+			ws.vals[i] = 0
+		}
+		return Eig{Values: ws.vals, Vectors: IdentityInto(ws.vecs)}, nil
 	}
 	if !a.IsHermitian(1e-9 * scale) {
 		return Eig{}, ErrNotHermitian
 	}
 
-	w := a.Clone()
+	var w, v *Matrix
+	if ws == nil {
+		w = a.Clone()
+		v = Identity(n)
+	} else {
+		ws.ensure(n)
+		w = ws.w.CopyInto(a)
+		v = IdentityInto(ws.v)
+	}
 	// Force exact Hermitian symmetry so rounding in the input cannot
 	// push the iteration off the Hermitian manifold.
 	for i := 0; i < n; i++ {
@@ -300,7 +333,6 @@ func EigHermitian(a *Matrix) (Eig, error) {
 			w.Set(j, i, cmplx.Conj(v))
 		}
 	}
-	v := Identity(n)
 
 	const maxSweeps = 60
 	tol := 1e-14 * scale
@@ -320,11 +352,16 @@ func EigHermitian(a *Matrix) (Eig, error) {
 		}
 	}
 
-	eig := Eig{Values: make([]float64, n), Vectors: v}
+	eig := Eig{Vectors: v}
+	if ws == nil {
+		eig.Values = make([]float64, n)
+	} else {
+		eig.Values = ws.vals
+	}
 	for i := 0; i < n; i++ {
 		eig.Values[i] = real(w.At(i, i))
 	}
-	sortEig(&eig)
+	sortEigWS(&eig, ws)
 	return eig, nil
 }
 
@@ -402,11 +439,19 @@ func offDiagNorm(m *Matrix) float64 {
 	return math.Sqrt(s)
 }
 
-// sortEig sorts eigenpairs by ascending eigenvalue, permuting the
-// eigenvector columns to match.
-func sortEig(e *Eig) {
+// sortEigWS sorts eigenpairs by ascending eigenvalue, permuting the
+// eigenvector columns to match. With a workspace the permuted values
+// land in ws.idx-driven copies of ws-owned buffers; without one they
+// are freshly allocated. The sort itself is a pure permutation, so
+// both paths are bit-identical.
+func sortEigWS(e *Eig, ws *EigWorkspace) {
 	n := len(e.Values)
-	idx := make([]int, n)
+	var idx []int
+	if ws == nil {
+		idx = make([]int, n)
+	} else {
+		idx = ws.idx
+	}
 	for i := range idx {
 		idx[i] = i
 	}
@@ -418,8 +463,19 @@ func sortEig(e *Eig) {
 			j--
 		}
 	}
-	vals := make([]float64, n)
-	vecs := New(e.Vectors.Rows, n)
+	var vals []float64
+	var vecs *Matrix
+	if ws == nil {
+		vals = make([]float64, n)
+		vecs = New(e.Vectors.Rows, n)
+	} else {
+		// e.Values aliases ws.vals and e.Vectors aliases ws.v, so the
+		// sorted copies must land in the workspace's second pair of
+		// buffers.
+		vals = ws.sortedVals(n)
+		vecs = ReuseMatrix(ws.vecs, e.Vectors.Rows, n)
+		ws.vecs = vecs
+	}
 	for k, src := range idx {
 		vals[k] = e.Values[src]
 		for r := 0; r < e.Vectors.Rows; r++ {

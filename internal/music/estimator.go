@@ -1,0 +1,135 @@
+package music
+
+// Pluggable AoA estimators. The paper's pipeline is MUSIC end to end,
+// but the rest of the system — correlation estimation, the steering
+// cache, synthesis, tracking — is estimator-agnostic, and the
+// evaluation's comparisons (conventional beamforming, classic
+// unsmoothed MUSIC) are just different spectrum functions over the
+// same snapshots. An Estimator plugs into core's pipeline at the
+// frame→spectrum stage; everything downstream is unchanged.
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/array"
+	"repro/internal/mat"
+)
+
+// Estimator turns one frame's per-antenna streams into an AoA
+// spectrum. Implementations must be safe for concurrent use by
+// multiple goroutines holding distinct workspaces; ws may be nil
+// (allocate-per-call) and must only be used for the duration of the
+// call.
+type Estimator interface {
+	// Name identifies the estimator ("music", "bartlett", "baseline").
+	Name() string
+	// Spectrum computes the normalized AoA spectrum for the array's
+	// main-row streams.
+	Spectrum(ws *Workspace, a *array.Array, streams [][]complex128, opt Options) (*Spectrum, error)
+}
+
+// MUSICEstimator is the paper's full §2.3 chain: spatial smoothing,
+// optional forward-backward averaging, eigen subspace split, MUSIC
+// pseudospectrum. It is the default estimator everywhere.
+var MUSICEstimator Estimator = musicEstimator{}
+
+type musicEstimator struct{}
+
+func (musicEstimator) Name() string { return "music" }
+
+func (musicEstimator) Spectrum(ws *Workspace, a *array.Array, streams [][]complex128, opt Options) (*Spectrum, error) {
+	return ComputeSpectrumWS(ws, a, streams, opt)
+}
+
+// BartlettEstimator is the conventional (delay-and-sum) beamformer:
+// P(θ) = a(θ)ᴴ·R·a(θ) on the full-row correlation matrix, no subspace
+// machinery. It resolves multipath far worse than MUSIC — which is the
+// paper's point — but costs no eigendecomposition.
+var BartlettEstimator Estimator = bartlettEstimator{}
+
+type bartlettEstimator struct{}
+
+func (bartlettEstimator) Name() string { return "bartlett" }
+
+func (bartlettEstimator) Spectrum(ws *Workspace, a *array.Array, streams [][]complex128, opt Options) (*Spectrum, error) {
+	r, err := frameCorrelation(ws, a, streams, opt)
+	if err != nil {
+		return nil, err
+	}
+	var s *Spectrum
+	if opt.Steering != nil {
+		s = BartlettWithTable(r, opt.Steering.Table(a, opt.Wavelength, opt.bins()))
+	} else {
+		s = Bartlett(r, func(theta float64) []complex128 {
+			return a.SteeringVectorRow(theta, opt.Wavelength)[:r.Cols]
+		}, opt.bins())
+	}
+	return s.Normalize(), nil
+}
+
+// BaselineEstimator is classic MUSIC as it existed before the paper:
+// no spatial smoothing, no forward-backward averaging — the §4.1
+// "unoptimized" starting point. Coherent multipath collapses its
+// correlation matrix rank, which is exactly the failure §2.3.2 fixes.
+var BaselineEstimator Estimator = baselineEstimator{}
+
+type baselineEstimator struct{}
+
+func (baselineEstimator) Name() string { return "baseline" }
+
+func (baselineEstimator) Spectrum(ws *Workspace, a *array.Array, streams [][]complex128, opt Options) (*Spectrum, error) {
+	r, err := frameCorrelation(ws, a, streams, opt)
+	if err != nil {
+		return nil, err
+	}
+	maxD := opt.MaxSignals
+	if maxD <= 0 {
+		maxD = r.Rows / 2
+	}
+	noise, _, _, err := SubspacesWS(ws, r, opt.thresh(), maxD)
+	if err != nil {
+		return nil, err
+	}
+	if opt.Steering != nil {
+		return MUSICWithTable(noise, opt.Steering.Table(a, opt.Wavelength, opt.bins())), nil
+	}
+	sub := r.Rows
+	return MUSIC(noise, func(theta float64) []complex128 {
+		return a.SteeringVectorRow(theta, opt.Wavelength)[:sub]
+	}, opt.bins()), nil
+}
+
+// frameCorrelation is the shared snapshots → calibration → correlation
+// front half used by the non-MUSIC estimators.
+func frameCorrelation(ws *Workspace, a *array.Array, streams [][]complex128, opt Options) (*mat.Matrix, error) {
+	if len(streams) < 2 {
+		return nil, errors.New("music: need at least two antenna streams")
+	}
+	if len(streams) > a.N {
+		return nil, fmt.Errorf("music: %d streams exceed the %d-element row", len(streams), a.N)
+	}
+	snaps := SnapshotsAtWS(ws, streams, opt.SampleOffset, opt.MaxSamples)
+	if opt.CalibrationOffsets != nil {
+		for _, s := range snaps {
+			array.CorrectOffsets(s, opt.CalibrationOffsets)
+		}
+	}
+	return CorrelationMatrixWS(ws, snaps)
+}
+
+// EstimatorByName resolves "music", "bartlett", or "baseline".
+func EstimatorByName(name string) (Estimator, error) {
+	switch name {
+	case "", "music":
+		return MUSICEstimator, nil
+	case "bartlett":
+		return BartlettEstimator, nil
+	case "baseline":
+		return BaselineEstimator, nil
+	}
+	return nil, fmt.Errorf("music: unknown estimator %q (have music, bartlett, baseline)", name)
+}
+
+// EstimatorNames lists the registered estimator names.
+func EstimatorNames() []string { return []string{"music", "bartlett", "baseline"} }

@@ -139,19 +139,7 @@ func (s *Spectrum) Peaks(minRel float64) []Peak {
 // CorrelationMatrix estimates Rxx = E[x·xᴴ] from snapshots, each a
 // length-M per-antenna sample vector (Eq. 4's sample average).
 func CorrelationMatrix(snapshots [][]complex128) (*mat.Matrix, error) {
-	if len(snapshots) == 0 {
-		return nil, errors.New("music: no snapshots")
-	}
-	m := len(snapshots[0])
-	r := mat.New(m, m)
-	w := 1 / float64(len(snapshots))
-	for _, x := range snapshots {
-		if len(x) != m {
-			return nil, fmt.Errorf("music: ragged snapshot (%d vs %d antennas)", len(x), m)
-		}
-		r.OuterAccumulate(x, w)
-	}
-	return r, nil
+	return CorrelationMatrixWS(nil, snapshots)
 }
 
 // SnapshotsFromStreams transposes per-antenna sample streams into
@@ -193,16 +181,7 @@ func SnapshotsAt(streams [][]complex128, offset, maxSamples int) [][]complex128 
 // spatial smoothing at no antenna cost — a standard companion to the
 // Shan–Wax–Kailath smoothing the paper uses.
 func ForwardBackward(r *mat.Matrix) *mat.Matrix {
-	m := r.Rows
-	out := mat.New(m, m)
-	for i := 0; i < m; i++ {
-		for j := 0; j < m; j++ {
-			v := r.At(i, j)
-			w := r.At(m-1-i, m-1-j)
-			out.Set(i, j, (v+complex(real(w), -imag(w)))/2)
-		}
-	}
-	return out
+	return ForwardBackwardWS(nil, r)
 }
 
 // SpatialSmooth applies forward spatial smoothing with ng overlapping
@@ -211,26 +190,7 @@ func ForwardBackward(r *mat.Matrix) *mat.Matrix {
 // copy. It decorrelates phase-locked multipath arrivals so MUSIC can
 // resolve them.
 func SpatialSmooth(r *mat.Matrix, ng int) (*mat.Matrix, error) {
-	m := r.Rows
-	if r.Cols != m {
-		return nil, errors.New("music: correlation matrix must be square")
-	}
-	if ng < 1 || ng >= m {
-		return nil, fmt.Errorf("music: invalid smoothing groups %d for %d antennas", ng, m)
-	}
-	sub := m - ng + 1
-	out := mat.New(sub, sub)
-	for g := 0; g < ng; g++ {
-		blk := r.Submatrix(g, g, sub, sub)
-		for i := range out.Data {
-			out.Data[i] += blk.Data[i]
-		}
-	}
-	scale := complex(1/float64(ng), 0)
-	for i := range out.Data {
-		out.Data[i] *= scale
-	}
-	return out, nil
+	return SpatialSmoothWS(nil, r, ng)
 }
 
 // Subspaces splits the eigenvectors of a correlation matrix into noise
@@ -243,41 +203,7 @@ func SpatialSmooth(r *mat.Matrix, ng int) (*mat.Matrix, error) {
 // eigenvector is always left in the noise subspace, since MUSIC needs
 // one.
 func Subspaces(r *mat.Matrix, thresholdFrac float64, maxD int) (noise, signal *mat.Matrix, d int, err error) {
-	e, err := mat.EigHermitian(r)
-	if err != nil {
-		return nil, nil, 0, err
-	}
-	m := r.Rows
-	top := e.Values[m-1]
-	d = 0
-	for _, v := range e.Values {
-		if v > thresholdFrac*top {
-			d++
-		}
-	}
-	if maxD > 0 && d > maxD {
-		d = maxD
-	}
-	if d >= m {
-		d = m - 1
-	}
-	if d < 1 {
-		d = 1
-	}
-	nN := m - d
-	noise = mat.New(m, nN)
-	signal = mat.New(m, d)
-	for k := 0; k < nN; k++ {
-		for i := 0; i < m; i++ {
-			noise.Set(i, k, e.Vectors.At(i, k))
-		}
-	}
-	for k := 0; k < d; k++ {
-		for i := 0; i < m; i++ {
-			signal.Set(i, k, e.Vectors.At(i, nN+k))
-		}
-	}
-	return noise, signal, d, nil
+	return SubspacesWS(nil, r, thresholdFrac, maxD)
 }
 
 // Options configures AoA spectrum computation.
@@ -336,30 +262,41 @@ func (o Options) thresh() float64 {
 // only via SymmetryRemoval). The returned spectrum is normalized to a
 // unit maximum.
 func ComputeSpectrum(a *array.Array, streams [][]complex128, opt Options) (*Spectrum, error) {
+	return ComputeSpectrumWS(nil, a, streams, opt)
+}
+
+// ComputeSpectrumWS is ComputeSpectrum with every intermediate —
+// snapshots, correlation, forward-backward, smoothed matrix, eigen
+// scratch, noise subspace — drawn from the workspace. Only the
+// returned Spectrum is freshly allocated: it escapes to the caller
+// while the intermediates stay in ws for the next frame. A nil ws is
+// exactly the allocating path, and both paths share the same
+// arithmetic, so spectra are bit-for-bit identical.
+func ComputeSpectrumWS(ws *Workspace, a *array.Array, streams [][]complex128, opt Options) (*Spectrum, error) {
 	if len(streams) < 2 {
 		return nil, errors.New("music: need at least two antenna streams")
 	}
 	if len(streams) > a.N {
 		return nil, fmt.Errorf("music: %d streams exceed the %d-element row", len(streams), a.N)
 	}
-	snaps := SnapshotsAt(streams, opt.SampleOffset, opt.MaxSamples)
+	snaps := SnapshotsAtWS(ws, streams, opt.SampleOffset, opt.MaxSamples)
 	if opt.CalibrationOffsets != nil {
 		for _, s := range snaps {
 			array.CorrectOffsets(s, opt.CalibrationOffsets)
 		}
 	}
-	r, err := CorrelationMatrix(snaps)
+	r, err := CorrelationMatrixWS(ws, snaps)
 	if err != nil {
 		return nil, err
 	}
 	if opt.ForwardBackward {
-		r = ForwardBackward(r)
+		r = ForwardBackwardWS(ws, r)
 	}
 	ng := opt.SmoothingGroups
 	if ng < 1 {
 		ng = 1
 	}
-	rs, err := SpatialSmooth(r, ng)
+	rs, err := SpatialSmoothWS(ws, r, ng)
 	if err != nil {
 		return nil, err
 	}
@@ -367,7 +304,7 @@ func ComputeSpectrum(a *array.Array, streams [][]complex128, opt Options) (*Spec
 	if maxD <= 0 {
 		maxD = rs.Rows / 2
 	}
-	noise, _, _, err := Subspaces(rs, opt.thresh(), maxD)
+	noise, _, _, err := SubspacesWS(ws, rs, opt.thresh(), maxD)
 	if err != nil {
 		return nil, err
 	}
@@ -431,12 +368,16 @@ func Bartlett(r *mat.Matrix, steer func(theta float64) []complex128, bins int) *
 }
 
 // bartlettSpectrum is the shared Bartlett scan (see musicSpectrum).
+// One R·a scratch vector serves every bin: the per-bin MulVec
+// allocation was the single largest allocation site left on the
+// symmetry-removal path.
 func bartlettSpectrum(r *mat.Matrix, bins int, at func(i int, theta float64) []complex128) *Spectrum {
 	s := NewSpectrum(bins)
+	ra := make([]complex128, r.Rows)
 	for i := 0; i < bins; i++ {
 		theta := 2 * math.Pi * float64(i) / float64(bins)
 		a := at(i, theta)
-		ra := r.MulVec(a)
+		r.MulVecInto(ra, a)
 		v := mat.VecDot(a, ra)
 		p := real(v)
 		if p < 0 {

@@ -1,0 +1,247 @@
+package music
+
+// Per-worker scratch state for the spectrum pipeline. The seed
+// allocated correlation matrices, eigen-scratch, subspaces, and
+// snapshot vectors afresh for every frame; at engine rates that garbage
+// dominated the profile. A Workspace owns one reusable copy of each
+// intermediate, and every stage of the §2.3 chain has a WS variant
+// threaded through it. A nil workspace reproduces the allocating seed
+// path exactly, and the arithmetic is shared, so workspace and
+// allocating spectra are bit-for-bit identical (pinned by
+// TestWorkspaceSpectrumBitIdentical).
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/mat"
+)
+
+// Workspace holds every buffer one spectrum computation needs. It is
+// owned by exactly one goroutine at a time (use a WorkspacePool to
+// share across workers) and grows to the largest problem it has seen.
+// The zero value is ready to use.
+type Workspace struct {
+	snapRows [][]complex128
+	snapData []complex128
+	r        *mat.Matrix
+	fb       *mat.Matrix
+	rs       *mat.Matrix
+	eig      mat.EigWorkspace
+	noise    *mat.Matrix
+	signal   *mat.Matrix
+}
+
+// NewWorkspace returns an empty workspace.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// WorkspacePool is a typed sync.Pool of Workspaces: one Get/Put pair
+// per localization job keeps steady-state allocations near zero
+// without binding workspaces to specific worker goroutines. A nil
+// *WorkspacePool is valid and degrades to the allocating path (Get
+// returns nil).
+type WorkspacePool struct {
+	p sync.Pool
+}
+
+// NewWorkspacePool returns an empty pool.
+func NewWorkspacePool() *WorkspacePool {
+	wp := &WorkspacePool{}
+	wp.p.New = func() any { return NewWorkspace() }
+	return wp
+}
+
+// Get returns a workspace from the pool (nil if the pool itself is
+// nil, selecting the allocating path downstream).
+func (wp *WorkspacePool) Get() *Workspace {
+	if wp == nil {
+		return nil
+	}
+	return wp.p.Get().(*Workspace)
+}
+
+// Put returns a workspace to the pool. Nil pools and nil workspaces
+// are no-ops.
+func (wp *WorkspacePool) Put(ws *Workspace) {
+	if wp == nil || ws == nil {
+		return
+	}
+	wp.p.Put(ws)
+}
+
+var sharedWorkspaces = NewWorkspacePool()
+
+// SharedWorkspacePool returns the process-wide pool that
+// core.DefaultConfig wires into every pipeline by default.
+func SharedWorkspacePool() *WorkspacePool { return sharedWorkspaces }
+
+// SnapshotsAtWS is SnapshotsAt writing into workspace-owned storage:
+// one flat sample buffer plus a reusable row-header slice. Returned
+// rows are valid until the workspace's next use; a nil ws allocates.
+func SnapshotsAtWS(ws *Workspace, streams [][]complex128, offset, maxSamples int) [][]complex128 {
+	if ws == nil {
+		return SnapshotsAt(streams, offset, maxSamples)
+	}
+	if len(streams) == 0 {
+		return nil
+	}
+	ns := len(streams[0])
+	if offset < 0 || offset >= ns {
+		offset = 0
+	}
+	n := ns - offset
+	if maxSamples > 0 && n > maxSamples {
+		n = maxSamples
+	}
+	m := len(streams)
+	if cap(ws.snapData) < n*m {
+		ws.snapData = make([]complex128, n*m)
+	}
+	ws.snapData = ws.snapData[:n*m]
+	if cap(ws.snapRows) < n {
+		ws.snapRows = make([][]complex128, n)
+	}
+	ws.snapRows = ws.snapRows[:n]
+	for t := 0; t < n; t++ {
+		v := ws.snapData[t*m : (t+1)*m : (t+1)*m]
+		for k := range streams {
+			v[k] = streams[k][offset+t]
+		}
+		ws.snapRows[t] = v
+	}
+	return ws.snapRows
+}
+
+// CorrelationMatrixWS is CorrelationMatrix accumulating into a
+// workspace-owned matrix. The returned matrix aliases ws and is valid
+// until the workspace's next correlation; a nil ws allocates.
+func CorrelationMatrixWS(ws *Workspace, snapshots [][]complex128) (*mat.Matrix, error) {
+	if len(snapshots) == 0 {
+		return nil, errors.New("music: no snapshots")
+	}
+	m := len(snapshots[0])
+	var r *mat.Matrix
+	if ws == nil {
+		r = mat.New(m, m)
+	} else {
+		ws.r = mat.ReuseMatrix(ws.r, m, m).Zero()
+		r = ws.r
+	}
+	w := 1 / float64(len(snapshots))
+	for _, x := range snapshots {
+		if len(x) != m {
+			return nil, fmt.Errorf("music: ragged snapshot (%d vs %d antennas)", len(x), m)
+		}
+		r.OuterAccumulate(x, w)
+	}
+	return r, nil
+}
+
+// ForwardBackwardWS is ForwardBackward writing into a workspace-owned
+// matrix (distinct from ws's correlation matrix, so the input may be
+// the result of CorrelationMatrixWS).
+func ForwardBackwardWS(ws *Workspace, r *mat.Matrix) *mat.Matrix {
+	m := r.Rows
+	var out *mat.Matrix
+	if ws == nil {
+		out = mat.New(m, m)
+	} else {
+		ws.fb = mat.ReuseMatrix(ws.fb, m, m)
+		out = ws.fb
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			v := r.At(i, j)
+			w := r.At(m-1-i, m-1-j)
+			out.Set(i, j, (v+complex(real(w), -imag(w)))/2)
+		}
+	}
+	return out
+}
+
+// SpatialSmoothWS is SpatialSmooth writing into a workspace-owned
+// matrix. The summation order over subarray groups matches the
+// allocating version element for element, so outputs are bit-identical.
+func SpatialSmoothWS(ws *Workspace, r *mat.Matrix, ng int) (*mat.Matrix, error) {
+	m := r.Rows
+	if r.Cols != m {
+		return nil, errors.New("music: correlation matrix must be square")
+	}
+	if ng < 1 || ng >= m {
+		return nil, fmt.Errorf("music: invalid smoothing groups %d for %d antennas", ng, m)
+	}
+	sub := m - ng + 1
+	var out *mat.Matrix
+	if ws == nil {
+		out = mat.New(sub, sub)
+	} else {
+		ws.rs = mat.ReuseMatrix(ws.rs, sub, sub).Zero()
+		out = ws.rs
+	}
+	for g := 0; g < ng; g++ {
+		for i := 0; i < sub; i++ {
+			src := r.Data[(g+i)*m+g : (g+i)*m+g+sub]
+			dst := out.Data[i*sub : (i+1)*sub]
+			for j, v := range src {
+				dst[j] += v
+			}
+		}
+	}
+	scale := complex(1/float64(ng), 0)
+	for i := range out.Data {
+		out.Data[i] *= scale
+	}
+	return out, nil
+}
+
+// SubspacesWS is Subspaces drawing its eigendecomposition scratch and
+// subspace matrices from the workspace. The returned matrices alias ws
+// and are valid until its next use; a nil ws allocates.
+func SubspacesWS(ws *Workspace, r *mat.Matrix, thresholdFrac float64, maxD int) (noise, signal *mat.Matrix, d int, err error) {
+	var ews *mat.EigWorkspace
+	if ws != nil {
+		ews = &ws.eig
+	}
+	e, err := mat.EigHermitianWS(r, ews)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	m := r.Rows
+	top := e.Values[m-1]
+	d = 0
+	for _, v := range e.Values {
+		if v > thresholdFrac*top {
+			d++
+		}
+	}
+	if maxD > 0 && d > maxD {
+		d = maxD
+	}
+	if d >= m {
+		d = m - 1
+	}
+	if d < 1 {
+		d = 1
+	}
+	nN := m - d
+	if ws == nil {
+		noise = mat.New(m, nN)
+		signal = mat.New(m, d)
+	} else {
+		ws.noise = mat.ReuseMatrix(ws.noise, m, nN)
+		ws.signal = mat.ReuseMatrix(ws.signal, m, d)
+		noise, signal = ws.noise, ws.signal
+	}
+	for k := 0; k < nN; k++ {
+		for i := 0; i < m; i++ {
+			noise.Set(i, k, e.Vectors.At(i, k))
+		}
+	}
+	for k := 0; k < d; k++ {
+		for i := 0; i < m; i++ {
+			signal.Set(i, k, e.Vectors.At(i, nN+k))
+		}
+	}
+	return noise, signal, d, nil
+}

@@ -1,6 +1,7 @@
 package testbed
 
 import (
+	"fmt"
 	"math/rand"
 	"time"
 
@@ -126,6 +127,9 @@ func (tb *Testbed) RunThroughput(opt ThroughputOptions) (*Report, error) {
 		}
 
 		r.Addf("%8d %14.1f %14.1f %14.1f %8.1fx", n, seedRate, cachedRate, engRate, engRate/seedRate)
+		r.AddMetric(fmt.Sprintf("fixes_per_sec_seed_%d", n), seedRate, "fixes/sec")
+		r.AddMetric(fmt.Sprintf("fixes_per_sec_cached_%d", n), cachedRate, "fixes/sec")
+		r.AddMetric(fmt.Sprintf("fixes_per_sec_engine_%d", n), engRate, "fixes/sec")
 	}
 	return r, nil
 }
