@@ -9,12 +9,14 @@ package arraytrack
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/geom"
 	"repro/internal/music"
 	"repro/internal/stats"
 	"repro/internal/testbed"
@@ -392,6 +394,108 @@ func BenchmarkComputeSpectrum(b *testing.B) {
 			}
 		})
 	}
+}
+
+// benchSynthScene processes the first throughput fixture request into
+// AP spectra, the input of the synthesis layer.
+func benchSynthScene(b *testing.B) ([]core.APSpectrum, geom.Point, geom.Point) {
+	b.Helper()
+	q := throughputRequests(b, 1)[0]
+	cfg := core.DefaultConfig(throughputTB.Wavelength)
+	var specs []core.APSpectrum
+	for i, ap := range q.APs {
+		if len(q.Captures[i]) == 0 {
+			continue
+		}
+		s, err := core.ProcessAP(ap, q.Captures[i], cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		specs = append(specs, core.APSpectrum{Pos: ap.Array.Pos, Spectrum: s})
+	}
+	return specs, q.Min, q.Max
+}
+
+// BenchmarkComputeHeatmap is the synthesis-layer headline: the seed
+// product-domain grid versus the staged SynthGrid (cached bearing
+// LUTs + log-domain flat accumulation), single-threaded and sharded,
+// plus the two complete estimators (grid search + hill climb). The
+// paper's 10 cm pitch over the full testbed floor. "grid" vs "seed"
+// ns/op is the ≥5x acceptance criterion, gated hard by
+// TestSynthGridSpeedupGate; allocs/op on the staged rows is the ≤2
+// criterion, gated by TestSynthGridSteadyStateAllocs.
+func BenchmarkComputeHeatmap(b *testing.B) {
+	specs, min, max := benchSynthScene(b)
+	const cell = 0.10
+	newGrid := func(workers int) *core.SynthGrid {
+		sg, err := core.NewSynthGrid(min, max, core.SynthOptions{Cell: cell, Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var h core.Heatmap
+		if err := sg.LogHeatmapInto(&h, specs); err != nil { // warm LUTs
+			b.Fatal(err)
+		}
+		return sg
+	}
+
+	b.Run("seed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.ComputeHeatmap(specs, min, max, cell); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("grid", func(b *testing.B) {
+		sg := newGrid(1)
+		var h core.Heatmap
+		if err := sg.LogHeatmapInto(&h, specs); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := sg.LogHeatmapInto(&h, specs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("grid-workers-%d", runtime.GOMAXPROCS(0)), func(b *testing.B) {
+		sg := newGrid(runtime.GOMAXPROCS(0))
+		var h core.Heatmap
+		if err := sg.LogHeatmapInto(&h, specs); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := sg.LogHeatmapInto(&h, specs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("localize-seed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.Localize(specs, min, max, cell); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("localize-coarse2fine", func(b *testing.B) {
+		sg := newGrid(1)
+		if _, err := sg.Localize(specs); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sg.Localize(specs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // Extension benches: the future-work and discussion features.

@@ -130,6 +130,15 @@ var experiments = []experiment{
 		}
 		return tb.RunPerf(opt)
 	}},
+	{"synth", "staged heatmap synthesis: LUT + log-domain vs seed", func(tb *testbed.Testbed, fast bool) (*testbed.Report, error) {
+		opt := testbed.DefaultSynthOptions()
+		if fast {
+			opt.MaxClients = 3
+			opt.Cells = []float64{0.50, 0.25}
+			opt.Trials = 2
+		}
+		return tb.RunSynth(opt)
+	}},
 	{"ablation", "pipeline ablations", func(tb *testbed.Testbed, fast bool) (*testbed.Report, error) {
 		opt := accuracyOpts(fast)
 		opt.APCounts = []int{3}

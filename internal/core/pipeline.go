@@ -171,15 +171,31 @@ func (p *Pipeline) processAP(ws *music.Workspace, ap *AP, frames []FrameCapture)
 	return p.CombineAP(ws, ap, frames, spectra)
 }
 
-// Synthesize is the final stage: the Eq. 8 product over AP spectra,
-// grid search plus hill climbing (§2.5).
+// Synthesize is the final stage: the Eq. 8 grid search plus hill
+// climbing (§2.5). With a SynthCache configured it runs the staged
+// subsystem — cached bearing LUTs, log-domain sharded accumulation,
+// coarse-to-fine refinement; a nil SynthCache keeps the seed's serial
+// product-domain path.
 func (p *Pipeline) Synthesize(specs []APSpectrum, min, max geom.Point) (geom.Point, error) {
 	cell := p.cfg.GridCell
 	if cell <= 0 {
 		cell = 0.10
 	}
-	pos, _, err := Localize(specs, min, max, cell)
-	return pos, err
+	if p.cfg.SynthCache == nil {
+		pos, _, err := Localize(specs, min, max, cell)
+		return pos, err
+	}
+	sg, err := NewSynthGrid(min, max, SynthOptions{
+		Cell:         cell,
+		Workers:      p.cfg.SynthWorkers,
+		Cache:        p.cfg.SynthCache,
+		CoarseFactor: p.cfg.CoarseFactor,
+		RefineTopK:   p.cfg.RefineTopK,
+	})
+	if err != nil {
+		return geom.Point{}, err
+	}
+	return sg.Localize(specs)
 }
 
 // Locate runs the complete pipeline for one client: per-AP processing

@@ -38,35 +38,73 @@ func Likelihood(x geom.Point, aps []APSpectrum) float64 {
 	return l
 }
 
+// LogLikelihood evaluates Eq. 8 in the log domain, Σ_i log P_i(θ_i),
+// with each factor clamped at likelihoodFloor exactly as Likelihood
+// clamps it. The log is strictly monotone, so LogLikelihood orders
+// candidate positions identically to Likelihood (pinned by
+// TestLogLikelihoodPreservesOrdering) while staying finite for any AP
+// count — the accumulation the staged synthesis layer (SynthGrid)
+// shards over its flat surface.
+func LogLikelihood(x geom.Point, aps []APSpectrum) float64 {
+	l := 0.0
+	for _, ap := range aps {
+		p := ap.Spectrum.At(ap.Pos.Bearing(x))
+		if p < likelihoodFloor {
+			p = likelihoodFloor
+		}
+		l += math.Log(p)
+	}
+	return l
+}
+
 // Heatmap is a sampled likelihood surface over a rectangle, the
-// structure rendered in Figure 14.
+// structure rendered in Figure 14. Values live in one flat row-major
+// array (Flat) with per-row views (Vals) over it; surfaces from
+// SynthGrid.LogHeatmap hold log-likelihoods (≤ 0) instead of raw
+// products, which every consumer here treats equivalently since the
+// log is monotone.
 type Heatmap struct {
 	// Min is the corner of cell (0,0); Cell is the spacing in metres.
 	Min  geom.Point
 	Cell float64
-	// Vals[iy][ix] is L at (Min.X + ix·Cell, Min.Y + iy·Cell).
+	// Nx, Ny are the cell counts along each axis.
+	Nx, Ny int
+	// Flat is the row-major backing array: cell (ix, iy) is
+	// Flat[iy*Nx+ix].
+	Flat []float64
+	// Vals[iy][ix] is the value at (Min.X + ix·Cell, Min.Y + iy·Cell),
+	// a view over Flat.
 	Vals [][]float64
 }
 
+// reshape sizes the heatmap for spec, reusing the backing array and
+// row views when the shape already matches.
+func (h *Heatmap) reshape(spec GridSpec) {
+	h.Min, h.Cell = spec.Min, spec.Cell
+	if h.Nx == spec.Nx && h.Ny == spec.Ny && len(h.Flat) == spec.Cells() {
+		return
+	}
+	h.Nx, h.Ny = spec.Nx, spec.Ny
+	h.Flat = make([]float64, spec.Cells())
+	h.Vals = make([][]float64, spec.Ny)
+	for iy := 0; iy < spec.Ny; iy++ {
+		h.Vals[iy] = h.Flat[iy*spec.Nx : (iy+1)*spec.Nx : (iy+1)*spec.Nx]
+	}
+}
+
 // ComputeHeatmap evaluates the likelihood on a grid with the given cell
-// size (the paper uses 10 cm).
+// size (the paper uses 10 cm). This is the serial product-domain
+// reference; the staged SynthGrid path reproduces its argmax with
+// cached bearing LUTs at a fraction of the cost.
 func ComputeHeatmap(aps []APSpectrum, min, max geom.Point, cell float64) (*Heatmap, error) {
-	if cell <= 0 {
-		return nil, errors.New("core: heatmap cell size must be positive")
+	spec, err := GridSpecFor(min, max, cell)
+	if err != nil {
+		return nil, err
 	}
-	if max.X <= min.X || max.Y <= min.Y {
-		return nil, errors.New("core: empty heatmap area")
-	}
-	nx := int(math.Floor((max.X-min.X)/cell)) + 1
-	ny := int(math.Floor((max.Y-min.Y)/cell)) + 1
-	h := &Heatmap{Min: min, Cell: cell, Vals: make([][]float64, ny)}
-	// One flat backing array for all rows: the heatmap is the biggest
-	// single allocation on the synthesis path, and row-at-a-time
-	// allocation made it ny+1 allocations instead of two.
-	flat := make([]float64, nx*ny)
-	for iy := 0; iy < ny; iy++ {
-		h.Vals[iy] = flat[iy*nx : (iy+1)*nx : (iy+1)*nx]
-		for ix := 0; ix < nx; ix++ {
+	h := &Heatmap{}
+	h.reshape(spec)
+	for iy := 0; iy < spec.Ny; iy++ {
+		for ix := 0; ix < spec.Nx; ix++ {
 			h.Vals[iy][ix] = Likelihood(h.CellCenter(ix, iy), aps)
 		}
 	}
@@ -114,22 +152,29 @@ func (h *Heatmap) TopCells(k int) []geom.Point {
 // the output is the maximum-Y edge so the picture reads like a map.
 func (h *Heatmap) ASCII(marks map[byte]geom.Point) string {
 	shades := []byte(" .:-=+*#%@")
-	var max float64
+	// Linear-domain surfaces shade by v/max as the seed did (lo stays
+	// anchored at 0); a log-domain surface (negative values) is
+	// shifted so its full span maps onto the same ramp.
+	lo, max := 0.0, math.Inf(-1)
 	for _, row := range h.Vals {
 		for _, v := range row {
 			if v > max {
 				max = v
 			}
+			if v < lo {
+				lo = v
+			}
 		}
 	}
-	if max <= 0 {
-		max = 1
+	span := max - lo
+	if span <= 0 {
+		span = 1
 	}
 	var b strings.Builder
 	for iy := len(h.Vals) - 1; iy >= 0; iy-- {
 		row := make([]byte, len(h.Vals[iy]))
 		for ix, v := range h.Vals[iy] {
-			s := int(v / max * float64(len(shades)-1))
+			s := int((v - lo) / span * float64(len(shades)-1))
 			row[ix] = shades[s]
 		}
 		for ch, p := range marks {
@@ -171,8 +216,15 @@ func Localize(aps []APSpectrum, min, max geom.Point, cell float64) (geom.Point, 
 // hillClimb refines a position by compass pattern search on the
 // likelihood surface, shrinking the step from one cell down to 1 cm.
 func hillClimb(start geom.Point, aps []APSpectrum, step float64, min, max geom.Point) (geom.Point, float64) {
+	return hillClimbFn(start, aps, step, min, max, Likelihood)
+}
+
+// hillClimbFn is the shared compass search over any likelihood score
+// (product-domain Likelihood for the seed path, LogLikelihood for the
+// staged synthesis path — monotone-equivalent surfaces, one search).
+func hillClimbFn(start geom.Point, aps []APSpectrum, step float64, min, max geom.Point, score func(geom.Point, []APSpectrum) float64) (geom.Point, float64) {
 	cur := start
-	curL := Likelihood(cur, aps)
+	curL := score(cur, aps)
 	for step > 0.01 {
 		improved := false
 		for _, d := range [4]geom.Vec{{X: step}, {X: -step}, {Y: step}, {Y: -step}} {
@@ -180,7 +232,7 @@ func hillClimb(start geom.Point, aps []APSpectrum, step float64, min, max geom.P
 			if cand.X < min.X || cand.X > max.X || cand.Y < min.Y || cand.Y > max.Y {
 				continue
 			}
-			if l := Likelihood(cand, aps); l > curL {
+			if l := score(cand, aps); l > curL {
 				cur, curL = cand, l
 				improved = true
 			}

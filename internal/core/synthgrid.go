@@ -1,0 +1,766 @@
+package core
+
+// The staged synthesis subsystem. The seed evaluated Eq. 8 by calling
+// Likelihood serially for every grid cell, recomputing atan2 bearings
+// and spectrum interpolation per AP per cell on every fix. This file
+// rebuilds that layer in three stages:
+//
+//  1. Bearing LUTs — for one (AP position, grid geometry) pair, the
+//     bearing→bin index and interpolation fraction of every cell are
+//     fixed. SynthCache precomputes them once (via music.BinLookup,
+//     the same mapping Spectrum.At uses, so LUT and live lookups are
+//     bit-compatible) and reuses them across fixes, exactly like
+//     music.SteeringCache reuses steering matrices. atan2 disappears
+//     from the steady-state path.
+//
+//  2. Log-domain accumulation — each AP's spectrum is collapsed once
+//     per fix into a padded table of log(max(P[b], likelihoodFloor)),
+//     and the surface is a flat row-major sum of per-cell lerps over
+//     those tables, sharded across Config.SynthWorkers goroutines
+//     with scratch drawn from a sync.Pool. Between bin centers the
+//     surface interpolates log-spectra (a geometric interpolation of
+//     the spectrum), which agrees exactly with log(Likelihood) at bin
+//     centers and keeps the inner loop free of transcendentals; the
+//     argmax-level agreement with the product-domain reference is
+//     pinned on every testbed scene by TestSynthGridMatchesSeedArgmax.
+//
+//  3. Coarse-to-fine — Localize partitions the fine grid into
+//     CoarseFactor×CoarseFactor blocks and screens them by an upper
+//     bound instead of a lattice sample: each block's bearings from
+//     one AP cover a fixed circular window of spectrum bins (cached
+//     beside the LUTs), so max over the window of the AP's log table
+//     bounds every cell in the block. Blocks are refined at full
+//     resolution in bound order until no unrefined bound beats the
+//     best refined cell — a branch-and-bound argmax, exact by
+//     construction, not just on benign surfaces (narrow multi-AP
+//     likelihood spikes slip between lattice samples; a bound cannot
+//     miss them). RefineTopK blocks are always refined so hill
+//     climbing keeps several seeds.
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/geom"
+	"repro/internal/music"
+)
+
+// DefaultCoarseFactor is the coarse-to-fine screening block edge, in
+// fine cells: screening works on factor×factor blocks (50 cm for the
+// paper's 10 cm grid).
+const DefaultCoarseFactor = 5
+
+// DefaultRefineTopK is the minimum number of screening blocks refined
+// at full resolution, mirroring the seed's three hill-climbing seeds;
+// the branch-and-bound screen refines more whenever a block's bound
+// still beats the best refined cell.
+const DefaultRefineTopK = 3
+
+// minShardCells is the surface size below which sharding overhead
+// outweighs the work; smaller surfaces are evaluated serially.
+const minShardCells = 8192
+
+// minRefineCells is the fine-surface size below which the coarse
+// screening pass is skipped and the full grid evaluated directly.
+const minRefineCells = 1024
+
+// shardChunk is the cell count one worker claims at a time.
+const shardChunk = 4096
+
+// GridSpec describes a synthesis grid: the corner of cell (0,0), the
+// cell pitch in metres, and the cell counts along each axis. Cell
+// (ix, iy) is centred at Min + (ix·Cell, iy·Cell), the same lattice
+// ComputeHeatmap samples.
+type GridSpec struct {
+	Min  geom.Point
+	Cell float64
+	Nx   int
+	Ny   int
+}
+
+// GridSpecFor returns the grid covering [min, max] at the given cell
+// size, with the seed heatmap's dimension arithmetic.
+func GridSpecFor(min, max geom.Point, cell float64) (GridSpec, error) {
+	if cell <= 0 {
+		return GridSpec{}, errors.New("core: heatmap cell size must be positive")
+	}
+	if max.X <= min.X || max.Y <= min.Y {
+		return GridSpec{}, errors.New("core: empty heatmap area")
+	}
+	return GridSpec{
+		Min:  min,
+		Cell: cell,
+		Nx:   int(math.Floor((max.X-min.X)/cell)) + 1,
+		Ny:   int(math.Floor((max.Y-min.Y)/cell)) + 1,
+	}, nil
+}
+
+// Cells returns the total cell count.
+func (g GridSpec) Cells() int { return g.Nx * g.Ny }
+
+// Center returns the position of cell (ix, iy).
+func (g GridSpec) Center(ix, iy int) geom.Point {
+	return geom.Pt(g.Min.X+float64(ix)*g.Cell, g.Min.Y+float64(iy)*g.Cell)
+}
+
+// blockDims returns the screening partition: the fine grid divided
+// into factor×factor blocks (edge blocks may be smaller).
+func (g GridSpec) blockDims(factor int) (nbx, nby int) {
+	return (g.Nx + factor - 1) / factor, (g.Ny + factor - 1) / factor
+}
+
+// bearingLUT holds, for every cell of one grid as seen from one AP
+// position, the spectrum bin index and interpolation fraction of the
+// AP→cell bearing (music.BinLookup applied to the cell centre).
+// Immutable after construction, safe for concurrent use.
+type bearingLUT struct {
+	bin  []int32
+	frac []float64
+}
+
+// blockLUT holds, per screening block of one (AP position, grid,
+// factor), the minimal circular window of spectrum bins the block's
+// cells interpolate over: bins [start, start+count) mod bins. The max
+// of an AP's log table over that window bounds the AP's contribution
+// to every cell of the block. Immutable after construction.
+type blockLUT struct {
+	start []int32
+	count []int32
+}
+
+// buildBlockLUT derives the per-block bin windows from the fine LUT.
+// Every cell contributes its interpolation pair {b, b+1 mod n}; the
+// minimal circular window covering a block's set is found via the
+// largest gap in the sorted bin list.
+func buildBlockLUT(fine *bearingLUT, spec GridSpec, factor, bins int) *blockLUT {
+	nbx, nby := spec.blockDims(factor)
+	bl := &blockLUT{
+		start: make([]int32, nbx*nby),
+		count: make([]int32, nbx*nby),
+	}
+	seen := make([]bool, bins)
+	var members []int32
+	for by := 0; by < nby; by++ {
+		for bx := 0; bx < nbx; bx++ {
+			members = members[:0]
+			x0, x1, y0, y1 := blockRect(spec, factor, bx, by)
+			for iy := y0; iy < y1; iy++ {
+				for ix := x0; ix < x1; ix++ {
+					b := fine.bin[iy*spec.Nx+ix]
+					b2 := b + 1
+					if b2 == int32(bins) {
+						b2 = 0
+					}
+					if !seen[b] {
+						seen[b] = true
+						members = append(members, b)
+					}
+					if !seen[b2] {
+						seen[b2] = true
+						members = append(members, b2)
+					}
+				}
+			}
+			start, count := minCircularWindow(members, bins)
+			for _, m := range members {
+				seen[m] = false
+			}
+			c := by*nbx + bx
+			bl.start[c] = start
+			bl.count[c] = count
+		}
+	}
+	return bl
+}
+
+// blockRect returns the fine-cell rectangle [x0,x1)×[y0,y1) of
+// screening block (bx, by).
+func blockRect(spec GridSpec, factor, bx, by int) (x0, x1, y0, y1 int) {
+	x0, y0 = bx*factor, by*factor
+	x1, y1 = x0+factor, y0+factor
+	if x1 > spec.Nx {
+		x1 = spec.Nx
+	}
+	if y1 > spec.Ny {
+		y1 = spec.Ny
+	}
+	return x0, x1, y0, y1
+}
+
+// minCircularWindow returns the smallest window [start, start+count)
+// mod n covering every bin in members (unsorted, distinct). It is the
+// complement of the largest gap between circularly consecutive
+// members.
+func minCircularWindow(members []int32, n int) (start, count int32) {
+	m := len(members)
+	if m == 0 {
+		return 0, 0
+	}
+	// Insertion sort: member counts are tiny (≤2·factor² distinct).
+	for i := 1; i < m; i++ {
+		for j := i; j > 0 && members[j] < members[j-1]; j-- {
+			members[j], members[j-1] = members[j-1], members[j]
+		}
+	}
+	gapAt, gap := m-1, members[0]+int32(n)-members[m-1]
+	for i := 0; i < m-1; i++ {
+		if g := members[i+1] - members[i]; g > gap {
+			gapAt, gap = i, g
+		}
+	}
+	start = members[(gapAt+1)%m]
+	return start, int32(n) - gap + 1
+}
+
+// rangeMax scans the circular window [start, start+count) of the
+// first n entries of tab for its maximum.
+func rangeMax(tab []float64, n int, start, count int32) float64 {
+	m := math.Inf(-1)
+	idx := int(start)
+	for k := int32(0); k < count; k++ {
+		if v := tab[idx]; v > m {
+			m = v
+		}
+		idx++
+		if idx == n {
+			idx = 0
+		}
+	}
+	return m
+}
+
+func buildLUT(ap geom.Point, spec GridSpec, bins int) *bearingLUT {
+	l := &bearingLUT{
+		bin:  make([]int32, spec.Cells()),
+		frac: make([]float64, spec.Cells()),
+	}
+	c := 0
+	for iy := 0; iy < spec.Ny; iy++ {
+		for ix := 0; ix < spec.Nx; ix++ {
+			i, f := music.BinLookup(ap.Bearing(spec.Center(ix, iy)), bins)
+			l.bin[c] = int32(i)
+			l.frac[c] = f
+			c++
+		}
+	}
+	return l
+}
+
+// synthKey captures everything a bearing LUT depends on: the AP
+// position, the grid geometry, and the spectrum resolution.
+type synthKey struct {
+	apX, apY   float64
+	minX, minY float64
+	cell       float64
+	nx, ny     int
+	bins       int
+}
+
+// blockKey extends synthKey with the screening factor.
+type blockKey struct {
+	synthKey
+	factor int
+}
+
+// SynthCache memoizes bearing LUTs per (AP position, grid geometry,
+// bins) and their screening-block bin windows, the synthesis-layer
+// sibling of music.SteeringCache: deployed APs and search areas are
+// static, so each LUT is built once (the only atan2 work) and shared
+// by every subsequent fix. Safe for concurrent use; hot-path lookups
+// take only a read lock.
+type SynthCache struct {
+	mu     sync.RWMutex
+	luts   map[synthKey]*bearingLUT
+	blocks map[blockKey]*blockLUT
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// NewSynthCache returns an empty cache.
+func NewSynthCache() *SynthCache {
+	return &SynthCache{
+		luts:   make(map[synthKey]*bearingLUT),
+		blocks: make(map[blockKey]*blockLUT),
+	}
+}
+
+var sharedSynth = NewSynthCache()
+
+// SharedSynthCache returns the process-wide cache that
+// core.DefaultConfig wires into every pipeline by default.
+func SharedSynthCache() *SynthCache { return sharedSynth }
+
+func keyOf(ap geom.Point, spec GridSpec, bins int) synthKey {
+	return synthKey{
+		apX: ap.X, apY: ap.Y,
+		minX: spec.Min.X, minY: spec.Min.Y,
+		cell: spec.Cell, nx: spec.Nx, ny: spec.Ny,
+		bins: bins,
+	}
+}
+
+// lut returns the bearing LUT for (AP position, grid, bins), building
+// and memoizing it on first use. Concurrent first lookups may build
+// the LUT more than once; exactly one result is kept.
+func (c *SynthCache) lut(ap geom.Point, spec GridSpec, bins int) *bearingLUT {
+	key := keyOf(ap, spec, bins)
+	c.mu.RLock()
+	l, ok := c.luts[key]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return l
+	}
+
+	fresh := buildLUT(ap, spec, bins)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if l, ok := c.luts[key]; ok {
+		c.hits.Add(1)
+		return l
+	}
+	c.misses.Add(1)
+	c.luts[key] = fresh
+	return fresh
+}
+
+// blockWindows returns the screening-block bin windows for (AP
+// position, grid, factor), derived from the fine LUT and memoized.
+func (c *SynthCache) blockWindows(ap geom.Point, spec GridSpec, bins, factor int) *blockLUT {
+	key := blockKey{keyOf(ap, spec, bins), factor}
+	c.mu.RLock()
+	b, ok := c.blocks[key]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return b
+	}
+
+	fresh := buildBlockLUT(c.lut(ap, spec, bins), spec, factor, bins)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if b, ok := c.blocks[key]; ok {
+		c.hits.Add(1)
+		return b
+	}
+	c.misses.Add(1)
+	c.blocks[key] = fresh
+	return fresh
+}
+
+// Len returns the number of distinct LUTs held.
+func (c *SynthCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.luts)
+}
+
+// Stats returns cumulative hit and miss counts (diagnostics).
+func (c *SynthCache) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// synthWorkspace is the pooled per-fix scratch: the flat accumulators
+// for the fine and coarse surfaces, the per-AP padded log tables, the
+// LUT slice headers, and the candidate lists. It grows to the largest
+// fix it has seen. Callers must not return it to the pool while any
+// slice drawn from it is still in use.
+type synthWorkspace struct {
+	fine    []float64
+	coarse  []float64
+	logTabs [][]float64
+	luts    []*bearingLUT
+	cand    []cellCand
+}
+
+var synthScratch = sync.Pool{New: func() any { return &synthWorkspace{} }}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// logTables collapses each AP spectrum into a padded table of
+// log(max(P[b], likelihoodFloor)) — the per-fix cost that buys
+// transcendental-free per-cell accumulation.
+func (ws *synthWorkspace) logTables(aps []APSpectrum) [][]float64 {
+	if cap(ws.logTabs) < len(aps) {
+		tabs := make([][]float64, len(aps))
+		copy(tabs, ws.logTabs[:cap(ws.logTabs)])
+		ws.logTabs = tabs
+	}
+	ws.logTabs = ws.logTabs[:len(aps)]
+	for a, ap := range aps {
+		tab := ap.Spectrum.PaddedValues(ws.logTabs[a], likelihoodFloor)
+		for i, v := range tab {
+			tab[i] = math.Log(v)
+		}
+		ws.logTabs[a] = tab
+	}
+	return ws.logTabs
+}
+
+// SynthOptions configures a SynthGrid.
+type SynthOptions struct {
+	// Cell is the fine grid pitch in metres (0 means the paper's 0.10).
+	Cell float64
+	// Workers bounds the goroutines sharding the surface evaluation;
+	// 0 or 1 evaluates serially.
+	Workers int
+	// Cache supplies the bearing LUTs (nil means the shared cache).
+	Cache *SynthCache
+	// CoarseFactor is the screening block edge in fine cells (0 means
+	// DefaultCoarseFactor; 1 disables screening).
+	CoarseFactor int
+	// RefineTopK is the minimum number of screening blocks refined (0
+	// means DefaultRefineTopK).
+	RefineTopK int
+}
+
+// SynthGrid evaluates Eq. 8 over one grid geometry using cached
+// bearing LUTs. Construction is cheap — LUTs are fetched lazily from
+// the cache per AP — so a grid may be built per fix; the reuse lives
+// in the cache. Safe for concurrent use.
+type SynthGrid struct {
+	spec     GridSpec
+	min, max geom.Point
+	cache    *SynthCache
+	workers  int
+	coarse   int
+	topK     int
+}
+
+// NewSynthGrid builds a grid over [min, max] with the given options.
+func NewSynthGrid(min, max geom.Point, opt SynthOptions) (*SynthGrid, error) {
+	cell := opt.Cell
+	if cell <= 0 {
+		cell = 0.10
+	}
+	spec, err := GridSpecFor(min, max, cell)
+	if err != nil {
+		return nil, err
+	}
+	cache := opt.Cache
+	if cache == nil {
+		cache = SharedSynthCache()
+	}
+	workers := opt.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	coarse := opt.CoarseFactor
+	if coarse == 0 {
+		coarse = DefaultCoarseFactor
+	}
+	if coarse < 1 {
+		coarse = 1
+	}
+	topK := opt.RefineTopK
+	if topK <= 0 {
+		topK = DefaultRefineTopK
+	}
+	return &SynthGrid{
+		spec: spec, min: min, max: max,
+		cache: cache, workers: workers, coarse: coarse, topK: topK,
+	}, nil
+}
+
+// Spec returns the fine grid geometry.
+func (sg *SynthGrid) Spec() GridSpec { return sg.spec }
+
+// evalRange accumulates the log surface for cells [lo, hi): for each
+// AP, a branch-free lerp over its padded log table at the LUT's
+// (bin, frac). The first AP assigns instead of adding, so the
+// accumulator needs no zeroing pass. Per-cell order over APs is
+// fixed, so results are independent of sharding.
+func evalRange(acc []float64, luts []*bearingLUT, logTabs [][]float64, lo, hi int) {
+	for a, lut := range luts {
+		tab := logTabs[a]
+		bin, frac := lut.bin, lut.frac
+		if a == 0 {
+			for c := lo; c < hi; c++ {
+				b, f := bin[c], frac[c]
+				acc[c] = tab[b]*(1-f) + tab[b+1]*f
+			}
+		} else {
+			for c := lo; c < hi; c++ {
+				b, f := bin[c], frac[c]
+				acc[c] += tab[b]*(1-f) + tab[b+1]*f
+			}
+		}
+	}
+}
+
+// evalSurface fills acc (one float per cell of spec) with the
+// log-domain surface, sharding across the grid's workers when the
+// surface is big enough to pay for it.
+func (sg *SynthGrid) evalSurface(acc []float64, spec GridSpec, luts []*bearingLUT, logTabs [][]float64) {
+	cells := len(acc)
+	workers := sg.workers
+	if workers > cells/shardChunk {
+		workers = cells / shardChunk
+	}
+	if workers <= 1 || cells < minShardCells {
+		evalRange(acc, luts, logTabs, 0, cells)
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(shardChunk)) - shardChunk
+				if lo >= cells {
+					return
+				}
+				hi := lo + shardChunk
+				if hi > cells {
+					hi = cells
+				}
+				evalRange(acc, luts, logTabs, lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// fetchLUTs resolves the per-AP bearing LUTs for spec.
+func (sg *SynthGrid) fetchLUTs(ws *synthWorkspace, aps []APSpectrum, spec GridSpec) []*bearingLUT {
+	if cap(ws.luts) < len(aps) {
+		ws.luts = make([]*bearingLUT, len(aps))
+	}
+	ws.luts = ws.luts[:len(aps)]
+	for a, ap := range aps {
+		ws.luts[a] = sg.cache.lut(ap.Pos, spec, ap.Spectrum.Bins())
+	}
+	return ws.luts
+}
+
+// cellCand is one candidate cell of a surface.
+type cellCand struct {
+	idx int
+	val float64
+}
+
+// pushCand inserts (idx, val) into the descending top-k list best,
+// deduplicating by cell index (refinement windows may overlap) and
+// breaking value ties toward the lower index so candidate order never
+// depends on scan order.
+func pushCand(best []cellCand, k, idx int, val float64) []cellCand {
+	for _, b := range best {
+		if b.idx == idx {
+			return best
+		}
+	}
+	if len(best) < k {
+		best = append(best, cellCand{idx, val})
+	} else if better(val, idx, best[len(best)-1]) {
+		best[len(best)-1] = cellCand{idx, val}
+	} else {
+		return best
+	}
+	for j := len(best) - 1; j > 0 && better(best[j].val, best[j].idx, best[j-1]); j-- {
+		best[j], best[j-1] = best[j-1], best[j]
+	}
+	return best
+}
+
+func better(val float64, idx int, than cellCand) bool {
+	if val != than.val {
+		return val > than.val
+	}
+	return idx < than.idx
+}
+
+// topCells scans cells [lo, hi) of acc into the top-k list.
+func topCells(best []cellCand, k int, acc []float64, lo, hi int) []cellCand {
+	for c := lo; c < hi; c++ {
+		best = pushCand(best, k, c, acc[c])
+	}
+	return best
+}
+
+// refineEnabled reports whether the coarse screening pass is worth
+// running for this grid.
+func (sg *SynthGrid) refineEnabled() bool {
+	return sg.coarse > 1 && sg.spec.Cells() >= minRefineCells
+}
+
+// blockBounds fills bounds (one entry per screening block) with the
+// per-block upper bound of the fine surface: Σ over APs of the max of
+// the AP's log table over the block's bin window. No fine cell can
+// exceed its block's bound — both lerp endpoints lie inside the
+// window.
+func (sg *SynthGrid) blockBounds(ws *synthWorkspace, aps []APSpectrum, logTabs [][]float64) []float64 {
+	nbx, nby := sg.spec.blockDims(sg.coarse)
+	ws.coarse = growFloats(ws.coarse, nbx*nby)
+	bounds := ws.coarse
+	for a, ap := range aps {
+		bl := sg.cache.blockWindows(ap.Pos, sg.spec, ap.Spectrum.Bins(), sg.coarse)
+		tab := logTabs[a]
+		n := ap.Spectrum.Bins()
+		if a == 0 {
+			for c := range bounds {
+				bounds[c] = rangeMax(tab, n, bl.start[c], bl.count[c])
+			}
+		} else {
+			for c := range bounds {
+				bounds[c] += rangeMax(tab, n, bl.start[c], bl.count[c])
+			}
+		}
+	}
+	return bounds
+}
+
+// hillClimbSeeds is how many top cells seed hill climbing, mirroring
+// the seed estimator's TopCells(3).
+const hillClimbSeeds = 3
+
+// candidates fills ws.cand with the top hill-climbing seed cells of
+// the fine surface — via the full evaluation when refined is false,
+// via the branch-and-bound screen when true. The returned slice
+// aliases ws and is valid until the workspace's next use.
+//
+// The screen refines blocks in descending bound order and stops once
+// no unrefined block's bound reaches the best refined cell value (a
+// cell beating the current best would force its block's bound above
+// it, so stopping is safe and the argmax matches the full scan
+// exactly, lower-index tie-break included: a tying cell's block bound
+// is ≥ the tie value, so its block is refined too). At least topK
+// blocks are refined so hill climbing sees several basins.
+func (sg *SynthGrid) candidates(ws *synthWorkspace, aps []APSpectrum, refined bool) []cellCand {
+	logTabs := ws.logTables(aps)
+	ws.fine = growFloats(ws.fine, sg.spec.Cells())
+	luts := sg.fetchLUTs(ws, aps, sg.spec)
+	if refined && sg.refineEnabled() {
+		bounds := sg.blockBounds(ws, aps, logTabs)
+		nbx, _ := sg.spec.blockDims(sg.coarse)
+		ws.cand = ws.cand[:0]
+		best := math.Inf(-1)
+		// If the screen stops pruning (a near-flat surface ties every
+		// bound to the best cell), the repeated linear bound scans turn
+		// quadratic and serial — past this budget the sharded full
+		// evaluation is cheaper, and trivially exact.
+		maxRefine := len(bounds)/4 + sg.topK
+		for refinedBlocks := 0; ; refinedBlocks++ {
+			if refinedBlocks >= maxRefine {
+				sg.evalSurface(ws.fine, sg.spec, luts, logTabs)
+				ws.cand = topCells(ws.cand[:0], hillClimbSeeds, ws.fine, 0, sg.spec.Cells())
+				return ws.cand
+			}
+			pick := -1
+			for c, b := range bounds {
+				if !math.IsInf(b, -1) && (pick == -1 || b > bounds[pick]) {
+					pick = c
+				}
+			}
+			if pick == -1 || (bounds[pick] < best && refinedBlocks >= sg.topK) {
+				break
+			}
+			x0, x1, y0, y1 := blockRect(sg.spec, sg.coarse, pick%nbx, pick/nbx)
+			for iy := y0; iy < y1; iy++ {
+				lo, hi := iy*sg.spec.Nx+x0, iy*sg.spec.Nx+x1
+				evalRange(ws.fine, luts, logTabs, lo, hi)
+				ws.cand = topCells(ws.cand, hillClimbSeeds, ws.fine, lo, hi)
+			}
+			if len(ws.cand) > 0 {
+				best = ws.cand[0].val
+			}
+			bounds[pick] = math.Inf(-1) // refined: out of the running
+		}
+		return ws.cand
+	}
+	sg.evalSurface(ws.fine, sg.spec, luts, logTabs)
+	ws.cand = topCells(ws.cand[:0], hillClimbSeeds, ws.fine, 0, sg.spec.Cells())
+	return ws.cand
+}
+
+// argmaxCell runs candidates and returns the best fine cell index.
+func (sg *SynthGrid) argmaxCell(aps []APSpectrum, refined bool) (int, error) {
+	if len(aps) == 0 {
+		return 0, errors.New("core: no AP spectra to synthesize")
+	}
+	ws := synthScratch.Get().(*synthWorkspace)
+	defer synthScratch.Put(ws)
+	best := sg.candidates(ws, aps, refined)
+	if len(best) == 0 {
+		return 0, errors.New("core: empty synthesis surface")
+	}
+	return best[0].idx, nil
+}
+
+// FullArgmaxCell evaluates the complete fine surface and returns the
+// flat row-major index of its maximum cell.
+func (sg *SynthGrid) FullArgmaxCell(aps []APSpectrum) (int, error) {
+	return sg.argmaxCell(aps, false)
+}
+
+// RefinedArgmaxCell returns the maximum cell found by the
+// coarse-to-fine screen (identical to FullArgmaxCell on the testbed
+// scenes; pinned by test).
+func (sg *SynthGrid) RefinedArgmaxCell(aps []APSpectrum) (int, error) {
+	return sg.argmaxCell(aps, true)
+}
+
+// Localize is the §2.5 estimator on the staged subsystem: the
+// coarse-to-fine grid screen seeds hill climbing (log-domain scoring,
+// which orders positions exactly as the Eq. 8 product does) from the
+// top cells, returning the maximum-likelihood position.
+func (sg *SynthGrid) Localize(aps []APSpectrum) (geom.Point, error) {
+	if len(aps) == 0 {
+		return geom.Point{}, errors.New("core: no AP spectra to synthesize")
+	}
+	ws := synthScratch.Get().(*synthWorkspace)
+	defer synthScratch.Put(ws)
+	best := sg.candidates(ws, aps, true)
+	pos := geom.Point{}
+	score := math.Inf(-1)
+	for _, cand := range best {
+		seed := sg.spec.Center(cand.idx%sg.spec.Nx, cand.idx/sg.spec.Nx)
+		p, l := hillClimbLog(seed, aps, sg.spec.Cell, sg.min, sg.max)
+		if l > score {
+			pos, score = p, l
+		}
+	}
+	return pos, nil
+}
+
+// LogHeatmapInto fills h with the full-resolution log-domain surface
+// (values are log-likelihoods: 0 is the clamp-free maximum, more
+// negative is less likely), reusing h's storage when the shape
+// matches. Steady state allocates nothing.
+func (sg *SynthGrid) LogHeatmapInto(h *Heatmap, aps []APSpectrum) error {
+	if len(aps) == 0 {
+		return errors.New("core: no AP spectra to synthesize")
+	}
+	h.reshape(sg.spec)
+	ws := synthScratch.Get().(*synthWorkspace)
+	logTabs := ws.logTables(aps)
+	sg.evalSurface(h.Flat, sg.spec, sg.fetchLUTs(ws, aps, sg.spec), logTabs)
+	synthScratch.Put(ws)
+	return nil
+}
+
+// LogHeatmap is LogHeatmapInto into a fresh heatmap.
+func (sg *SynthGrid) LogHeatmap(aps []APSpectrum) (*Heatmap, error) {
+	h := &Heatmap{}
+	if err := sg.LogHeatmapInto(h, aps); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// hillClimbLog is hillClimb scored on the log-likelihood surface. The
+// log is strictly monotone, so the climb visits the same positions as
+// the product-domain version while composing with the grid's
+// log-domain candidate scores. (LogLikelihood is a top-level function,
+// so the func value allocates nothing.)
+func hillClimbLog(start geom.Point, aps []APSpectrum, step float64, min, max geom.Point) (geom.Point, float64) {
+	return hillClimbFn(start, aps, step, min, max, LogLikelihood)
+}

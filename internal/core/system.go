@@ -45,6 +45,27 @@ type Config struct {
 	// APs concurrently. 0 or 1 processes APs serially; DefaultConfig
 	// sets GOMAXPROCS. Results are deterministic regardless.
 	APWorkers int
+	// SynthCache shares precomputed bearing→bin lookup tables for the
+	// Eq. 8 synthesis grid per (AP position, grid geometry) — the
+	// synthesis-layer sibling of Steering. nil selects the seed
+	// synthesis path (serial product-domain grid search plus hill
+	// climbing); DefaultConfig wires in the process-wide cache.
+	SynthCache *SynthCache
+	// SynthWorkers bounds the goroutines sharding the synthesis
+	// surface when the LUT path is active. 0 or 1 evaluates serially;
+	// DefaultConfig sets GOMAXPROCS. Results are deterministic
+	// regardless.
+	SynthWorkers int
+	// CoarseFactor is the synthesis coarse-to-fine screening block
+	// edge in fine cells: the grid search bounds CoarseFactor² -cell
+	// blocks and refines them at full resolution in bound order,
+	// stopping when no remaining bound beats the best refined cell —
+	// the refined argmax equals the full-grid argmax exactly. 0
+	// selects DefaultCoarseFactor (5); 1 evaluates the full grid.
+	CoarseFactor int
+	// RefineTopK is the minimum number of screening blocks the
+	// synthesis screen refines (0 selects DefaultRefineTopK).
+	RefineTopK int
 	// Estimator is the pluggable frame→spectrum stage (nil means
 	// MUSIC, the paper's pipeline). See music.EstimatorByName.
 	Estimator music.Estimator
@@ -73,6 +94,10 @@ func DefaultConfig(wavelength float64) Config {
 		Steering:            music.SharedSteeringCache(),
 		APWorkers:           runtime.GOMAXPROCS(0),
 		Workspaces:          music.SharedWorkspacePool(),
+		SynthCache:          SharedSynthCache(),
+		SynthWorkers:        runtime.GOMAXPROCS(0),
+		CoarseFactor:        DefaultCoarseFactor,
+		RefineTopK:          DefaultRefineTopK,
 	}
 }
 

@@ -55,9 +55,11 @@ type Options struct {
 	// once the queue is full, providing natural backpressure.
 	Queue int
 	// Config is the pipeline configuration applied to every job. The
-	// engine clamps Config.APWorkers to 1: the pool already keeps
-	// every core busy across clients, so per-AP fan-out inside a
-	// worker would only oversubscribe the machine.
+	// engine clamps Config.APWorkers and Config.SynthWorkers to 1:
+	// the pool already keeps every core busy across clients, so
+	// per-AP or per-shard fan-out inside a worker would only
+	// oversubscribe the machine. Synthesis still reuses the cached
+	// bearing LUTs and the coarse-to-fine screen per job.
 	Config core.Config
 	// Tracker, when non-nil, folds every successful fix into the
 	// client's Kalman track; results carry the smoothed update and
@@ -83,6 +85,10 @@ type Stats struct {
 	// TrackRejects is the cumulative number of fixes the tracker's
 	// outlier gate discarded (0 without a tracker).
 	TrackRejects uint64
+	// SynthLUTs is the number of distinct bearing LUTs the synthesis
+	// cache holds — one per (AP position, grid geometry) pair seen (0
+	// when the config runs the seed synthesis path).
+	SynthLUTs int
 	// Workers is the pool size.
 	Workers int
 	// Queued is the instantaneous queue depth.
@@ -123,6 +129,9 @@ func New(opt Options) *Engine {
 	cfg := opt.Config
 	if cfg.APWorkers > 1 {
 		cfg.APWorkers = 1
+	}
+	if cfg.SynthWorkers > 1 {
+		cfg.SynthWorkers = 1
 	}
 	e := &Engine{
 		cfg:     cfg,
@@ -227,6 +236,9 @@ func (e *Engine) Stats() Stats {
 		ts := e.tracker.Stats()
 		s.TrackedClients = ts.Clients
 		s.TrackRejects = ts.GateRejects
+	}
+	if e.cfg.SynthCache != nil {
+		s.SynthLUTs = e.cfg.SynthCache.Len()
 	}
 	return s
 }

@@ -48,20 +48,81 @@ func (s *Spectrum) BinOf(theta float64) int {
 	return i
 }
 
-// At returns the spectrum value at bearing theta with linear
-// interpolation between bins. This is the Pᵢ(θᵢ) lookup in the
-// synthesis step (Eq. 8).
-func (s *Spectrum) At(theta float64) float64 {
-	n := float64(len(s.P))
-	pos := theta / (2 * math.Pi) * n
-	pos = math.Mod(pos, n)
+// BinLookup maps a bearing to its interpolation pair for an n-bin
+// spectrum: the lower bin index in [0, n) and the fraction in [0, 1)
+// toward bin (i+1) mod n. This is the one canonical bearing→bin
+// mapping: Spectrum.At and the synthesis-layer bearing LUTs
+// (core.SynthCache) both build on it, so a precomputed lookup is
+// bit-compatible with a live one by construction.
+func BinLookup(theta float64, n int) (int, float64) {
+	nf := float64(n)
+	pos := theta / (2 * math.Pi) * nf
+	pos = math.Mod(pos, nf)
 	if pos < 0 {
-		pos += n
+		pos += nf
+		// A tiny negative remainder (|pos| below half an ulp of n)
+		// rounds to exactly n here, which would index one past the
+		// last bin: that bearing is the 2π seam, i.e. bin 0.
+		if pos >= nf {
+			pos = 0
+		}
 	}
 	i := int(pos)
-	frac := pos - float64(i)
-	j := (i + 1) % len(s.P)
+	return i, pos - float64(i)
+}
+
+// At returns the spectrum value at bearing theta with linear
+// interpolation between bins (wrapping bin n−1 back to bin 0 at the 2π
+// seam). This is the Pᵢ(θᵢ) lookup in the synthesis step (Eq. 8).
+func (s *Spectrum) At(theta float64) float64 {
+	i, frac := BinLookup(theta, len(s.P))
+	j := i + 1
+	if j == len(s.P) {
+		j = 0
+	}
 	return s.P[i]*(1-frac) + s.P[j]*frac
+}
+
+// AtBins evaluates At for precomputed bin lookups: dst[k] is the
+// interpolated value for the pair (bins[k], frac[k]) as produced by
+// BinLookup. dst is grown as needed and returned. The arithmetic is
+// exactly At's, so batched and scalar lookups are bit-identical.
+func (s *Spectrum) AtBins(bins []int32, frac []float64, dst []float64) []float64 {
+	if cap(dst) < len(bins) {
+		dst = make([]float64, len(bins))
+	}
+	dst = dst[:len(bins)]
+	n := int32(len(s.P))
+	for k, i := range bins {
+		j := i + 1
+		if j == n {
+			j = 0
+		}
+		f := frac[k]
+		dst[k] = s.P[i]*(1-f) + s.P[j]*f
+	}
+	return dst
+}
+
+// PaddedValues writes the spectrum into dst as an (n+1)-entry table
+// with dst[n] = dst[0], clamping every value to at least floor. A
+// padded table turns the circular interpolation neighbour (i+1) mod n
+// into the branch-free i+1, which is what the synthesis layer's batch
+// accumulation loops index. dst is grown as needed and returned.
+func (s *Spectrum) PaddedValues(dst []float64, floor float64) []float64 {
+	n := len(s.P)
+	if cap(dst) < n+1 {
+		dst = make([]float64, n+1)
+	}
+	dst = dst[:n+1]
+	for i, v := range s.P {
+		if v < floor {
+			v = floor
+		}
+		dst[i] = v
+	}
+	dst[n] = dst[0]
+	return dst
 }
 
 // Max returns the largest spectrum value and its bin.

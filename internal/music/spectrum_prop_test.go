@@ -108,3 +108,90 @@ func TestPropAtInterpolationBounded(t *testing.T) {
 		}
 	}
 }
+
+// TestAtSeamRegression pins the 2π-seam fix: a bearing whose remainder
+// is a tiny negative number used to round to exactly n after the +n
+// adjustment and index one past the last bin (a panic), and bearings
+// just under 2π must interpolate bin n−1 toward bin 0, not toward a
+// phantom bin n.
+func TestAtSeamRegression(t *testing.T) {
+	for _, n := range []int{3, 359, 360, 1024} {
+		s := NewSpectrum(n)
+		for i := range s.P {
+			s.P[i] = float64(i + 1)
+		}
+		seams := []float64{
+			0, -1e-18, 1e-18, -1e-300, 2 * math.Pi, -2 * math.Pi,
+			math.Nextafter(2*math.Pi, 0), math.Nextafter(2*math.Pi, 4),
+			-math.Nextafter(2*math.Pi, 0), 4 * math.Pi, -6 * math.Pi,
+		}
+		for _, theta := range seams {
+			i, frac := BinLookup(theta, n)
+			if i < 0 || i >= n || frac < 0 || frac >= 1 {
+				t.Fatalf("n=%d: BinLookup(%v) = (%d, %v) out of range", n, theta, i, frac)
+			}
+			v := s.At(theta) // must not panic
+			lo, hi := s.P[i], s.P[(i+1)%n]
+			if hi < lo {
+				lo, hi = hi, lo
+			}
+			if v < lo || v > hi {
+				t.Fatalf("n=%d: At(%v) = %v outside its bin pair [%v, %v]", n, theta, v, lo, hi)
+			}
+		}
+		// Approaching the seam from below must converge to bin 0's
+		// value, interpolating across the wraparound.
+		want := s.P[n-1] + (s.P[0]-s.P[n-1])*0.999
+		eps := math.Abs(s.P[0]-s.P[n-1]) * 2e-3
+		theta := 2 * math.Pi * (float64(n) - 0.001) / float64(n)
+		if v := s.At(theta); math.Abs(v-want) > eps {
+			t.Fatalf("n=%d: At just below 2π = %v, want ≈%v (wraparound toward bin 0)", n, v, want)
+		}
+	}
+}
+
+// TestAtBinsMatchesAt: batched evaluation over precomputed lookups is
+// bit-identical to the scalar path, including at the seam.
+func TestAtBinsMatchesAt(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, n := range []int{3, 90, 360} {
+		s := randomSpectrum(n, rng)
+		thetas := []float64{0, -1e-18, 2 * math.Pi, math.Nextafter(2*math.Pi, 0)}
+		for trial := 0; trial < 200; trial++ {
+			thetas = append(thetas, (rng.Float64()-0.5)*30)
+		}
+		bins := make([]int32, len(thetas))
+		frac := make([]float64, len(thetas))
+		for k, theta := range thetas {
+			i, f := BinLookup(theta, n)
+			bins[k] = int32(i)
+			frac[k] = f
+		}
+		got := s.AtBins(bins, frac, nil)
+		for k, theta := range thetas {
+			if want := s.At(theta); got[k] != want {
+				t.Fatalf("n=%d: AtBins[%d] = %v, At(%v) = %v — not bit-identical", n, k, got[k], theta, want)
+			}
+		}
+	}
+}
+
+func TestPaddedValues(t *testing.T) {
+	s := NewSpectrum(4)
+	copy(s.P, []float64{0.5, 1e-9, 0.25, 1})
+	tab := s.PaddedValues(nil, 1e-6)
+	if len(tab) != 5 {
+		t.Fatalf("padded length %d, want 5", len(tab))
+	}
+	if tab[1] != 1e-6 {
+		t.Fatalf("floor not applied: %v", tab[1])
+	}
+	if tab[4] != tab[0] {
+		t.Fatalf("padding %v != bin 0 %v", tab[4], tab[0])
+	}
+	// Reuse must not reallocate.
+	tab2 := s.PaddedValues(tab, 1e-6)
+	if &tab2[0] != &tab[0] {
+		t.Fatal("PaddedValues reallocated despite sufficient capacity")
+	}
+}

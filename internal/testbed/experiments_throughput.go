@@ -77,8 +77,9 @@ func (tb *Testbed) RunThroughput(opt ThroughputOptions) (*Report, error) {
 
 	serialCfg := core.DefaultConfig(tb.Wavelength)
 	serialCfg.GridCell = opt.GridCell
-	serialCfg.Steering = nil // the seed recomputed steering per bin
-	serialCfg.APWorkers = 0  // and processed APs serially
+	serialCfg.Steering = nil   // the seed recomputed steering per bin
+	serialCfg.APWorkers = 0    // and processed APs serially
+	serialCfg.SynthCache = nil // and synthesized on the product-domain grid
 
 	cachedCfg := serialCfg
 	cachedCfg.Steering = music.NewSteeringCache()

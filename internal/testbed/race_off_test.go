@@ -1,0 +1,6 @@
+//go:build !race
+
+package testbed
+
+// raceEnabled: see race_on_test.go.
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package testbed
+
+// raceEnabled: perf-gate tests skip under the race detector (pool
+// drops and instrumentation skew allocs and timings); the non-race CI
+// step enforces them. See internal/core/race_on_test.go.
+const raceEnabled = true
