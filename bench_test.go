@@ -498,6 +498,79 @@ func BenchmarkComputeHeatmap(b *testing.B) {
 	})
 }
 
+// BenchmarkRegionLocalize times ad-hoc region fixes through the
+// bounded synthesis cache. "warm" is the steady interactive case: the
+// same box re-queried against cached LUTs (the ≤2 allocs/op gate path,
+// enforced by TestRegionSteadyStateAllocs). "sliced" constructs the
+// grid per fix and derives its LUTs by slicing the cached full-grid
+// entries — the first-query cost of a fresh box once the floor is
+// warm. "churn" cycles 32 distinct boxes against a budget sized to
+// force eviction on nearly every query — the worst case the
+// accounting gate bounds.
+func BenchmarkRegionLocalize(b *testing.B) {
+	specs, min, max := benchSynthScene(b)
+	const cell = 0.10
+	mkRegion := func(i int) core.Region {
+		x0 := 2 + float64(i%8)*3.5
+		y0 := 1 + float64(i/8%4)*2.5
+		return core.Region{Min: geom.Pt(x0, y0), Max: geom.Pt(x0+8, y0+5)}
+	}
+
+	b.Run("warm", func(b *testing.B) {
+		cache := core.NewSynthCacheBudget(64 << 20)
+		sg, err := core.NewSynthGridRegion(min, max, mkRegion(0), core.SynthOptions{Cell: cell, Workers: 1, Cache: cache})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sg.Localize(specs); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sg.Localize(specs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sliced", func(b *testing.B) {
+		cache := core.NewSynthCacheBudget(64 << 20)
+		full, err := core.NewSynthGrid(min, max, core.SynthOptions{Cell: cell, Workers: 1, Cache: cache})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var h core.Heatmap
+		if err := full.LogHeatmapInto(&h, specs); err != nil { // warm the parent LUTs
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sg, err := core.NewSynthGridRegion(min, max, mkRegion(i%32), core.SynthOptions{Cell: cell, Workers: 1, Cache: cache})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sg.Localize(specs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("churn", func(b *testing.B) {
+		cache := core.NewSynthCacheBudget(1 << 20)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sg, err := core.NewSynthGridRegion(min, max, mkRegion(i%32), core.SynthOptions{Cell: cell, Workers: 1, Cache: cache})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sg.Localize(specs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // Extension benches: the future-work and discussion features.
 
 func BenchmarkThreeDLocalization(b *testing.B) {

@@ -33,9 +33,11 @@ import (
 
 func logStats(eng *engine.Engine, backend *server.Backend) {
 	st := eng.Stats()
-	log.Printf("stats: submitted=%d completed=%d fixes=%d failures=%d rejected=%d tracked=%d gate_rejects=%d queued=%d pending_clients=%d workers=%d",
-		st.Submitted, st.Completed, st.Fixes, st.Failures, st.Rejected,
-		st.TrackedClients, st.TrackRejects, st.Queued, backend.PendingClients(), st.Workers)
+	log.Printf("stats: submitted=%d (prio=%d) completed=%d fixes=%d failures=%d rejected=%d tracked=%d gate_rejects=%d queued=%d prio_queued=%d pending_clients=%d workers=%d",
+		st.Submitted, st.PrioritySubmitted, st.Completed, st.Fixes, st.Failures, st.Rejected,
+		st.TrackedClients, st.TrackRejects, st.Queued, st.PriorityQueued, backend.PendingClients(), st.Workers)
+	log.Printf("synth cache: entries=%d bytes=%d budget=%d hits=%d misses=%d evictions=%d slices=%d",
+		st.SynthLUTs, st.SynthBytes, st.SynthBudget, st.SynthHits, st.SynthMisses, st.SynthEvictions, st.SynthSlices)
 }
 
 func main() {
@@ -46,6 +48,8 @@ func main() {
 	estimator := flag.String("estimator", "music", "AoA estimator: music, bartlett, or baseline")
 	trackTTL := flag.Duration("track-ttl", 30*time.Second, "evict a client's track after this much silence")
 	statsEvery := flag.Duration("stats-every", 30*time.Second, "period for the stats log line (0 disables)")
+	synthBudget := flag.Int64("synth-cache-budget", core.DefaultSynthCacheBudget,
+		"byte budget for the synthesis LUT cache (ad-hoc region queries churn it; 0 = unbounded)")
 	flag.Parse()
 
 	tb := testbed.New()
@@ -56,6 +60,9 @@ func main() {
 		log.Fatal(err)
 	}
 	cfg.Estimator = est
+	if *synthBudget != core.SharedSynthCache().Budget() {
+		cfg.SynthCache = core.NewSynthCacheBudget(*synthBudget)
+	}
 
 	tracker := engine.NewTracker(engine.TrackerOptions{TTL: *trackTTL})
 	eng := engine.New(engine.Options{Workers: *workers, Config: cfg, Tracker: tracker})

@@ -139,6 +139,17 @@ var experiments = []experiment{
 		}
 		return tb.RunSynth(opt)
 	}},
+	{"regions", "ad-hoc region queries: bounded cache + latency lane", func(tb *testbed.Testbed, fast bool) (*testbed.Report, error) {
+		opt := testbed.DefaultRegionsOptions()
+		if fast {
+			opt.MaxClients = 3
+			opt.Queries = 120
+			opt.Budgets = []int64{1 << 20, 32 << 20}
+			opt.BatchJobs = 24
+			opt.PriorityJobs = 6
+		}
+		return tb.RunRegions(opt)
+	}},
 	{"ablation", "pipeline ablations", func(tb *testbed.Testbed, fast bool) (*testbed.Report, error) {
 		opt := accuracyOpts(fast)
 		opt.APCounts = []int{3}

@@ -177,15 +177,53 @@ func (p *Pipeline) processAP(ws *music.Workspace, ap *AP, frames []FrameCapture)
 // coarse-to-fine refinement; a nil SynthCache keeps the seed's serial
 // product-domain path.
 func (p *Pipeline) Synthesize(specs []APSpectrum, min, max geom.Point) (geom.Point, error) {
+	return p.SynthesizeRegion(specs, min, max, Region{})
+}
+
+// SynthesizeRegion is Synthesize restricted to an ad-hoc search
+// region (zero region = full area). On the staged path a region at
+// the configured pitch snaps to the full grid's lattice, so its
+// bearing LUTs slice out of cached full-grid entries and its argmax
+// equals the full-grid argmax restricted to the box; the seed path
+// grid-searches the clamped box directly. The region is validated
+// here, so malformed boxes fail a fix rather than corrupting it.
+func (p *Pipeline) SynthesizeRegion(specs []APSpectrum, min, max geom.Point, region Region) (geom.Point, error) {
+	if err := region.Validate(); err != nil {
+		return geom.Point{}, err
+	}
 	cell := p.cfg.GridCell
 	if cell <= 0 {
 		cell = 0.10
 	}
 	if p.cfg.SynthCache == nil {
-		pos, _, err := Localize(specs, min, max, cell)
+		lo, hi := min, max
+		if !region.IsZero() {
+			var err error
+			if lo, hi, err = region.clampTo(min, max); err != nil {
+				return geom.Point{}, err
+			}
+			if region.Cell != 0 && region.Cell != cell {
+				// Same work cap as the staged path: a scoped pitch may
+				// not demand more cells than a full-area fix.
+				full, err := GridSpecFor(min, max, cell)
+				if err != nil {
+					return geom.Point{}, err
+				}
+				scoped, err := GridSpecFor(lo, hi, region.Cell)
+				if err != nil {
+					return geom.Point{}, err
+				}
+				if scoped.Cells() > full.Cells() {
+					return geom.Point{}, fmt.Errorf("%w: %d cells at pitch %g exceeds the %d-cell full grid",
+						ErrBadRegion, scoped.Cells(), region.Cell, full.Cells())
+				}
+				cell = region.Cell
+			}
+		}
+		pos, _, err := Localize(specs, lo, hi, cell)
 		return pos, err
 	}
-	sg, err := NewSynthGrid(min, max, SynthOptions{
+	sg, err := NewSynthGridRegion(min, max, region, SynthOptions{
 		Cell:         cell,
 		Workers:      p.cfg.SynthWorkers,
 		Cache:        p.cfg.SynthCache,
@@ -203,6 +241,13 @@ func (p *Pipeline) Synthesize(specs []APSpectrum, min, max geom.Point) (geom.Poi
 // then synthesis. captures[i] holds the frames AP i overheard; APs
 // with no captures are skipped. At least one AP must contribute.
 func (p *Pipeline) Locate(aps []*AP, captures [][]FrameCapture, min, max geom.Point) (geom.Point, []APSpectrum, error) {
+	return p.LocateRegion(aps, captures, min, max, Region{})
+}
+
+// LocateRegion is Locate with the synthesis stage restricted to an
+// ad-hoc search region (zero region = full area). Spectrum processing
+// is identical; only the Eq. 8 search area changes.
+func (p *Pipeline) LocateRegion(aps []*AP, captures [][]FrameCapture, min, max geom.Point, region Region) (geom.Point, []APSpectrum, error) {
 	if len(aps) != len(captures) {
 		return geom.Point{}, nil, errors.New("core: captures must align with APs")
 	}
@@ -263,6 +308,6 @@ func (p *Pipeline) Locate(aps []*AP, captures [][]FrameCapture, min, max geom.Po
 		}
 		specs = append(specs, APSpectrum{Pos: aps[i].Array.Pos, Spectrum: spectra[i]})
 	}
-	pos, err := p.Synthesize(specs, min, max)
+	pos, err := p.SynthesizeRegion(specs, min, max, region)
 	return pos, specs, err
 }

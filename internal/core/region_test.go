@@ -1,0 +1,277 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// TestRegionValidate rejects the malformed boxes the fuzz corpus and
+// the wire decoder rely on being rejected.
+func TestRegionValidate(t *testing.T) {
+	nan := math.NaN()
+	inf := math.Inf(1)
+	bad := []Region{
+		{Min: geom.Pt(nan, 0), Max: geom.Pt(1, 1)},
+		{Min: geom.Pt(0, 0), Max: geom.Pt(inf, 1)},
+		{Min: geom.Pt(0, nan), Max: geom.Pt(1, 1)},
+		{Min: geom.Pt(1, 1), Max: geom.Pt(0, 0)}, // inverted
+		{Min: geom.Pt(2, 0), Max: geom.Pt(1, 5)}, // inverted X
+		{Min: geom.Pt(3, 3), Max: geom.Pt(3, 8)}, // degenerate X
+		{Min: geom.Pt(3, 3), Max: geom.Pt(8, 3)}, // degenerate Y
+		{Min: geom.Pt(0, 0), Max: geom.Pt(1, 1), Cell: nan},
+		{Min: geom.Pt(0, 0), Max: geom.Pt(1, 1), Cell: -0.1},
+		{Min: geom.Pt(0, 0), Max: geom.Pt(1, 1), Cell: 1e-6},
+		{Min: geom.Pt(0, 0), Max: geom.Pt(1, 1), Cell: 1e9},
+		{Min: geom.Pt(-2e6, 0), Max: geom.Pt(1, 1)},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); !errors.Is(err, ErrBadRegion) {
+			t.Errorf("case %d (%+v): Validate() = %v, want ErrBadRegion", i, r, err)
+		}
+	}
+	good := []Region{
+		{}, // zero means "no region"
+		{Min: geom.Pt(2, 3), Max: geom.Pt(5, 6)},
+		{Min: geom.Pt(-10, -10), Max: geom.Pt(10, 10), Cell: 0.25},
+	}
+	for i, r := range good {
+		if err := r.Validate(); err != nil {
+			t.Errorf("good case %d: Validate() = %v", i, err)
+		}
+	}
+}
+
+// restrictedArgmax computes the reference for the gate: the full-grid
+// surface argmax restricted to the cells of sub (lower flat sub-index
+// wins ties, the same tie-break the grids use).
+func restrictedArgmax(t *testing.T, full *SynthGrid, sub GridSpec, aps []APSpectrum) int {
+	t.Helper()
+	h, err := full.LogHeatmap(aps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := full.Spec()
+	best, bestV := -1, math.Inf(-1)
+	for iy := 0; iy < sub.Ny; iy++ {
+		for ix := 0; ix < sub.Nx; ix++ {
+			fx, fy := sub.X0-fs.X0+ix, sub.Y0-fs.Y0+iy
+			if v := h.Flat[fy*fs.Nx+fx]; v > bestV {
+				best, bestV = iy*sub.Nx+ix, v
+			}
+		}
+	}
+	return best
+}
+
+// TestRegionArgmaxEqualsRestrictedFull is the tentpole equality: a
+// region query's argmax cell must equal the full-grid argmax
+// restricted to the region's cells — whether the region's LUTs were
+// sliced from a cached full-grid entry or built scoped — on scene
+// after scene, for both the full-scan and the branch-and-bound paths.
+func TestRegionArgmaxEqualsRestrictedFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	min, max := synthBounds()
+	for trial := 0; trial < 10; trial++ {
+		client := geom.Pt(2+rng.Float64()*36, 2+rng.Float64()*12)
+		aps := synthScene(2+rng.Intn(4), client, rng)
+		for _, warmParent := range []bool{true, false} {
+			cache := NewSynthCache()
+			full, err := NewSynthGrid(min, max, SynthOptions{Cell: 0.25, Cache: cache})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if warmParent {
+				// Warm the full-grid LUTs so the region slices them.
+				if _, err := full.FullArgmaxCell(aps); err != nil {
+					t.Fatal(err)
+				}
+			}
+			x0 := rng.Float64() * 30
+			y0 := rng.Float64() * 10
+			region := Region{Min: geom.Pt(x0, y0), Max: geom.Pt(x0+3+rng.Float64()*8, y0+2+rng.Float64()*5)}
+			sg, err := NewSynthGridRegion(min, max, region, SynthOptions{Cell: 0.25, Cache: cache})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := restrictedArgmax(t, full, sg.Spec(), aps)
+			got, err := sg.FullArgmaxCell(aps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("trial %d warm=%v: region argmax %d, restricted full argmax %d", trial, warmParent, got, want)
+			}
+			refined, err := sg.RefinedArgmaxCell(aps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if refined != want {
+				t.Fatalf("trial %d warm=%v: refined region argmax %d, restricted full argmax %d", trial, warmParent, refined, want)
+			}
+			if warmParent && cache.Usage().Slices == 0 {
+				t.Fatalf("trial %d: warm parent produced no sliced LUTs", trial)
+			}
+		}
+	}
+}
+
+// TestRegionLocalizeStaysInsideBox: the hill climb must respect the
+// clamped region bounds, and a region fully outside the area must
+// error cleanly.
+func TestRegionLocalizeStaysInsideBox(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	min, max := synthBounds()
+	aps := synthScene(3, geom.Pt(20, 8), rng)
+	region := Region{Min: geom.Pt(5, 5), Max: geom.Pt(12, 11)}
+	sg, err := NewSynthGridRegion(min, max, region, SynthOptions{Cell: 0.10, Cache: NewSynthCache()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos, err := sg.Localize(aps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos.X < region.Min.X || pos.X > region.Max.X || pos.Y < region.Min.Y || pos.Y > region.Max.Y {
+		t.Fatalf("region fix %v escaped box %v–%v", pos, region.Min, region.Max)
+	}
+
+	// A region with its own (coarser) pitch still works, scoped.
+	scoped := Region{Min: geom.Pt(5, 5), Max: geom.Pt(12, 11), Cell: 0.5}
+	sg2, err := NewSynthGridRegion(min, max, scoped, SynthOptions{Cell: 0.10, Cache: NewSynthCache()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos2, err := sg2.Localize(aps); err != nil {
+		t.Fatal(err)
+	} else if pos2.X < scoped.Min.X || pos2.X > scoped.Max.X || pos2.Y < scoped.Min.Y || pos2.Y > scoped.Max.Y {
+		t.Fatalf("scoped-pitch fix %v escaped box", pos2)
+	}
+
+	// Outside the area entirely: clean error, wrapped ErrBadRegion.
+	outside := Region{Min: geom.Pt(100, 100), Max: geom.Pt(110, 110)}
+	if _, err := NewSynthGridRegion(min, max, outside, SynthOptions{Cell: 0.10}); !errors.Is(err, ErrBadRegion) {
+		t.Fatalf("outside-area region: err = %v, want ErrBadRegion", err)
+	}
+	// Malformed region: rejected before any grid work.
+	invalid := Region{Min: geom.Pt(math.NaN(), 0), Max: geom.Pt(1, 1)}
+	if _, err := NewSynthGridRegion(min, max, invalid, SynthOptions{Cell: 0.10}); !errors.Is(err, ErrBadRegion) {
+		t.Fatalf("NaN region: err = %v, want ErrBadRegion", err)
+	}
+}
+
+// TestRegionCellCountCapped: a wire-valid pitch over a large box must
+// not demand more cells than a full-area fix — the work cap behind
+// the untrusted-region surface, on both synthesis paths.
+func TestRegionCellCountCapped(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	min, max := synthBounds()
+	aps := synthScene(3, geom.Pt(20, 8), rng)
+	// 1 cm over the whole floor: ~6.4M cells vs the 10 cm grid's ~64k.
+	hog := Region{Min: geom.Pt(0, 0), Max: geom.Pt(40, 16), Cell: MinRegionCell}
+	if _, err := NewSynthGridRegion(min, max, hog, SynthOptions{Cell: 0.10}); !errors.Is(err, ErrBadRegion) {
+		t.Fatalf("cell-hog region: err = %v, want ErrBadRegion", err)
+	}
+	for _, cache := range []*SynthCache{NewSynthCache(), nil} {
+		cfg := DefaultConfig(lambda)
+		cfg.SynthCache = cache
+		if _, err := NewPipeline(cfg).SynthesizeRegion(aps, min, max, hog); !errors.Is(err, ErrBadRegion) {
+			t.Fatalf("cell-hog region through pipeline (cache=%v): err = %v, want ErrBadRegion", cache != nil, err)
+		}
+	}
+	// A fine pitch over a proportionally small box stays allowed.
+	fine := Region{Min: geom.Pt(19, 7), Max: geom.Pt(21, 9), Cell: MinRegionCell}
+	sg, err := NewSynthGridRegion(min, max, fine, SynthOptions{Cell: 0.10, Cache: NewSynthCache()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sg.Localize(aps); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPipelineRegionPaths: both synthesis paths (staged and nil-cache
+// seed) accept regions through the pipeline, agree with each other on
+// a benign scene, and reject malformed regions with ErrBadRegion.
+func TestPipelineRegionPaths(t *testing.T) {
+	rng := rand.New(rand.NewSource(95))
+	min, max := synthBounds()
+	client := geom.Pt(14, 9)
+	aps := synthScene(3, client, rng)
+	region := Region{Min: geom.Pt(10, 5), Max: geom.Pt(18, 13)}
+
+	gridCfg := DefaultConfig(lambda)
+	gridCfg.SynthCache = NewSynthCache()
+	gridPos, err := NewPipeline(gridCfg).SynthesizeRegion(aps, min, max, region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedCfg := DefaultConfig(lambda)
+	seedCfg.SynthCache = nil
+	seedPos, err := NewPipeline(seedCfg).SynthesizeRegion(aps, min, max, region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := gridPos.Dist(seedPos); d > 0.30 {
+		t.Fatalf("staged region fix %v vs seed region fix %v differ by %.2f m", gridPos, seedPos, d)
+	}
+	if d := gridPos.Dist(client); d > 0.5 {
+		t.Fatalf("staged region fix %.2f m from truth", d)
+	}
+	for _, cfg := range []Config{gridCfg, seedCfg} {
+		bad := Region{Min: geom.Pt(5, 5), Max: geom.Pt(4, 9)}
+		if _, err := NewPipeline(cfg).SynthesizeRegion(aps, min, max, bad); !errors.Is(err, ErrBadRegion) {
+			t.Fatalf("inverted region through pipeline: err = %v, want ErrBadRegion", err)
+		}
+	}
+}
+
+// TestHillClimbTabsMatchesScalar is the satellite equality pin: the
+// table-driven probe scorer (cached BinLookup path, no per-probe
+// Spectrum.At or math.Log) must reproduce the scalar
+// LogLikelihoodBins bit for bit at arbitrary positions, and whole
+// hill climbs driven by either scorer must visit identical positions
+// and return identical scores.
+func TestHillClimbTabsMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(96))
+	min, max := synthBounds()
+	for trial := 0; trial < 10; trial++ {
+		aps := synthScene(2+rng.Intn(4), geom.Pt(4+rng.Float64()*32, 3+rng.Float64()*10), rng)
+		var ws synthWorkspace
+		logTabs := ws.logTables(aps)
+		for i := 0; i < 200; i++ {
+			x := geom.Pt(min.X+rng.Float64()*(max.X-min.X), min.Y+rng.Float64()*(max.Y-min.Y))
+			got := scoreTabs(x, aps, logTabs)
+			want := LogLikelihoodBins(x, aps)
+			if got != want {
+				t.Fatalf("trial %d: scoreTabs(%v) = %v, scalar LogLikelihoodBins = %v — not bit-identical", trial, x, got, want)
+			}
+		}
+		for i := 0; i < 10; i++ {
+			seed := geom.Pt(min.X+rng.Float64()*(max.X-min.X), min.Y+rng.Float64()*(max.Y-min.Y))
+			gotP, gotL := hillClimbTabs(seed, aps, logTabs, 0.10, min, max)
+			wantP, wantL := hillClimbFn(seed, aps, 0.10, min, max, LogLikelihoodBins)
+			if gotP != wantP || gotL != wantL {
+				t.Fatalf("trial %d: tab climb (%v, %v) != scalar climb (%v, %v)", trial, gotP, gotL, wantP, wantL)
+			}
+		}
+	}
+}
+
+// TestLogLikelihoodBinsAgreesAtBinCentres: at a position whose
+// bearing from an AP lands exactly on a bin centre, LogLikelihoodBins
+// equals LogLikelihood (no interpolation, same clamp).
+func TestLogLikelihoodBinsAgreesAtBinCentres(t *testing.T) {
+	s := gaussSpectrum([]float64{90}, []float64{1})
+	ap := APSpectrum{Pos: geom.Pt(0, 0), Spectrum: s}
+	// Due north of the AP: bearing π/2, exactly bin 90 of 360.
+	x := geom.Pt(0, 7)
+	got := LogLikelihoodBins(x, []APSpectrum{ap})
+	want := LogLikelihood(x, []APSpectrum{ap})
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("bin-centre disagreement: bins %v vs log %v", got, want)
+	}
+}

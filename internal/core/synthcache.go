@@ -1,0 +1,396 @@
+package core
+
+// SynthCache: the size-accounted, sharded LRU behind the synthesis
+// subsystem. The first staged-synthesis cut memoized bearing LUTs in
+// an unbounded map — fine for static deployments (a handful of APs ×
+// one grid), fatal for per-request ad-hoc search regions, where every
+// distinct bounding box mints new entries forever. This cache keeps
+// the lock-cheap hot path (one shard mutex per lookup) and adds:
+//
+//   - byte accounting: every entry's cost is its LUT footprint plus
+//     the screening-block bin windows derived for it, and the sum of
+//     entry costs is the reported size, exactly (property-tested);
+//   - a hard budget: each of the shards holds at most budget/shards
+//     bytes, evicting least-recently-used entries at insert time
+//     inside the same critical section — the externally visible size
+//     never exceeds the budget, even mid-churn. An entry larger than
+//     a shard's budget is built, served, and not retained;
+//   - LUT derivation: a region grid that is lattice-aligned with a
+//     cached full grid gets its LUT by slicing the parent's rows — a
+//     row-copy instead of an atan2 per cell — and the result is
+//     bit-identical to a direct build because sub-grid specs carry
+//     their lattice offset (GridSpec.X0/Y0), so both paths evaluate
+//     the same centre arithmetic.
+//
+// Eviction only ever drops memoization: LUTs are immutable, callers
+// hold plain pointers, and a re-Get rebuilds a bit-identical table.
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/geom"
+)
+
+// synthShards is the number of independently locked LRU segments.
+const synthShards = 8
+
+// DefaultSynthCacheBudget bounds the process-wide shared cache:
+// roomy for dozens of full-floor grids plus region churn, small
+// enough that a region-query flood cannot grow the heap unboundedly.
+const DefaultSynthCacheBudget int64 = 256 << 20
+
+// synthEntryOverhead approximates an entry's fixed footprint (struct,
+// map header, LRU links) so accounting does not undercount small
+// entries.
+const synthEntryOverhead = 128
+
+// lutCost is the byte footprint of a fine bearing LUT: one int32 bin
+// plus one float64 fraction per cell, plus the entry overhead.
+func lutCost(cells int) int64 { return int64(cells)*12 + synthEntryOverhead }
+
+// blockCost is the byte footprint of one screening-block window
+// table: two int32 per block.
+func blockCost(blocks int) int64 { return int64(blocks) * 8 }
+
+// synthEntry is one cached (AP position, grid geometry, bins) unit:
+// the fine LUT and every screening-block window derived from it, with
+// LRU links and the summed byte cost. Entries are owned by exactly
+// one shard and mutated only under its lock.
+type synthEntry struct {
+	key        synthKey
+	lut        *bearingLUT
+	blocks     map[int]*blockLUT
+	cost       int64
+	prev, next *synthEntry
+}
+
+// synthShard is one LRU segment: a map for lookup plus an intrusive
+// recency list (head = most recent, tail = eviction victim).
+type synthShard struct {
+	mu      sync.Mutex
+	entries map[synthKey]*synthEntry
+	head    *synthEntry
+	tail    *synthEntry
+	bytes   int64
+}
+
+func (sh *synthShard) unlink(e *synthEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		sh.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		sh.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (sh *synthShard) pushFront(e *synthEntry) {
+	e.prev, e.next = nil, sh.head
+	if sh.head != nil {
+		sh.head.prev = e
+	}
+	sh.head = e
+	if sh.tail == nil {
+		sh.tail = e
+	}
+}
+
+func (sh *synthShard) moveFront(e *synthEntry) {
+	if sh.head == e {
+		return
+	}
+	sh.unlink(e)
+	sh.pushFront(e)
+}
+
+// SynthCache memoizes bearing LUTs and their screening-block bin
+// windows per (AP position, grid geometry, bins) under a byte budget,
+// the synthesis-layer sibling of music.SteeringCache. Safe for
+// concurrent use; lookups lock only the key's shard.
+type SynthCache struct {
+	budget    int64 // total bytes; 0 means unbounded
+	shards    [synthShards]synthShard
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+	slices    atomic.Uint64
+}
+
+// SynthCacheUsage is a snapshot of the cache's accounting and
+// counters, surfaced through engine.Stats and the server's stats dump.
+type SynthCacheUsage struct {
+	// Entries is the number of LUT entries held.
+	Entries int
+	// Bytes is the summed cost of held entries; never exceeds Budget
+	// when a budget is set.
+	Bytes int64
+	// Budget is the configured byte cap (0 = unbounded).
+	Budget int64
+	// Hits and Misses count lookups (LUT and block-window level).
+	Hits, Misses uint64
+	// Evictions counts entries dropped to stay within the budget.
+	Evictions uint64
+	// Slices counts LUT builds served by slicing a cached full-grid
+	// parent instead of recomputing bearings.
+	Slices uint64
+}
+
+// NewSynthCache returns an empty, unbounded cache (the static-
+// deployment configuration: a few APs × one grid geometry).
+func NewSynthCache() *SynthCache { return NewSynthCacheBudget(0) }
+
+// NewSynthCacheBudget returns an empty cache holding at most budget
+// bytes of LUT state (0 = unbounded). The budget is split evenly
+// across the internal shards, so any single entry costing more than
+// budget/8 is served but not retained.
+func NewSynthCacheBudget(budget int64) *SynthCache {
+	if budget < 0 {
+		budget = 0
+	}
+	c := &SynthCache{budget: budget}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[synthKey]*synthEntry)
+	}
+	return c
+}
+
+var sharedSynth = NewSynthCacheBudget(DefaultSynthCacheBudget)
+
+// SharedSynthCache returns the process-wide cache that
+// core.DefaultConfig wires into every pipeline by default.
+func SharedSynthCache() *SynthCache { return sharedSynth }
+
+// Budget returns the configured byte cap (0 = unbounded).
+func (c *SynthCache) Budget() int64 { return c.budget }
+
+func (c *SynthCache) shardBudget() int64 {
+	if c.budget == 0 {
+		return 0 // unbounded
+	}
+	return c.budget / synthShards
+}
+
+func (c *SynthCache) shardOf(key synthKey) *synthShard {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	mix(math.Float64bits(key.apX))
+	mix(math.Float64bits(key.apY))
+	mix(math.Float64bits(key.minX))
+	mix(math.Float64bits(key.minY))
+	mix(math.Float64bits(key.cell))
+	mix(uint64(key.nx))
+	mix(uint64(key.ny))
+	mix(uint64(key.x0))
+	mix(uint64(key.y0))
+	mix(uint64(key.bins))
+	return &c.shards[h%synthShards]
+}
+
+// evictOverLocked drops least-recently-used entries until the shard
+// fits its budget slice. Called with sh.mu held, inside the same
+// critical section as the insert that grew the shard, so readers
+// never observe the cache over budget.
+func (c *SynthCache) evictOverLocked(sh *synthShard) {
+	limit := c.shardBudget()
+	if c.budget == 0 {
+		return
+	}
+	for sh.bytes > limit && sh.tail != nil {
+		victim := sh.tail
+		sh.unlink(victim)
+		delete(sh.entries, victim.key)
+		sh.bytes -= victim.cost
+		c.evictions.Add(1)
+	}
+}
+
+// lut returns the bearing LUT for (AP position, grid, bins), building
+// and memoizing it on first use.
+func (c *SynthCache) lut(ap geom.Point, spec GridSpec, bins int) *bearingLUT {
+	return c.lutFor(ap, spec, nil, bins)
+}
+
+// lutFor is lut with an optional parent grid: when the requested spec
+// is a lattice-aligned sub-grid of parent and the parent's LUT is
+// cached, the sub-LUT is sliced from it (bit-identical to a direct
+// build, a row copy per grid row) instead of recomputed. Concurrent
+// first lookups may build more than once; exactly one result is kept.
+func (c *SynthCache) lutFor(ap geom.Point, spec GridSpec, parent *GridSpec, bins int) *bearingLUT {
+	key := keyOf(ap, spec, bins)
+	sh := c.shardOf(key)
+	sh.mu.Lock()
+	if e := sh.entries[key]; e != nil {
+		sh.moveFront(e)
+		sh.mu.Unlock()
+		c.hits.Add(1)
+		return e.lut
+	}
+	sh.mu.Unlock()
+
+	fresh := c.buildOrSlice(ap, spec, parent, bins)
+	c.misses.Add(1)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e := sh.entries[key]; e != nil {
+		sh.moveFront(e)
+		return e.lut
+	}
+	e := &synthEntry{key: key, lut: fresh, cost: lutCost(spec.Cells())}
+	if limit := c.shardBudget(); c.budget > 0 && e.cost > limit {
+		// Larger than the shard's whole slice: serve it without
+		// retaining it (counted as an eviction), and crucially without
+		// inserting first — insert-then-evict would flush every
+		// innocent entry off the shard's tail before reaching this one.
+		c.evictions.Add(1)
+		return fresh
+	}
+	sh.entries[key] = e
+	sh.pushFront(e)
+	sh.bytes += e.cost
+	c.evictOverLocked(sh)
+	return fresh
+}
+
+// buildOrSlice derives a fine LUT: sliced from a cached parent when
+// the spec is a sub-grid of it, built from scratch otherwise. Slicing
+// also freshens the parent's recency — the full grid is the hot
+// ancestor of every aligned region and must not churn out under
+// region pressure.
+func (c *SynthCache) buildOrSlice(ap geom.Point, spec GridSpec, parent *GridSpec, bins int) *bearingLUT {
+	if parent != nil && spec.subGridOf(*parent) {
+		pkey := keyOf(ap, *parent, bins)
+		psh := c.shardOf(pkey)
+		psh.mu.Lock()
+		pe := psh.entries[pkey]
+		if pe != nil {
+			psh.moveFront(pe)
+		}
+		psh.mu.Unlock()
+		if pe != nil {
+			c.slices.Add(1)
+			return sliceLUT(pe.lut, *parent, spec)
+		}
+	}
+	return buildLUT(ap, spec, bins)
+}
+
+// sliceLUT copies the sub-grid's rows out of the parent's fine LUT.
+// Cell (ix, iy) of spec is cell (spec.X0-parent.X0+ix,
+// spec.Y0-parent.Y0+iy) of parent — the same absolute lattice cell,
+// so the copied (bin, frac) pairs equal a direct build bit for bit.
+func sliceLUT(p *bearingLUT, parent, spec GridSpec) *bearingLUT {
+	out := &bearingLUT{
+		bin:  make([]int32, spec.Cells()),
+		frac: make([]float64, spec.Cells()),
+	}
+	dx, dy := spec.X0-parent.X0, spec.Y0-parent.Y0
+	for iy := 0; iy < spec.Ny; iy++ {
+		src := (dy+iy)*parent.Nx + dx
+		dst := iy * spec.Nx
+		copy(out.bin[dst:dst+spec.Nx], p.bin[src:src+spec.Nx])
+		copy(out.frac[dst:dst+spec.Nx], p.frac[src:src+spec.Nx])
+	}
+	return out
+}
+
+// blockWindows returns the screening-block bin windows for (AP
+// position, grid, factor), derived from the fine LUT and memoized on
+// the grid's entry (parent as in lutFor).
+func (c *SynthCache) blockWindows(ap geom.Point, spec GridSpec, bins, factor int, parent *GridSpec) *blockLUT {
+	key := keyOf(ap, spec, bins)
+	sh := c.shardOf(key)
+	sh.mu.Lock()
+	var lut *bearingLUT
+	if e := sh.entries[key]; e != nil {
+		if bl := e.blocks[factor]; bl != nil {
+			sh.moveFront(e)
+			sh.mu.Unlock()
+			c.hits.Add(1)
+			return bl
+		}
+		lut = e.lut
+	}
+	sh.mu.Unlock()
+
+	if lut == nil {
+		lut = c.lutFor(ap, spec, parent, bins)
+	}
+	fresh := buildBlockLUT(lut, spec, factor, bins)
+	c.misses.Add(1)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e := sh.entries[key]
+	if e == nil {
+		// The entry churned out between the build and this insert (or
+		// was never retained): serve the windows without accounting.
+		return fresh
+	}
+	if bl := e.blocks[factor]; bl != nil {
+		sh.moveFront(e)
+		return bl
+	}
+	cost := blockCost(len(fresh.start))
+	if limit := c.shardBudget(); c.budget > 0 && e.cost+cost > limit {
+		// The entry's LUT fits but LUT + windows would not: serve the
+		// windows uncached and keep the (more expensive to rebuild)
+		// LUT resident rather than evicting neighbours to make room.
+		c.evictions.Add(1)
+		return fresh
+	}
+	if e.blocks == nil {
+		e.blocks = make(map[int]*blockLUT, 1)
+	}
+	e.blocks[factor] = fresh
+	e.cost += cost
+	sh.bytes += cost
+	sh.moveFront(e)
+	c.evictOverLocked(sh)
+	return fresh
+}
+
+// Len returns the number of distinct LUT entries held.
+func (c *SynthCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Stats returns cumulative hit and miss counts (diagnostics).
+func (c *SynthCache) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Usage returns the cache's accounting snapshot. Each shard is read
+// under its own lock; since every shard independently holds at most
+// budget/shards bytes, the summed Bytes never exceeds Budget.
+func (c *SynthCache) Usage() SynthCacheUsage {
+	u := SynthCacheUsage{
+		Budget:    c.budget,
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Slices:    c.slices.Load(),
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		u.Entries += len(sh.entries)
+		u.Bytes += sh.bytes
+		sh.mu.Unlock()
+	}
+	return u
+}

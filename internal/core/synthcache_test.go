@@ -1,0 +1,406 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// sumEntryCosts walks every shard under its lock and returns the
+// summed per-entry costs plus the entry count — the quantities the
+// cache's own accounting must match exactly.
+func sumEntryCosts(c *SynthCache) (bytes int64, entries int) {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for _, e := range sh.entries {
+			bytes += e.cost
+			entries++
+		}
+		sh.mu.Unlock()
+	}
+	return bytes, entries
+}
+
+// checkAccounting asserts the LRU accounting invariants: Σ per-entry
+// costs equals the reported size, the reported size never exceeds the
+// budget, and the recency lists agree with the maps.
+func checkAccounting(t *testing.T, c *SynthCache) {
+	t.Helper()
+	wantBytes, wantEntries := sumEntryCosts(c)
+	u := c.Usage()
+	if u.Bytes != wantBytes {
+		t.Fatalf("accounting drift: reported %d bytes, Σ entry costs %d", u.Bytes, wantBytes)
+	}
+	if u.Entries != wantEntries {
+		t.Fatalf("entry count drift: reported %d, walked %d", u.Entries, wantEntries)
+	}
+	if c.Budget() > 0 && u.Bytes > c.Budget() {
+		t.Fatalf("cache size %d exceeds budget %d", u.Bytes, c.Budget())
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n := 0
+		for e := sh.head; e != nil; e = e.next {
+			if sh.entries[e.key] != e {
+				sh.mu.Unlock()
+				t.Fatalf("shard %d: LRU list entry missing from map", i)
+			}
+			n++
+		}
+		if n != len(sh.entries) {
+			sh.mu.Unlock()
+			t.Fatalf("shard %d: LRU list has %d entries, map has %d", i, n, len(sh.entries))
+		}
+		sh.mu.Unlock()
+	}
+}
+
+func lutEqual(a, b *bearingLUT) bool {
+	if len(a.bin) != len(b.bin) || len(a.frac) != len(b.frac) {
+		return false
+	}
+	for i := range a.bin {
+		if a.bin[i] != b.bin[i] || a.frac[i] != b.frac[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func copyLUT(l *bearingLUT) *bearingLUT {
+	return &bearingLUT{
+		bin:  append([]int32(nil), l.bin...),
+		frac: append([]float64(nil), l.frac...),
+	}
+}
+
+// TestSynthCacheAccountingProperty is the LRU accounting property
+// test: after any interleaving of LUT gets, block-window gets, and
+// the evictions they trigger — over random AP positions, grid
+// geometries, and sub-grids, against a deliberately small budget —
+// the sum of per-entry costs equals the reported size, the size never
+// exceeds the cap, and a re-Get after eviction rebuilds a
+// bit-identical LUT.
+func TestSynthCacheAccountingProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	aps := []geom.Point{geom.Pt(0.5, 0.5), geom.Pt(39.5, 0.7), geom.Pt(20, 15.6)}
+	full, err := GridSpecFor(geom.Pt(0, 0), geom.Pt(40, 16), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, budget := range []int64{0, 1 << 12, 1 << 16, 1 << 20} {
+		t.Run(fmt.Sprintf("budget-%d", budget), func(t *testing.T) {
+			c := NewSynthCacheBudget(budget)
+			// Remember the first build of every key so later re-gets
+			// (post-eviction rebuilds included) can be compared bit for
+			// bit.
+			seen := map[synthKey]*bearingLUT{}
+			for op := 0; op < 400; op++ {
+				ap := aps[rng.Intn(len(aps))]
+				spec := full
+				if rng.Intn(2) == 0 { // a random sub-grid of full
+					x0, y0 := rng.Intn(full.Nx), rng.Intn(full.Ny)
+					nx, ny := 1+rng.Intn(full.Nx-x0), 1+rng.Intn(full.Ny-y0)
+					spec = GridSpec{Min: full.Min, Cell: full.Cell, Nx: nx, Ny: ny, X0: x0, Y0: y0}
+				}
+				var lut *bearingLUT
+				switch rng.Intn(3) {
+				case 0:
+					lut = c.lut(ap, spec, 360)
+				case 1:
+					lut = c.lutFor(ap, spec, &full, 360)
+				default:
+					c.blockWindows(ap, spec, 360, DefaultCoarseFactor, &full)
+				}
+				if lut != nil {
+					key := keyOf(ap, spec, 360)
+					if prev, ok := seen[key]; ok {
+						if !lutEqual(prev, lut) {
+							t.Fatalf("op %d: re-Get returned a LUT differing from the first build", op)
+						}
+					} else {
+						seen[key] = copyLUT(lut)
+					}
+				}
+				checkAccounting(t, c)
+			}
+			u := c.Usage()
+			if budget > 0 && u.Evictions == 0 && u.Bytes > budget/2 {
+				t.Logf("warning: no evictions at budget %d (bytes %d)", budget, u.Bytes)
+			}
+			t.Logf("budget %d: entries=%d bytes=%d hits=%d misses=%d evictions=%d slices=%d",
+				budget, u.Entries, u.Bytes, u.Hits, u.Misses, u.Evictions, u.Slices)
+		})
+	}
+}
+
+// TestSynthCacheRebuildBitIdentical pins the eviction contract
+// explicitly for both build paths: evict an entry by churning its
+// shard past the budget, re-Get it, and require `==` on every table
+// element — for a directly built full-grid LUT and for a sub-grid LUT
+// that is sliced from its parent on one get and rebuilt from scratch
+// (parent evicted too) on the other.
+func TestSynthCacheRebuildBitIdentical(t *testing.T) {
+	ap := geom.Pt(1.25, 0.75)
+	full, err := GridSpecFor(geom.Pt(0, 0), geom.Pt(20, 8), 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := GridSpec{Min: full.Min, Cell: full.Cell, Nx: 9, Ny: 7, X0: 11, Y0: 5}
+
+	churn := func(c *SynthCache, rng *rand.Rand) {
+		// Insert enough distinct entries to cycle every shard's LRU.
+		for i := 0; i < 64; i++ {
+			pos := geom.Pt(rng.Float64()*40, rng.Float64()*16)
+			c.lut(pos, full, 360)
+		}
+	}
+
+	c := NewSynthCacheBudget(1 << 18)
+	rng := rand.New(rand.NewSource(91))
+
+	// Direct build path.
+	first := copyLUT(c.lut(ap, full, 360))
+	churn(c, rng)
+	if got := c.lut(ap, full, 360); !lutEqual(first, got) {
+		t.Fatal("re-Get after eviction rebuilt a different full-grid LUT")
+	}
+
+	// Sliced path: warm the parent, slice the sub-grid, then churn both
+	// out and re-Get the sub-grid with no parent cached — the direct
+	// rebuild must equal the slice bit for bit (the GridSpec offset
+	// keeps the centre arithmetic identical).
+	c.lut(ap, full, 360)
+	sliced := copyLUT(c.lutFor(ap, sub, &full, 360))
+	if before := c.Usage().Slices; before == 0 {
+		t.Fatal("sub-grid LUT was not sliced from the cached parent")
+	}
+	churn(c, rng)
+	rebuilt := c.lutFor(ap, sub, nil, 360)
+	if !lutEqual(sliced, rebuilt) {
+		t.Fatal("direct rebuild of sub-grid LUT differs from the slice of its parent")
+	}
+}
+
+// TestSynthCachePassThroughOversized: an entry costing more than a
+// shard's budget slice is served but never retained, and accounting
+// stays exact.
+func TestSynthCachePassThroughOversized(t *testing.T) {
+	c := NewSynthCacheBudget(1024) // 128 bytes per shard: nothing fits
+	ap := geom.Pt(3, 4)
+	spec, err := GridSpecFor(geom.Pt(0, 0), geom.Pt(10, 10), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1 := c.lut(ap, spec, 360)
+	l2 := c.lut(ap, spec, 360)
+	if !lutEqual(l1, l2) {
+		t.Fatal("pass-through rebuilds disagree")
+	}
+	u := c.Usage()
+	if u.Entries != 0 || u.Bytes != 0 {
+		t.Fatalf("oversized entry retained: entries=%d bytes=%d", u.Entries, u.Bytes)
+	}
+	if u.Evictions == 0 {
+		t.Fatal("expected the oversized inserts to count as evictions")
+	}
+	checkAccounting(t, c)
+	// Block windows on a never-retained entry must still be served.
+	if bl := c.blockWindows(ap, spec, 360, DefaultCoarseFactor, nil); bl == nil {
+		t.Fatal("block windows not served for pass-through entry")
+	}
+	checkAccounting(t, c)
+}
+
+// TestSynthCacheOversizedDoesNotEvictResidents: serving an entry
+// larger than a shard's budget slice must not flush the shard's
+// resident entries (regression: insert-then-evict used to pop every
+// innocent entry off the tail before reaching the oversized head).
+func TestSynthCacheOversizedDoesNotEvictResidents(t *testing.T) {
+	small, err := GridSpecFor(geom.Pt(0, 0), geom.Pt(4, 4), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	huge, err := GridSpecFor(geom.Pt(0, 0), geom.Pt(40, 16), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget holding several small entries per shard but far below the
+	// huge entry's cost.
+	c := NewSynthCacheBudget(8 * lutCost(small.Cells()) * synthShards)
+	if lutCost(huge.Cells()) <= c.shardBudget() {
+		t.Fatalf("test fixture broken: huge entry fits the shard budget")
+	}
+	// A resident small entry and an oversized request on the same shard.
+	resident := geom.Pt(1, 1)
+	sh := c.shardOf(keyOf(resident, small, 360))
+	var hugeAP geom.Point
+	for x := 0.0; ; x += 0.37 {
+		hugeAP = geom.Pt(x, 2)
+		if c.shardOf(keyOf(hugeAP, huge, 360)) == sh {
+			break
+		}
+	}
+	c.lut(resident, small, 360)
+	if c.lut(hugeAP, huge, 360) == nil {
+		t.Fatal("oversized entry not served")
+	}
+	hits0, _ := c.Stats()
+	c.lut(resident, small, 360)
+	if hits, _ := c.Stats(); hits != hits0+1 {
+		t.Fatal("oversized pass-through evicted a resident entry")
+	}
+	checkAccounting(t, c)
+}
+
+// TestSynthCacheEvictionRaceStress is the -race stress satellite: 64
+// goroutines submit distinct ad-hoc regions against a deliberately
+// tiny budget so eviction churns mid-flight, and every result must be
+// bit-identical to a cold uncached run (same argmax cell, same
+// localized position) while the accounted size never exceeds the cap.
+func TestSynthCacheEvictionRaceStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	min, max := synthBounds()
+	const goroutines = 64
+
+	type regionCase struct {
+		region Region
+		aps    []APSpectrum
+		cell   int // cold argmax cell
+		pos    geom.Point
+	}
+	cases := make([]regionCase, goroutines)
+	scenes := make([][]APSpectrum, 8)
+	for i := range scenes {
+		scenes[i] = synthScene(3, geom.Pt(3+rng.Float64()*34, 2+rng.Float64()*12), rng)
+	}
+	for i := range cases {
+		x0 := rng.Float64() * 30
+		y0 := rng.Float64() * 10
+		cases[i].region = Region{
+			Min: geom.Pt(x0, y0),
+			Max: geom.Pt(x0+2+rng.Float64()*8, y0+2+rng.Float64()*5),
+		}
+		cases[i].aps = scenes[i%len(scenes)]
+		// Cold reference: a fresh unbounded cache per case, serial.
+		sg, err := NewSynthGridRegion(min, max, cases[i].region, SynthOptions{Cell: 0.25, Workers: 1, Cache: NewSynthCache()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cases[i].cell, err = sg.RefinedArgmaxCell(cases[i].aps); err != nil {
+			t.Fatal(err)
+		}
+		var perr error
+		if cases[i].pos, perr = sg.Localize(cases[i].aps); perr != nil {
+			t.Fatal(perr)
+		}
+	}
+
+	// Budget sized so entries fit individually but churn collectively:
+	// a couple of region LUTs per shard at most.
+	const budget = 1 << 19
+	shared := NewSynthCacheBudget(budget)
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tc := cases[g]
+			sg, err := NewSynthGridRegion(min, max, tc.region, SynthOptions{Cell: 0.25, Workers: 2, Cache: shared})
+			if err != nil {
+				errs <- err
+				return
+			}
+			for it := 0; it < 4; it++ {
+				cell, err := sg.RefinedArgmaxCell(tc.aps)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if cell != tc.cell {
+					errs <- fmt.Errorf("goroutine %d it %d: argmax %d under churn, cold run %d", g, it, cell, tc.cell)
+					return
+				}
+				pos, err := sg.Localize(tc.aps)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if pos != tc.pos {
+					errs <- fmt.Errorf("goroutine %d it %d: fix %v under churn, cold run %v", g, it, pos, tc.pos)
+					return
+				}
+				if u := shared.Usage(); u.Bytes > budget {
+					errs <- fmt.Errorf("goroutine %d it %d: cache %d bytes exceeds %d budget", g, it, u.Bytes, budget)
+					return
+				}
+				runtime.Gosched()
+			}
+			errs <- nil
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	u := shared.Usage()
+	if u.Evictions == 0 {
+		t.Fatalf("stress run evicted nothing (bytes=%d, budget=%d): budget not tight enough to exercise churn", u.Bytes, budget)
+	}
+	t.Logf("stress: entries=%d bytes=%d hits=%d misses=%d evictions=%d slices=%d",
+		u.Entries, u.Bytes, u.Hits, u.Misses, u.Evictions, u.Slices)
+}
+
+// TestSynthCacheLRUOrder: the least-recently-used entry is the one
+// evicted; touching an entry protects it.
+func TestSynthCacheLRUOrder(t *testing.T) {
+	spec, err := GridSpecFor(geom.Pt(0, 0), geom.Pt(4, 4), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := lutCost(spec.Cells())
+	// Budget for exactly two entries per shard.
+	c := NewSynthCacheBudget(2 * cost * synthShards)
+	// Three AP positions whose keys land on the same shard: synthesize
+	// by probing positions until three collide.
+	var sameShard []geom.Point
+	var shard *synthShard
+	for x := 0.0; len(sameShard) < 3; x += 0.73 {
+		ap := geom.Pt(x, 1)
+		sh := c.shardOf(keyOf(ap, spec, 360))
+		if shard == nil || sh == shard {
+			shard = sh
+			sameShard = append(sameShard, ap)
+		}
+	}
+	a, b, d := sameShard[0], sameShard[1], sameShard[2]
+	c.lut(a, spec, 360)
+	c.lut(b, spec, 360)
+	c.lut(a, spec, 360) // touch a: b becomes LRU
+	c.lut(d, spec, 360) // evicts b
+	if _, entries := sumEntryCosts(c); entries != 2 {
+		t.Fatalf("expected 2 entries after eviction, have %d", entries)
+	}
+	hits0, _ := c.Stats()
+	c.lut(a, spec, 360)
+	c.lut(d, spec, 360)
+	if hits, _ := c.Stats(); hits != hits0+2 {
+		t.Fatal("a or d was evicted; LRU order not respected")
+	}
+	missesBefore := c.Usage().Misses
+	c.lut(b, spec, 360)
+	if c.Usage().Misses != missesBefore+1 {
+		t.Fatal("b should have been evicted and rebuilt")
+	}
+}

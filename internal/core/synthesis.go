@@ -57,6 +57,37 @@ func LogLikelihood(x geom.Point, aps []APSpectrum) float64 {
 	return l
 }
 
+// LogLikelihoodBins evaluates Eq. 8 in the log domain with the
+// synthesis surface's native sub-bin semantics: each AP's
+// log-spectrum, log(max(P[b], likelihoodFloor)), is interpolated
+// linearly between bins — a geometric interpolation of the spectrum.
+// It agrees with LogLikelihood exactly at bin centres and differs
+// between them (lerp of logs vs log of a lerp); this is what
+// SynthGrid accumulates per cell and scores per hill-climb probe.
+// LogLikelihoodBins is the scalar reference path — fresh BinLookup
+// and two math.Log per AP per call; the grid's table-driven probe
+// scorer reproduces it bit for bit (TestHillClimbTabsMatchesScalar).
+func LogLikelihoodBins(x geom.Point, aps []APSpectrum) float64 {
+	l := 0.0
+	for _, ap := range aps {
+		n := ap.Spectrum.Bins()
+		b, f := music.BinLookup(ap.Pos.Bearing(x), n)
+		j := b + 1
+		if j == n {
+			j = 0
+		}
+		pb, pj := ap.Spectrum.P[b], ap.Spectrum.P[j]
+		if pb < likelihoodFloor {
+			pb = likelihoodFloor
+		}
+		if pj < likelihoodFloor {
+			pj = likelihoodFloor
+		}
+		l += math.Log(pb)*(1-f) + math.Log(pj)*f
+	}
+	return l
+}
+
 // Heatmap is a sampled likelihood surface over a rectangle, the
 // structure rendered in Figure 14. Values live in one flat row-major
 // array (Flat) with per-row views (Vals) over it; surfaces from
@@ -80,7 +111,7 @@ type Heatmap struct {
 // reshape sizes the heatmap for spec, reusing the backing array and
 // row views when the shape already matches.
 func (h *Heatmap) reshape(spec GridSpec) {
-	h.Min, h.Cell = spec.Min, spec.Cell
+	h.Min, h.Cell = spec.Origin(), spec.Cell
 	if h.Nx == spec.Nx && h.Ny == spec.Ny && len(h.Flat) == spec.Cells() {
 		return
 	}

@@ -39,6 +39,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -69,15 +70,22 @@ const minRefineCells = 1024
 // shardChunk is the cell count one worker claims at a time.
 const shardChunk = 4096
 
-// GridSpec describes a synthesis grid: the corner of cell (0,0), the
-// cell pitch in metres, and the cell counts along each axis. Cell
-// (ix, iy) is centred at Min + (ix·Cell, iy·Cell), the same lattice
-// ComputeHeatmap samples.
+// GridSpec describes a synthesis grid: a lattice origin, the cell
+// pitch in metres, the cell counts along each axis, and the lattice
+// offset of cell (0,0). Cell (ix, iy) is centred at
+// Min + ((X0+ix)·Cell, (Y0+iy)·Cell). Full grids have X0 = Y0 = 0 —
+// the same lattice ComputeHeatmap samples; a region sub-grid keeps
+// its parent's Min and carries the offset instead of folding it into
+// Min, so its centre arithmetic — and therefore every bearing LUT
+// value — is bit-identical to the parent's at the same absolute cell,
+// whether the LUT is sliced from a cached parent or rebuilt.
 type GridSpec struct {
 	Min  geom.Point
 	Cell float64
 	Nx   int
 	Ny   int
+	X0   int
+	Y0   int
 }
 
 // GridSpecFor returns the grid covering [min, max] at the given cell
@@ -102,7 +110,54 @@ func (g GridSpec) Cells() int { return g.Nx * g.Ny }
 
 // Center returns the position of cell (ix, iy).
 func (g GridSpec) Center(ix, iy int) geom.Point {
-	return geom.Pt(g.Min.X+float64(ix)*g.Cell, g.Min.Y+float64(iy)*g.Cell)
+	return geom.Pt(g.Min.X+float64(g.X0+ix)*g.Cell, g.Min.Y+float64(g.Y0+iy)*g.Cell)
+}
+
+// Origin returns the position of cell (0,0) — Min for full grids, the
+// offset corner for sub-grids.
+func (g GridSpec) Origin() geom.Point { return g.Center(0, 0) }
+
+// subGridOf reports whether g is a lattice-aligned sub-rectangle of
+// parent: same origin and pitch, cells wholly inside the parent's
+// index range. A sub-grid's LUT can be sliced from the parent's.
+func (g GridSpec) subGridOf(parent GridSpec) bool {
+	return g.Min == parent.Min && g.Cell == parent.Cell &&
+		g.X0 >= parent.X0 && g.Y0 >= parent.Y0 &&
+		g.X0+g.Nx <= parent.X0+parent.Nx &&
+		g.Y0+g.Ny <= parent.Y0+parent.Ny
+}
+
+// subSpecFor returns the sub-grid of full whose cell centres lie
+// inside [lo, hi] — exactly the full-grid cells a region query must
+// rank, so a region argmax equals the full argmax restricted to the
+// box. Errors when no centre falls inside.
+func subSpecFor(full GridSpec, lo, hi geom.Point) (GridSpec, error) {
+	// Half-ulp slack so a box edge exactly on a centre includes it.
+	const eps = 1e-9
+	x0 := int(math.Ceil((lo.X-full.Min.X)/full.Cell - eps))
+	y0 := int(math.Ceil((lo.Y-full.Min.Y)/full.Cell - eps))
+	x1 := int(math.Floor((hi.X-full.Min.X)/full.Cell + eps))
+	y1 := int(math.Floor((hi.Y-full.Min.Y)/full.Cell + eps))
+	if x0 < full.X0 {
+		x0 = full.X0
+	}
+	if y0 < full.Y0 {
+		y0 = full.Y0
+	}
+	if x1 > full.X0+full.Nx-1 {
+		x1 = full.X0 + full.Nx - 1
+	}
+	if y1 > full.Y0+full.Ny-1 {
+		y1 = full.Y0 + full.Ny - 1
+	}
+	if x1 < x0 || y1 < y0 {
+		return GridSpec{}, fmt.Errorf("%w: no grid cell centres inside box", ErrBadRegion)
+	}
+	return GridSpec{
+		Min: full.Min, Cell: full.Cell,
+		Nx: x1 - x0 + 1, Ny: y1 - y0 + 1,
+		X0: x0, Y0: y0,
+	}, nil
 }
 
 // blockDims returns the screening partition: the fine grid divided
@@ -249,117 +304,25 @@ func buildLUT(ap geom.Point, spec GridSpec, bins int) *bearingLUT {
 }
 
 // synthKey captures everything a bearing LUT depends on: the AP
-// position, the grid geometry, and the spectrum resolution.
+// position, the grid geometry (lattice origin, pitch, extent, and
+// offset), and the spectrum resolution.
 type synthKey struct {
 	apX, apY   float64
 	minX, minY float64
 	cell       float64
 	nx, ny     int
+	x0, y0     int
 	bins       int
 }
-
-// blockKey extends synthKey with the screening factor.
-type blockKey struct {
-	synthKey
-	factor int
-}
-
-// SynthCache memoizes bearing LUTs per (AP position, grid geometry,
-// bins) and their screening-block bin windows, the synthesis-layer
-// sibling of music.SteeringCache: deployed APs and search areas are
-// static, so each LUT is built once (the only atan2 work) and shared
-// by every subsequent fix. Safe for concurrent use; hot-path lookups
-// take only a read lock.
-type SynthCache struct {
-	mu     sync.RWMutex
-	luts   map[synthKey]*bearingLUT
-	blocks map[blockKey]*blockLUT
-	hits   atomic.Uint64
-	misses atomic.Uint64
-}
-
-// NewSynthCache returns an empty cache.
-func NewSynthCache() *SynthCache {
-	return &SynthCache{
-		luts:   make(map[synthKey]*bearingLUT),
-		blocks: make(map[blockKey]*blockLUT),
-	}
-}
-
-var sharedSynth = NewSynthCache()
-
-// SharedSynthCache returns the process-wide cache that
-// core.DefaultConfig wires into every pipeline by default.
-func SharedSynthCache() *SynthCache { return sharedSynth }
 
 func keyOf(ap geom.Point, spec GridSpec, bins int) synthKey {
 	return synthKey{
 		apX: ap.X, apY: ap.Y,
 		minX: spec.Min.X, minY: spec.Min.Y,
 		cell: spec.Cell, nx: spec.Nx, ny: spec.Ny,
+		x0: spec.X0, y0: spec.Y0,
 		bins: bins,
 	}
-}
-
-// lut returns the bearing LUT for (AP position, grid, bins), building
-// and memoizing it on first use. Concurrent first lookups may build
-// the LUT more than once; exactly one result is kept.
-func (c *SynthCache) lut(ap geom.Point, spec GridSpec, bins int) *bearingLUT {
-	key := keyOf(ap, spec, bins)
-	c.mu.RLock()
-	l, ok := c.luts[key]
-	c.mu.RUnlock()
-	if ok {
-		c.hits.Add(1)
-		return l
-	}
-
-	fresh := buildLUT(ap, spec, bins)
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if l, ok := c.luts[key]; ok {
-		c.hits.Add(1)
-		return l
-	}
-	c.misses.Add(1)
-	c.luts[key] = fresh
-	return fresh
-}
-
-// blockWindows returns the screening-block bin windows for (AP
-// position, grid, factor), derived from the fine LUT and memoized.
-func (c *SynthCache) blockWindows(ap geom.Point, spec GridSpec, bins, factor int) *blockLUT {
-	key := blockKey{keyOf(ap, spec, bins), factor}
-	c.mu.RLock()
-	b, ok := c.blocks[key]
-	c.mu.RUnlock()
-	if ok {
-		c.hits.Add(1)
-		return b
-	}
-
-	fresh := buildBlockLUT(c.lut(ap, spec, bins), spec, factor, bins)
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if b, ok := c.blocks[key]; ok {
-		c.hits.Add(1)
-		return b
-	}
-	c.misses.Add(1)
-	c.blocks[key] = fresh
-	return fresh
-}
-
-// Len returns the number of distinct LUTs held.
-func (c *SynthCache) Len() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.luts)
-}
-
-// Stats returns cumulative hit and miss counts (diagnostics).
-func (c *SynthCache) Stats() (hits, misses uint64) {
-	return c.hits.Load(), c.misses.Load()
 }
 
 // synthWorkspace is the pooled per-fix scratch: the flat accumulators
@@ -428,22 +391,15 @@ type SynthOptions struct {
 type SynthGrid struct {
 	spec     GridSpec
 	min, max geom.Point
+	parent   *GridSpec // full-grid spec a region sub-grid slices LUTs from
 	cache    *SynthCache
 	workers  int
 	coarse   int
 	topK     int
 }
 
-// NewSynthGrid builds a grid over [min, max] with the given options.
-func NewSynthGrid(min, max geom.Point, opt SynthOptions) (*SynthGrid, error) {
-	cell := opt.Cell
-	if cell <= 0 {
-		cell = 0.10
-	}
-	spec, err := GridSpecFor(min, max, cell)
-	if err != nil {
-		return nil, err
-	}
+// newSynthGrid resolves the option defaults around a prepared spec.
+func newSynthGrid(spec GridSpec, parent *GridSpec, min, max geom.Point, opt SynthOptions) *SynthGrid {
 	cache := opt.Cache
 	if cache == nil {
 		cache = SharedSynthCache()
@@ -464,9 +420,73 @@ func NewSynthGrid(min, max geom.Point, opt SynthOptions) (*SynthGrid, error) {
 		topK = DefaultRefineTopK
 	}
 	return &SynthGrid{
-		spec: spec, min: min, max: max,
+		spec: spec, parent: parent, min: min, max: max,
 		cache: cache, workers: workers, coarse: coarse, topK: topK,
-	}, nil
+	}
+}
+
+// NewSynthGrid builds a grid over [min, max] with the given options.
+func NewSynthGrid(min, max geom.Point, opt SynthOptions) (*SynthGrid, error) {
+	cell := opt.Cell
+	if cell <= 0 {
+		cell = 0.10
+	}
+	spec, err := GridSpecFor(min, max, cell)
+	if err != nil {
+		return nil, err
+	}
+	return newSynthGrid(spec, nil, min, max, opt), nil
+}
+
+// NewSynthGridRegion builds a grid over an ad-hoc search region
+// inside the full area [min, max]. A region at the full grid's pitch
+// (Region.Cell zero or equal to the resolved opt.Cell) snaps to the
+// full lattice: its cells are exactly the full-grid cells inside the
+// box, its argmax equals the full-grid argmax restricted to those
+// cells, and its bearing LUTs are sliced from cached full-grid
+// entries when present. A region with its own pitch gets a scoped
+// grid anchored at the clamped box corner. Hill climbing is confined
+// to the clamped box either way. A zero region is the full grid.
+func NewSynthGridRegion(min, max geom.Point, region Region, opt SynthOptions) (*SynthGrid, error) {
+	if region.IsZero() {
+		return NewSynthGrid(min, max, opt)
+	}
+	if err := region.Validate(); err != nil {
+		return nil, err
+	}
+	cell := opt.Cell
+	if cell <= 0 {
+		cell = 0.10
+	}
+	lo, hi, err := region.clampTo(min, max)
+	if err != nil {
+		return nil, err
+	}
+	full, err := GridSpecFor(min, max, cell)
+	if err != nil {
+		return nil, err
+	}
+	if region.Cell != 0 && region.Cell != cell {
+		spec, err := GridSpecFor(lo, hi, region.Cell)
+		if err != nil {
+			return nil, err
+		}
+		// A scoped pitch must not demand more work than a full-area
+		// fix: Validate bounds the pitch itself, but a fine pitch over
+		// a large box would multiply per-fix CPU and LUT memory
+		// arbitrarily — a cheap DoS from the wire, where regions
+		// arrive untrusted.
+		if spec.Cells() > full.Cells() {
+			return nil, fmt.Errorf("%w: %d cells at pitch %g exceeds the %d-cell full grid",
+				ErrBadRegion, spec.Cells(), region.Cell, full.Cells())
+		}
+		return newSynthGrid(spec, nil, lo, hi, opt), nil
+	}
+	spec, err := subSpecFor(full, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	return newSynthGrid(spec, &full, lo, hi, opt), nil
 }
 
 // Spec returns the fine grid geometry.
@@ -537,7 +557,7 @@ func (sg *SynthGrid) fetchLUTs(ws *synthWorkspace, aps []APSpectrum, spec GridSp
 	}
 	ws.luts = ws.luts[:len(aps)]
 	for a, ap := range aps {
-		ws.luts[a] = sg.cache.lut(ap.Pos, spec, ap.Spectrum.Bins())
+		ws.luts[a] = sg.cache.lutFor(ap.Pos, spec, sg.parent, ap.Spectrum.Bins())
 	}
 	return ws.luts
 }
@@ -602,7 +622,7 @@ func (sg *SynthGrid) blockBounds(ws *synthWorkspace, aps []APSpectrum, logTabs [
 	ws.coarse = growFloats(ws.coarse, nbx*nby)
 	bounds := ws.coarse
 	for a, ap := range aps {
-		bl := sg.cache.blockWindows(ap.Pos, sg.spec, ap.Spectrum.Bins(), sg.coarse)
+		bl := sg.cache.blockWindows(ap.Pos, sg.spec, ap.Spectrum.Bins(), sg.coarse, sg.parent)
 		tab := logTabs[a]
 		n := ap.Spectrum.Bins()
 		if a == 0 {
@@ -709,9 +729,14 @@ func (sg *SynthGrid) RefinedArgmaxCell(aps []APSpectrum) (int, error) {
 }
 
 // Localize is the §2.5 estimator on the staged subsystem: the
-// coarse-to-fine grid screen seeds hill climbing (log-domain scoring,
-// which orders positions exactly as the Eq. 8 product does) from the
-// top cells, returning the maximum-likelihood position.
+// coarse-to-fine grid screen seeds hill climbing from the top cells,
+// returning the maximum-likelihood position. Probes are scored on the
+// per-fix padded log tables the surface itself accumulates
+// (LogLikelihoodBins semantics), so refinement reuses the cached
+// BinLookup path instead of re-deriving Spectrum.At plus math.Log per
+// probe per AP — the bearing is the only remaining per-probe
+// transcendental. Pinned bit-for-bit against the scalar path by
+// TestHillClimbTabsMatchesScalar.
 func (sg *SynthGrid) Localize(aps []APSpectrum) (geom.Point, error) {
 	if len(aps) == 0 {
 		return geom.Point{}, errors.New("core: no AP spectra to synthesize")
@@ -723,7 +748,7 @@ func (sg *SynthGrid) Localize(aps []APSpectrum) (geom.Point, error) {
 	score := math.Inf(-1)
 	for _, cand := range best {
 		seed := sg.spec.Center(cand.idx%sg.spec.Nx, cand.idx/sg.spec.Nx)
-		p, l := hillClimbLog(seed, aps, sg.spec.Cell, sg.min, sg.max)
+		p, l := hillClimbTabs(seed, aps, ws.logTabs, sg.spec.Cell, sg.min, sg.max)
 		if l > score {
 			pos, score = p, l
 		}
@@ -756,11 +781,45 @@ func (sg *SynthGrid) LogHeatmap(aps []APSpectrum) (*Heatmap, error) {
 	return h, nil
 }
 
-// hillClimbLog is hillClimb scored on the log-likelihood surface. The
-// log is strictly monotone, so the climb visits the same positions as
-// the product-domain version while composing with the grid's
-// log-domain candidate scores. (LogLikelihood is a top-level function,
-// so the func value allocates nothing.)
-func hillClimbLog(start geom.Point, aps []APSpectrum, step float64, min, max geom.Point) (geom.Point, float64) {
-	return hillClimbFn(start, aps, step, min, max, LogLikelihood)
+// scoreTabs evaluates the log surface's definition at an arbitrary
+// (off-lattice) position from the per-fix padded log tables: per AP
+// one bearing (the only transcendental) and one branch-free lerp — no
+// Spectrum.At, no math.Log. Bit-identical to LogLikelihoodBins, which
+// recomputes the same quantities scalar per call: tab[b] is
+// math.Log(max(P[b], likelihoodFloor)) by construction, and the
+// padded tab[n] == tab[0] is exactly the scalar wrap.
+func scoreTabs(x geom.Point, aps []APSpectrum, logTabs [][]float64) float64 {
+	l := 0.0
+	for a, ap := range aps {
+		b, f := music.BinLookup(ap.Pos.Bearing(x), ap.Spectrum.Bins())
+		tab := logTabs[a]
+		l += tab[b]*(1-f) + tab[b+1]*f
+	}
+	return l
+}
+
+// hillClimbTabs is the compass pattern search of hillClimbFn scored by
+// scoreTabs. A dedicated loop (rather than a closure over the tables
+// passed to hillClimbFn) keeps the steady-state fix path free of
+// per-call closure allocations.
+func hillClimbTabs(start geom.Point, aps []APSpectrum, logTabs [][]float64, step float64, min, max geom.Point) (geom.Point, float64) {
+	cur := start
+	curL := scoreTabs(cur, aps, logTabs)
+	for step > 0.01 {
+		improved := false
+		for _, d := range [4]geom.Vec{{X: step}, {X: -step}, {Y: step}, {Y: -step}} {
+			cand := cur.Add(d)
+			if cand.X < min.X || cand.X > max.X || cand.Y < min.Y || cand.Y > max.Y {
+				continue
+			}
+			if l := scoreTabs(cand, aps, logTabs); l > curL {
+				cur, curL = cand, l
+				improved = true
+			}
+		}
+		if !improved {
+			step /= 2
+		}
+	}
+	return cur, curL
 }

@@ -148,3 +148,11 @@ func ProcessAP(ap *AP, frames []FrameCapture, cfg Config) (*music.Spectrum, erro
 func LocateClient(aps []*AP, captures [][]FrameCapture, min, max geom.Point, cfg Config) (geom.Point, []APSpectrum, error) {
 	return NewPipeline(cfg).Locate(aps, captures, min, max)
 }
+
+// LocateClientRegion is LocateClient with synthesis restricted to an
+// ad-hoc search region (zero region = full area) — the per-request
+// bounding-box entry point the engine threads through for interactive
+// region fixes.
+func LocateClientRegion(aps []*AP, captures [][]FrameCapture, min, max geom.Point, region Region, cfg Config) (geom.Point, []APSpectrum, error) {
+	return NewPipeline(cfg).LocateRegion(aps, captures, min, max, region)
+}

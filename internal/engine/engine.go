@@ -31,6 +31,17 @@ type Request struct {
 	Captures [][]core.FrameCapture
 	// Min, Max bound the synthesis search area.
 	Min, Max geom.Point
+	// Region, when non-zero, restricts synthesis to an ad-hoc
+	// bounding box (clamped to [Min, Max]) at an optional per-request
+	// resolution. Malformed regions fail the job with a wrapped
+	// core.ErrBadRegion.
+	Region core.Region
+	// Priority routes the job through the engine's latency lane:
+	// workers prefer it over queued batch traffic, and its synthesis
+	// surface is sharded across the config's SynthWorkers instead of
+	// being clamped to one goroutine. Meant for single interactive
+	// fixes (typically region queries), not bulk submission.
+	Priority bool
 	// Time is the capture timestamp, used by the tracker to advance
 	// the client's Kalman state. Zero means the tracker's clock.
 	Time time.Time
@@ -54,12 +65,20 @@ type Options struct {
 	// Queue is the job queue depth; 0 means 4×Workers. Submit blocks
 	// once the queue is full, providing natural backpressure.
 	Queue int
-	// Config is the pipeline configuration applied to every job. The
-	// engine clamps Config.APWorkers and Config.SynthWorkers to 1:
-	// the pool already keeps every core busy across clients, so
-	// per-AP or per-shard fan-out inside a worker would only
-	// oversubscribe the machine. Synthesis still reuses the cached
-	// bearing LUTs and the coarse-to-fine screen per job.
+	// PriorityQueue is the latency lane's depth; 0 means Workers.
+	// Kept intentionally shallow: the lane exists for single
+	// interactive fixes, and a deep priority queue would just starve
+	// batch traffic.
+	PriorityQueue int
+	// Config is the pipeline configuration applied to every job. For
+	// batch jobs the engine clamps Config.APWorkers and
+	// Config.SynthWorkers to 1: the pool already keeps every core
+	// busy across clients, so per-AP or per-shard fan-out inside a
+	// worker would only oversubscribe the machine. Priority jobs keep
+	// the configured SynthWorkers — a single interactive fix shards
+	// its surface across cores the batch lane is not saturating.
+	// Synthesis reuses the cached bearing LUTs and the coarse-to-fine
+	// screen either way.
 	Config core.Config
 	// Tracker, when non-nil, folds every successful fix into the
 	// client's Kalman track; results carry the smoothed update and
@@ -89,10 +108,26 @@ type Stats struct {
 	// cache holds — one per (AP position, grid geometry) pair seen (0
 	// when the config runs the seed synthesis path).
 	SynthLUTs int
+	// SynthBytes and SynthBudget are the synthesis cache's accounted
+	// size and configured byte cap (0 budget = unbounded); SynthHits,
+	// SynthMisses, SynthEvictions and SynthSlices are its cumulative
+	// lookup counters (slices = region LUTs derived from a cached
+	// full-grid entry). All zero on the seed synthesis path.
+	SynthBytes     int64
+	SynthBudget    int64
+	SynthHits      uint64
+	SynthMisses    uint64
+	SynthEvictions uint64
+	SynthSlices    uint64
+	// PrioritySubmitted is the number of jobs accepted into the
+	// latency lane (included in Submitted).
+	PrioritySubmitted uint64
 	// Workers is the pool size.
 	Workers int
-	// Queued is the instantaneous queue depth.
+	// Queued is the instantaneous batch queue depth.
 	Queued int
+	// PriorityQueued is the instantaneous latency-lane depth.
+	PriorityQueued int
 }
 
 type job struct {
@@ -100,16 +135,21 @@ type job struct {
 	done func(Result)
 }
 
-// Engine runs localization jobs on a fixed worker pool. All methods
-// are safe for concurrent use.
+// Engine runs localization jobs on a fixed worker pool with two
+// lanes: a deep batch queue and a shallow latency-priority queue that
+// workers always drain first. All methods are safe for concurrent
+// use.
 type Engine struct {
-	cfg       core.Config
+	cfg       core.Config // batch lane: APWorkers/SynthWorkers clamped to 1
+	prioCfg   core.Config // latency lane: SynthWorkers kept for surface sharding
 	tracker   *Tracker
 	jobs      chan job
+	prio      chan job
 	wg        sync.WaitGroup
 	mu        sync.RWMutex
 	closed    bool
 	submitted atomic.Uint64
+	prioSub   atomic.Uint64
 	rejected  atomic.Uint64
 	fixes     atomic.Uint64
 	failures  atomic.Uint64
@@ -126,17 +166,24 @@ func New(opt Options) *Engine {
 	if queue <= 0 {
 		queue = 4 * workers
 	}
-	cfg := opt.Config
-	if cfg.APWorkers > 1 {
-		cfg.APWorkers = 1
+	prioQueue := opt.PriorityQueue
+	if prioQueue <= 0 {
+		prioQueue = workers
 	}
+	prioCfg := opt.Config
+	if prioCfg.APWorkers > 1 {
+		prioCfg.APWorkers = 1
+	}
+	cfg := prioCfg
 	if cfg.SynthWorkers > 1 {
 		cfg.SynthWorkers = 1
 	}
 	e := &Engine{
 		cfg:     cfg,
+		prioCfg: prioCfg,
 		tracker: opt.Tracker,
 		jobs:    make(chan job, queue),
+		prio:    make(chan job, prioQueue),
 		workers: workers,
 	}
 	e.wg.Add(workers)
@@ -148,13 +195,52 @@ func New(opt Options) *Engine {
 
 func (e *Engine) worker() {
 	defer e.wg.Done()
-	for j := range e.jobs {
+	for {
+		j, ok := e.next()
+		if !ok {
+			return
+		}
 		j.done(e.run(j.req))
 	}
 }
 
+// next dequeues the worker's next job, preferring the latency lane: a
+// non-blocking priority poll first, then a blocking wait on both
+// lanes. After Close (both channels closed), it drains whatever
+// remains and reports false.
+func (e *Engine) next() (job, bool) {
+	select {
+	case j, ok := <-e.prio:
+		if ok {
+			return j, true
+		}
+		// Latency lane closed: finish draining the batch lane.
+		j, ok = <-e.jobs
+		return j, ok
+	default:
+	}
+	select {
+	case j, ok := <-e.prio:
+		if ok {
+			return j, true
+		}
+		j, ok = <-e.jobs
+		return j, ok
+	case j, ok := <-e.jobs:
+		if ok {
+			return j, true
+		}
+		j, ok = <-e.prio
+		return j, ok
+	}
+}
+
 func (e *Engine) run(req Request) Result {
-	pos, specs, err := core.LocateClient(req.APs, req.Captures, req.Min, req.Max, e.cfg)
+	cfg := e.cfg
+	if req.Priority {
+		cfg = e.prioCfg
+	}
+	pos, specs, err := core.LocateClientRegion(req.APs, req.Captures, req.Min, req.Max, req.Region, cfg)
 	r := Result{ClientID: req.ClientID, Pos: pos, Spectra: specs, Err: err}
 	if err != nil {
 		e.failures.Add(1)
@@ -169,8 +255,9 @@ func (e *Engine) run(req Request) Result {
 }
 
 // Submit enqueues a job; done is invoked exactly once, from a worker
-// goroutine, with the job's result. Submit blocks while the queue is
-// full and returns ErrClosed after Close.
+// goroutine, with the job's result. Priority requests enter the
+// latency lane, everything else the batch queue. Submit blocks while
+// the target lane is full and returns ErrClosed after Close.
 func (e *Engine) Submit(req Request, done func(Result)) error {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
@@ -182,7 +269,12 @@ func (e *Engine) Submit(req Request, done func(Result)) error {
 	// the instant it lands, and Stats must never show Completed >
 	// Submitted.
 	e.submitted.Add(1)
-	e.jobs <- job{req: req, done: done}
+	if req.Priority {
+		e.prioSub.Add(1)
+		e.prio <- job{req: req, done: done}
+	} else {
+		e.jobs <- job{req: req, done: done}
+	}
 	return nil
 }
 
@@ -224,13 +316,15 @@ func (e *Engine) Stats() Stats {
 	fixes := e.fixes.Load()
 	failures := e.failures.Load()
 	s := Stats{
-		Submitted: e.submitted.Load(),
-		Completed: fixes + failures,
-		Fixes:     fixes,
-		Failures:  failures,
-		Rejected:  e.rejected.Load(),
-		Workers:   e.workers,
-		Queued:    len(e.jobs),
+		Submitted:         e.submitted.Load(),
+		Completed:         fixes + failures,
+		Fixes:             fixes,
+		Failures:          failures,
+		Rejected:          e.rejected.Load(),
+		PrioritySubmitted: e.prioSub.Load(),
+		Workers:           e.workers,
+		Queued:            len(e.jobs),
+		PriorityQueued:    len(e.prio),
 	}
 	if e.tracker != nil {
 		ts := e.tracker.Stats()
@@ -238,12 +332,19 @@ func (e *Engine) Stats() Stats {
 		s.TrackRejects = ts.GateRejects
 	}
 	if e.cfg.SynthCache != nil {
-		s.SynthLUTs = e.cfg.SynthCache.Len()
+		u := e.cfg.SynthCache.Usage()
+		s.SynthLUTs = u.Entries
+		s.SynthBytes = u.Bytes
+		s.SynthBudget = u.Budget
+		s.SynthHits = u.Hits
+		s.SynthMisses = u.Misses
+		s.SynthEvictions = u.Evictions
+		s.SynthSlices = u.Slices
 	}
 	return s
 }
 
-// Close stops accepting jobs, drains the queue, and waits for the
+// Close stops accepting jobs, drains both lanes, and waits for the
 // workers to exit. Safe to call once.
 func (e *Engine) Close() {
 	e.mu.Lock()
@@ -252,6 +353,7 @@ func (e *Engine) Close() {
 		return
 	}
 	e.closed = true
+	close(e.prio)
 	close(e.jobs)
 	e.mu.Unlock()
 	e.wg.Wait()

@@ -2,12 +2,21 @@ package engine
 
 import (
 	"errors"
+	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/server"
 )
+
+// DefaultPriorityInterval is the minimum spacing between latency-lane
+// dispatches per client when CaptureSink.PriorityInterval is zero.
+// The wire priority flag is untrusted input: without a throttle, one
+// client (or a compromised AP) setting it on every capture would
+// starve the batch lane and oversubscribe synthesis workers. Excess
+// priority flushes are downgraded to batch, never dropped.
+const DefaultPriorityInterval = 250 * time.Millisecond
 
 // ErrNoKnownAP is delivered to OnResult when none of a flush's capture
 // records came from a resolvable AP.
@@ -31,16 +40,63 @@ type CaptureSink struct {
 	// fix when the engine runs a Tracker; nil discards them. It fires
 	// in addition to OnResult (whose Result carries the same update).
 	OnTrack func(TrackUpdate)
+	// PriorityInterval throttles the untrusted wire priority flag: at
+	// most one latency-lane dispatch per client per interval, the rest
+	// downgraded to the batch lane. 0 means DefaultPriorityInterval;
+	// negative disables the throttle (trusted feeds only).
+	PriorityInterval time.Duration
+
+	mu       sync.Mutex
+	lastPrio map[uint32]time.Time
+}
+
+// allowPriority reports whether a priority dispatch for the client is
+// within its rate budget, recording the grant. Server wall-clock time
+// is used — capture timestamps are as untrusted as the flag itself.
+func (s *CaptureSink) allowPriority(clientID uint32, now time.Time) bool {
+	iv := s.PriorityInterval
+	if iv < 0 {
+		return true
+	}
+	if iv == 0 {
+		iv = DefaultPriorityInterval
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if last, ok := s.lastPrio[clientID]; ok && now.Sub(last) < iv {
+		return false
+	}
+	if s.lastPrio == nil {
+		s.lastPrio = make(map[uint32]time.Time)
+	} else if len(s.lastPrio) >= 4096 {
+		// Bound the table against client-ID churn: drop stale grants.
+		for id, at := range s.lastPrio {
+			if now.Sub(at) >= iv {
+				delete(s.lastPrio, id)
+			}
+		}
+	}
+	s.lastPrio[clientID] = now
+	return true
 }
 
 // Dispatch groups a flushed capture set per AP (first-seen order,
-// several frames per AP) and submits the localization job. It is
-// called by the backend on its ingest path, so it only enqueues —
-// blocking at most on engine backpressure, never on the pipeline.
+// several frames per AP) and submits the localization job. A region
+// or priority flag on any capture in the flush (the newest such
+// capture wins for the region) carries onto the request, so one
+// interactive region query rides the engine's latency lane while the
+// rest of the flush's traffic batches; the flag is rate-limited per
+// client (PriorityInterval) since it arrives from the wire untrusted.
+// It is called by the backend on its ingest path, so it only
+// enqueues — blocking at most on engine backpressure, never on the
+// pipeline.
 func (s *CaptureSink) Dispatch(clientID uint32, captures []server.Capture) {
 	var order []uint32
 	byAP := make(map[uint32][]core.FrameCapture)
 	newest := make(map[uint32]time.Time)
+	var region core.Region
+	var regionAt time.Time
+	var priority bool
 	for _, c := range captures {
 		if _, ok := byAP[c.APID]; !ok {
 			order = append(order, c.APID)
@@ -49,6 +105,10 @@ func (s *CaptureSink) Dispatch(clientID uint32, captures []server.Capture) {
 		if c.Timestamp.After(newest[c.APID]) {
 			newest[c.APID] = c.Timestamp
 		}
+		if !c.Region.IsZero() && (regionAt.IsZero() || c.Timestamp.After(regionAt)) {
+			region, regionAt = c.Region, c.Timestamp
+		}
+		priority = priority || c.Priority
 	}
 	var aps []*core.AP
 	var frames [][]core.FrameCapture
@@ -79,7 +139,14 @@ func (s *CaptureSink) Dispatch(clientID uint32, captures []server.Capture) {
 		deliver(Result{ClientID: clientID, Err: ErrNoKnownAP})
 		return
 	}
-	req := Request{ClientID: clientID, APs: aps, Captures: frames, Min: s.Min, Max: s.Max, Time: at}
+	if priority && !s.allowPriority(clientID, time.Now()) {
+		priority = false
+	}
+	req := Request{
+		ClientID: clientID, APs: aps, Captures: frames,
+		Min: s.Min, Max: s.Max, Time: at,
+		Region: region, Priority: priority,
+	}
 	if err := s.Engine.Submit(req, deliver); err != nil {
 		deliver(Result{ClientID: clientID, Err: err})
 	}

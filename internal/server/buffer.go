@@ -8,6 +8,8 @@ package server
 import (
 	"sync"
 	"time"
+
+	"repro/internal/core"
 )
 
 // Capture is one detected frame's worth of per-antenna samples,
@@ -23,6 +25,13 @@ type Capture struct {
 	Seq uint32
 	// Timestamp is the detection time.
 	Timestamp time.Time
+	// Region, when non-zero, asks the backend to restrict this
+	// client's synthesis to an ad-hoc bounding box (a version-2 wire
+	// record). Validated at decode; see core.Region.
+	Region core.Region
+	// Priority asks the backend to run the resulting fix through the
+	// engine's latency lane.
+	Priority bool
 	// Streams holds the per-antenna baseband samples of the captured
 	// preamble section.
 	Streams [][]complex128

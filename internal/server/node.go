@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/dsp"
 )
 
@@ -71,6 +72,13 @@ type APNode struct {
 	ID uint32
 	// Buffer holds detected frames awaiting upload.
 	Buffer *CircularBuffer
+	// Region, when non-zero, stamps every recorded capture with an
+	// ad-hoc search region (shipped as a version-2 wire record);
+	// Priority marks captures for the backend engine's latency lane.
+	// Set both before Record.
+	Region core.Region
+	// Priority marks recorded captures as latency-priority.
+	Priority bool
 
 	seq uint32
 	mu  sync.Mutex
@@ -93,6 +101,8 @@ func (n *APNode) Record(clientID uint32, ts time.Time, streams [][]complex128) {
 		ClientID:  clientID,
 		Seq:       seq,
 		Timestamp: ts,
+		Region:    n.Region,
+		Priority:  n.Priority,
 		Streams:   streams,
 	})
 }

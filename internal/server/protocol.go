@@ -7,11 +7,14 @@ import (
 	"io"
 	"math"
 	"time"
+
+	"repro/internal/core"
+	"repro/internal/geom"
 )
 
 // Wire protocol: each capture travels as one length-prefixed record.
 //
-//	magic    uint32  'A''T'0x01 version tag
+//	magic    uint32  'A''T' + version tag (1 or 2)
 //	apID     uint32
 //	clientID uint32
 //	seq      uint32
@@ -19,14 +22,39 @@ import (
 //	scale    float32 amplitude of a full-scale int16 sample
 //	nAnt     uint16
 //	nSamp    uint16
+//	-- version 2 only --
+//	flags    uint8   bit0 = has region, bit1 = priority
+//	region   5 × float64  minX minY maxX maxY cell (big-endian bits)
+//	-- all versions --
 //	payload  nAnt × nSamp × (int16 I, int16 Q)
 //
 // Samples are 32 bits each — 16-bit I plus 16-bit Q — matching the
 // paper's "(10 samples)(32 bits/sample)(8 radios)" overhead arithmetic
 // (§4.3.3, §4.4). A per-record scale factor preserves absolute
 // amplitude despite the fixed-point encoding.
+//
+// Version 2 extends a record with an ad-hoc search region (the
+// per-request bounding box the backend threads into synthesis) and a
+// latency-priority flag. Writers emit version 1 whenever neither is
+// set, so v1 readers keep working for plain sample feeds; readers
+// accept both. A v2 record whose region fails core-side validation
+// (NaN/Inf corners, inverted or degenerate boxes, out-of-range cell
+// pitches) is rejected at decode with ErrBadRegion — hostile bytes
+// never reach the localization engine.
 
-const protocolMagic = 0x41540001 // "AT" + version 1
+const (
+	protocolMagic   = 0x41540001 // "AT" + version 1
+	protocolMagicV2 = 0x41540002 // "AT" + version 2: region + priority
+)
+
+// regionExtSize is the v2 header extension: flags byte plus five
+// float64 region fields.
+const regionExtSize = 1 + 5*8
+
+const (
+	flagHasRegion = 1 << 0
+	flagPriority  = 1 << 1
+)
 
 // Encoding limits. A record never legitimately exceeds these; they
 // bound allocation when decoding untrusted input.
@@ -40,6 +68,9 @@ var (
 	ErrBadMagic = errors.New("server: bad protocol magic")
 	// ErrTooLarge means a record header declared an implausible size.
 	ErrTooLarge = errors.New("server: record exceeds protocol limits")
+	// ErrBadRegion means a v2 record carried a malformed search
+	// region (it wraps the core-side validation error).
+	ErrBadRegion = errors.New("server: bad search region")
 )
 
 // WriteCapture encodes c to w in wire format.
@@ -71,8 +102,20 @@ func WriteCapture(w io.Writer, c *Capture) error {
 		peak = 1
 	}
 
-	head := make([]byte, 4+4+4+4+8+4+2+2)
-	binary.BigEndian.PutUint32(head[0:], protocolMagic)
+	v2 := !c.Region.IsZero() || c.Priority
+	size := 32
+	if v2 {
+		size += regionExtSize
+		if err := c.Region.Validate(); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadRegion, err)
+		}
+	}
+	head := make([]byte, size)
+	magic := uint32(protocolMagic)
+	if v2 {
+		magic = protocolMagicV2
+	}
+	binary.BigEndian.PutUint32(head[0:], magic)
 	binary.BigEndian.PutUint32(head[4:], c.APID)
 	binary.BigEndian.PutUint32(head[8:], c.ClientID)
 	binary.BigEndian.PutUint32(head[12:], c.Seq)
@@ -80,6 +123,21 @@ func WriteCapture(w io.Writer, c *Capture) error {
 	binary.BigEndian.PutUint32(head[24:], math.Float32bits(float32(peak)))
 	binary.BigEndian.PutUint16(head[28:], uint16(nAnt))
 	binary.BigEndian.PutUint16(head[30:], uint16(nSamp))
+	if v2 {
+		var flags byte
+		if !c.Region.IsZero() {
+			flags |= flagHasRegion
+		}
+		if c.Priority {
+			flags |= flagPriority
+		}
+		head[32] = flags
+		binary.BigEndian.PutUint64(head[33:], math.Float64bits(c.Region.Min.X))
+		binary.BigEndian.PutUint64(head[41:], math.Float64bits(c.Region.Min.Y))
+		binary.BigEndian.PutUint64(head[49:], math.Float64bits(c.Region.Max.X))
+		binary.BigEndian.PutUint64(head[57:], math.Float64bits(c.Region.Max.Y))
+		binary.BigEndian.PutUint64(head[65:], math.Float64bits(c.Region.Cell))
+	}
 	if _, err := w.Write(head); err != nil {
 		return err
 	}
@@ -109,7 +167,8 @@ func ReadCapture(r io.Reader) (*Capture, error) {
 		}
 		return nil, fmt.Errorf("server: short header: %w", err)
 	}
-	if binary.BigEndian.Uint32(head[0:]) != protocolMagic {
+	magic := binary.BigEndian.Uint32(head[0:])
+	if magic != protocolMagic && magic != protocolMagicV2 {
 		return nil, ErrBadMagic
 	}
 	c := &Capture{
@@ -123,6 +182,37 @@ func ReadCapture(r io.Reader) (*Capture, error) {
 	nSamp := int(binary.BigEndian.Uint16(head[30:]))
 	if nAnt == 0 || nAnt > MaxAntennas || nSamp == 0 || nSamp > MaxSamples {
 		return nil, ErrTooLarge
+	}
+	if magic == protocolMagicV2 {
+		ext := make([]byte, regionExtSize)
+		if _, err := io.ReadFull(r, ext); err != nil {
+			return nil, fmt.Errorf("server: short region extension: %w", err)
+		}
+		flags := ext[0]
+		if flags&^(flagHasRegion|flagPriority) != 0 {
+			return nil, fmt.Errorf("%w: unknown flags %#x", ErrBadRegion, flags)
+		}
+		c.Priority = flags&flagPriority != 0
+		region := core.Region{
+			Min:  geom.Pt(math.Float64frombits(binary.BigEndian.Uint64(ext[1:])), math.Float64frombits(binary.BigEndian.Uint64(ext[9:]))),
+			Max:  geom.Pt(math.Float64frombits(binary.BigEndian.Uint64(ext[17:])), math.Float64frombits(binary.BigEndian.Uint64(ext[25:]))),
+			Cell: math.Float64frombits(binary.BigEndian.Uint64(ext[33:])),
+		}
+		if flags&flagHasRegion != 0 {
+			// A present region must be well-formed and non-zero: NaN or
+			// Inf corners, inverted/degenerate boxes, and out-of-range
+			// pitches are rejected here, before the bytes ever reach the
+			// grouping backend or the engine.
+			if region.IsZero() {
+				return nil, fmt.Errorf("%w: region flag set on zero box", ErrBadRegion)
+			}
+			if err := region.Validate(); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadRegion, err)
+			}
+			c.Region = region
+		} else if region != (core.Region{}) {
+			return nil, fmt.Errorf("%w: region bytes without region flag", ErrBadRegion)
+		}
 	}
 	payload := make([]byte, nAnt*nSamp*4)
 	if _, err := io.ReadFull(r, payload); err != nil {
@@ -143,7 +233,12 @@ func ReadCapture(r io.Reader) (*Capture, error) {
 	return c, nil
 }
 
-// RecordSize returns the on-wire size in bytes of a capture with the
-// given dimensions — the quantity behind §4.4's serialization-time
-// estimate.
+// RecordSize returns the on-wire size in bytes of a version-1 capture
+// with the given dimensions — the quantity behind §4.4's
+// serialization-time estimate. A version-2 record (region query or
+// priority fix) adds RegionExtSize bytes.
 func RecordSize(nAnt, nSamp int) int { return 32 + nAnt*nSamp*4 }
+
+// RegionExtSize is the extra on-wire bytes of a version-2 record: the
+// flags byte plus the five float64 region fields.
+const RegionExtSize = regionExtSize

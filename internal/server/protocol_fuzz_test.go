@@ -9,8 +9,12 @@ package server
 import (
 	"bytes"
 	"encoding/binary"
+	"math"
 	"testing"
 	"time"
+
+	"repro/internal/core"
+	"repro/internal/geom"
 )
 
 // validRecord encodes one well-formed capture to seed the corpus.
@@ -31,6 +35,40 @@ func validRecord(tb testing.TB) []byte {
 		tb.Fatal(err)
 	}
 	return buf.Bytes()
+}
+
+// validRegionRecord encodes a well-formed v2 capture (region +
+// priority) to seed the corpus.
+func validRegionRecord(tb testing.TB) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	c := &Capture{
+		APID:      2,
+		ClientID:  9,
+		Seq:       4,
+		Timestamp: time.UnixMicro(1700000000000000).UTC(),
+		Region:    core.Region{Min: geom.Pt(3, 2), Max: geom.Pt(11.5, 9.25), Cell: 0.25},
+		Priority:  true,
+		Streams: [][]complex128{
+			{complex(0.5, -0.25), complex(-1, 0.125)},
+			{complex(0.75, 0.5), complex(0.25, -0.75)},
+		},
+	}
+	if err := WriteCapture(&buf, c); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// putRegion overwrites the region box of a v2 record in place.
+func putRegion(rec []byte, minX, minY, maxX, maxY, cell float64) []byte {
+	out := append([]byte(nil), rec...)
+	binary.BigEndian.PutUint64(out[33:], math.Float64bits(minX))
+	binary.BigEndian.PutUint64(out[41:], math.Float64bits(minY))
+	binary.BigEndian.PutUint64(out[49:], math.Float64bits(maxX))
+	binary.BigEndian.PutUint64(out[57:], math.Float64bits(maxY))
+	binary.BigEndian.PutUint64(out[65:], math.Float64bits(cell))
+	return out
 }
 
 func FuzzReadCapture(f *testing.F) {
@@ -54,6 +92,38 @@ func FuzzReadCapture(f *testing.F) {
 	f.Add(nanScale)
 	f.Add(append(append([]byte(nil), valid...), valid...)) // two records
 
+	// Version-2 region records: one well-formed, then a battery of
+	// degenerate, inverted, NaN/Inf, and out-of-range boxes that the
+	// decoder must reject cleanly (error, never a panic).
+	validV2 := validRegionRecord(f)
+	f.Add(validV2)
+	f.Add(validV2[:40])             // truncated region extension
+	f.Add(validV2[:33])             // flags byte only
+	f.Add(validV2[:len(validV2)-5]) // truncated payload after region
+	nan := math.NaN()
+	f.Add(putRegion(validV2, nan, 2, 11.5, 9.25, 0.25))      // NaN corner
+	f.Add(putRegion(validV2, 3, 2, math.Inf(1), 9.25, 0.25)) // Inf corner
+	f.Add(putRegion(validV2, 11.5, 9.25, 3, 2, 0.25))        // inverted box
+	f.Add(putRegion(validV2, 3, 2, 3, 9.25, 0.25))           // degenerate (zero width)
+	f.Add(putRegion(validV2, 3, 2, 11.5, 2, 0.25))           // degenerate (zero height)
+	f.Add(putRegion(validV2, 0, 0, 0, 0, 0))                 // region flag on zero box
+	f.Add(putRegion(validV2, 3, 2, 11.5, 9.25, nan))         // NaN cell
+	f.Add(putRegion(validV2, 3, 2, 11.5, 9.25, -1))          // negative cell
+	f.Add(putRegion(validV2, 3, 2, 11.5, 9.25, 1e-9))        // cell below MinRegionCell
+	f.Add(putRegion(validV2, -1e12, 2, 11.5, 9.25, 0.25))    // coordinate out of range
+	badFlags := append([]byte(nil), validV2...)
+	badFlags[32] = 0xFF // unknown flag bits
+	f.Add(badFlags)
+	noFlagRegion := append([]byte(nil), validV2...)
+	noFlagRegion[32] = 0 // region bytes present but flag clear
+	f.Add(noFlagRegion)
+	v2Magic := append([]byte(nil), valid...)
+	binary.BigEndian.PutUint32(v2Magic[0:], 0x41540002) // v2 magic on a v1 body
+	f.Add(v2Magic)
+	v3Magic := append([]byte(nil), validV2...)
+	binary.BigEndian.PutUint32(v3Magic[0:], 0x41540003) // unknown future version
+	f.Add(v3Magic)
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		c, err := ReadCapture(bytes.NewReader(data))
 		if err == nil {
@@ -62,6 +132,11 @@ func FuzzReadCapture(f *testing.F) {
 			}
 			if len(c.Streams) == 0 || len(c.Streams) > MaxAntennas || len(c.Streams[0]) > MaxSamples {
 				t.Fatalf("decoded record violates protocol limits: %d antennas", len(c.Streams))
+			}
+			// A decoded region is always either unset or valid: hostile
+			// boxes must never survive decode.
+			if err := c.Region.Validate(); err != nil {
+				t.Fatalf("decoded capture carries invalid region %+v: %v", c.Region, err)
 			}
 			// Anything that decodes must re-encode.
 			if err := WriteCapture(&bytes.Buffer{}, c); err != nil {

@@ -1,0 +1,123 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+func regionCapture(region core.Region, priority bool) *Capture {
+	return &Capture{
+		APID:      5,
+		ClientID:  12,
+		Seq:       7,
+		Timestamp: time.UnixMicro(1700000000123456).UTC(),
+		Region:    region,
+		Priority:  priority,
+		Streams: [][]complex128{
+			{complex(0.25, -0.5), complex(0.125, 1)},
+			{complex(-0.75, 0.5), complex(1, -0.25)},
+		},
+	}
+}
+
+// TestRegionRoundTrip: v2 records carry the region and priority flag
+// through encode/decode unchanged; v1 records (no region, no
+// priority) stay byte-compatible with the old format.
+func TestRegionRoundTrip(t *testing.T) {
+	cases := []struct {
+		name     string
+		region   core.Region
+		priority bool
+	}{
+		{"region", core.Region{Min: geom.Pt(2, 3), Max: geom.Pt(9.5, 7.25), Cell: 0.1}, false},
+		{"region-default-cell", core.Region{Min: geom.Pt(-4, 0.5), Max: geom.Pt(6, 2)}, false},
+		{"region-priority", core.Region{Min: geom.Pt(0.25, 0.25), Max: geom.Pt(1.5, 1.75)}, true},
+		{"priority-only", core.Region{}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			in := regionCapture(tc.region, tc.priority)
+			if err := WriteCapture(&buf, in); err != nil {
+				t.Fatal(err)
+			}
+			out, err := ReadCapture(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.Region != tc.region {
+				t.Fatalf("region round trip: got %+v, want %+v", out.Region, tc.region)
+			}
+			if out.Priority != tc.priority {
+				t.Fatalf("priority round trip: got %v, want %v", out.Priority, tc.priority)
+			}
+			if out.APID != in.APID || out.ClientID != in.ClientID || out.Seq != in.Seq || !out.Timestamp.Equal(in.Timestamp) {
+				t.Fatal("v2 header fields corrupted in round trip")
+			}
+		})
+	}
+
+	// No region and no priority must stay a plain v1 record.
+	var buf bytes.Buffer
+	if err := WriteCapture(&buf, regionCapture(core.Region{}, false)); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.Bytes()[3]; got != 0x01 {
+		t.Fatalf("plain capture encoded as version %d, want 1", got)
+	}
+	out, err := ReadCapture(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Region.IsZero() || out.Priority {
+		t.Fatal("v1 record decoded with region or priority set")
+	}
+}
+
+// TestRegionDecodeRejectsMalformed: every degenerate, inverted, or
+// non-finite region is refused at decode with ErrBadRegion — the
+// grouping backend never sees it.
+func TestRegionDecodeRejectsMalformed(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	bad := []core.Region{
+		{Min: geom.Pt(nan, 3), Max: geom.Pt(9, 7)},
+		{Min: geom.Pt(2, inf), Max: geom.Pt(9, 7)},
+		{Min: geom.Pt(9, 7), Max: geom.Pt(2, 3)},
+		{Min: geom.Pt(2, 3), Max: geom.Pt(2, 7)},
+		{Min: geom.Pt(2, 3), Max: geom.Pt(9, 3)},
+		{Min: geom.Pt(2, 3), Max: geom.Pt(9, 7), Cell: nan},
+		{Min: geom.Pt(2, 3), Max: geom.Pt(9, 7), Cell: -0.5},
+		{Min: geom.Pt(2, 3), Max: geom.Pt(9, 7), Cell: 1e-6},
+		{Min: geom.Pt(-2e9, 3), Max: geom.Pt(9, 7)},
+	}
+	// Writers validate too: a malformed region never leaves the AP.
+	for i, r := range bad {
+		if err := WriteCapture(&bytes.Buffer{}, regionCapture(r, false)); !errors.Is(err, ErrBadRegion) {
+			t.Errorf("case %d: WriteCapture err = %v, want ErrBadRegion", i, err)
+		}
+	}
+	// And readers reject the same boxes when hostile bytes put them on
+	// the wire anyway.
+	var buf bytes.Buffer
+	if err := WriteCapture(&buf, regionCapture(core.Region{Min: geom.Pt(2, 3), Max: geom.Pt(9, 7)}, false)); err != nil {
+		t.Fatal(err)
+	}
+	template := buf.Bytes()
+	for i, r := range bad {
+		rec := putRegion(template, r.Min.X, r.Min.Y, r.Max.X, r.Max.Y, r.Cell)
+		if _, err := ReadCapture(bytes.NewReader(rec)); !errors.Is(err, ErrBadRegion) {
+			t.Errorf("case %d: ReadCapture err = %v, want ErrBadRegion", i, err)
+		}
+		// ServeConn must reject the stream without panicking.
+		b := NewBackend(1000, time.Second, func(uint32, []Capture) {})
+		if err := b.ServeConn(bytes.NewReader(rec)); !errors.Is(err, ErrBadRegion) {
+			t.Errorf("case %d: ServeConn err = %v, want ErrBadRegion", i, err)
+		}
+	}
+}

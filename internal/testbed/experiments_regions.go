@@ -1,0 +1,269 @@
+package testbed
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/geom"
+	"repro/internal/stats"
+)
+
+// RegionsOptions sizes the ad-hoc region-query experiment.
+type RegionsOptions struct {
+	// MaxClients is the number of scenes (client positions) used.
+	MaxClients int
+	// Sites indexes the AP sites contributing to every scene.
+	Sites []int
+	// Cell is the full-grid pitch region queries align to.
+	Cell float64
+	// Regions is the number of distinct ad-hoc bounding boxes in the
+	// workload.
+	Regions int
+	// Queries is the number of region queries replayed per budget
+	// (drawn from Regions with a skewed reuse distribution, the
+	// "interactive dashboard" access pattern).
+	Queries int
+	// Budgets are the synthesis-cache byte budgets swept for the
+	// hit-rate curve.
+	Budgets []int64
+	// BatchJobs is the batch-lane backlog for the latency experiment;
+	// PriorityJobs interactive region fixes are timed against it.
+	BatchJobs, PriorityJobs int
+	// Seed drives capture noise and region placement.
+	Seed int64
+}
+
+// DefaultRegionsOptions measures a dashboard-like workload: dozens of
+// distinct boxes, heavy reuse, budgets from starved to comfortable.
+func DefaultRegionsOptions() RegionsOptions {
+	return RegionsOptions{
+		MaxClients:   5,
+		Sites:        []int{0, 2, 4},
+		Cell:         0.10,
+		Regions:      50,
+		Queries:      400,
+		Budgets:      []int64{1 << 20, 4 << 20, 16 << 20, 64 << 20},
+		BatchJobs:    48,
+		PriorityJobs: 8,
+		Seed:         1,
+	}
+}
+
+// regionWorkload builds r.Regions deterministic ad-hoc boxes over the
+// floor, sized like interactive zoom windows (2–10 m on a side).
+func regionWorkload(n int, rng *rand.Rand) []core.Region {
+	out := make([]core.Region, n)
+	for i := range out {
+		w := 2 + rng.Float64()*8
+		h := 2 + rng.Float64()*6
+		x0 := rng.Float64() * (FloorW - w)
+		y0 := rng.Float64() * (FloorH - h)
+		out[i] = core.Region{Min: geom.Pt(x0, y0), Max: geom.Pt(x0+w, y0+h)}
+	}
+	return out
+}
+
+// RunRegions benchmarks the bounded synthesis cache and the engine's
+// latency lane on ad-hoc region queries: cache hit rate and accounted
+// size versus byte budget under a skewed region workload, region
+// argmax exactness against the restricted full grid, and the
+// p50/p99 latency of priority region fixes submitted against a batch
+// backlog (with a no-priority control). Emitted as metrics so
+// `atbench -exp regions -json` extends the BENCH_*.json trajectory.
+func (tb *Testbed) RunRegions(opt RegionsOptions) (*Report, error) {
+	scenes, _, err := tb.synthScenes(SynthOptions{
+		MaxClients: opt.MaxClients, Sites: opt.Sites, Seed: opt.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{ID: "regions", Title: "ad-hoc region queries: bounded cache + latency lane"}
+	rng := rand.New(rand.NewSource(opt.Seed + 100))
+	regions := regionWorkload(opt.Regions, rng)
+
+	// --- hit rate and accounted size vs budget.
+	r.Addf("%10s %8s %8s %8s %9s %8s %7s", "budget", "hit%", "miss", "evict", "bytes", "peak%", "slices")
+	var hitAtMax float64
+	for bi, budget := range opt.Budgets {
+		cache := core.NewSynthCacheBudget(budget)
+		var peak int64
+		// Warm the full-grid LUTs the way a live server would (full-area
+		// fixes run alongside region queries): with budget to hold them,
+		// region misses become row slices instead of atan2 rebuilds.
+		warm, err := core.NewSynthGrid(tb.Plan.Min, tb.Plan.Max, core.SynthOptions{
+			Cell: opt.Cell, Workers: 1, Cache: cache,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := warm.RefinedArgmaxCell(scenes[0]); err != nil {
+			return nil, err
+		}
+		// Skewed reuse: query j hits region floor(|N(0,0.25)|·n) mod n,
+		// so a handful of boxes absorb most traffic — the pattern an
+		// interactive floor view generates.
+		qrng := rand.New(rand.NewSource(opt.Seed + 200))
+		for q := 0; q < opt.Queries; q++ {
+			ri := int(qrng.NormFloat64()*0.25*float64(len(regions))) % len(regions)
+			if ri < 0 {
+				ri = -ri
+			}
+			sg, err := core.NewSynthGridRegion(tb.Plan.Min, tb.Plan.Max, regions[ri], core.SynthOptions{
+				Cell: opt.Cell, Workers: 1, Cache: cache,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if _, err := sg.Localize(scenes[q%len(scenes)]); err != nil {
+				return nil, err
+			}
+			u := cache.Usage()
+			if u.Bytes > peak {
+				peak = u.Bytes
+			}
+			if u.Bytes > budget {
+				return nil, fmt.Errorf("cache %d bytes exceeds %d budget", u.Bytes, budget)
+			}
+		}
+		u := cache.Usage()
+		hitPct := 100 * float64(u.Hits) / float64(u.Hits+u.Misses)
+		r.Addf("%9dM %7.1f%% %8d %8d %9d %7.1f%% %7d",
+			budget>>20, hitPct, u.Misses, u.Evictions, u.Bytes, 100*float64(peak)/float64(budget), u.Slices)
+		if bi == len(opt.Budgets)-1 {
+			hitAtMax = hitPct
+		}
+		r.AddMetric(fmt.Sprintf("regions_hit_pct_%dmib", budget>>20), hitPct, "%")
+	}
+
+	// --- region argmax exactness vs restricted full grid.
+	fullGrid, err := core.NewSynthGrid(tb.Plan.Min, tb.Plan.Max, core.SynthOptions{
+		Cell: opt.Cell, Workers: 1, Cache: core.NewSynthCache(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	cache := core.NewSynthCacheBudget(opt.Budgets[len(opt.Budgets)-1])
+	matches, checked := 0, 0
+	var h core.Heatmap
+	for si, sc := range scenes {
+		if err := fullGrid.LogHeatmapInto(&h, sc); err != nil {
+			return nil, err
+		}
+		for k := 0; k < 4; k++ {
+			region := regions[(si*4+k)%len(regions)]
+			sg, err := core.NewSynthGridRegion(tb.Plan.Min, tb.Plan.Max, region, core.SynthOptions{
+				Cell: opt.Cell, Workers: 1, Cache: cache,
+			})
+			if err != nil {
+				return nil, err
+			}
+			got, err := sg.RefinedArgmaxCell(sc)
+			if err != nil {
+				return nil, err
+			}
+			if got == restrictedArgmaxCell(&h, fullGrid.Spec(), sg.Spec()) {
+				matches++
+			}
+			checked++
+		}
+	}
+	matchPct := 100 * float64(matches) / float64(checked)
+	r.Addf("region argmax == restricted full argmax on %d/%d queries (%.0f%%)", matches, checked, matchPct)
+
+	// --- latency lane: p50/p99 of interactive region fixes against a
+	// batch backlog, priority lane on vs off.
+	reqs := tb.ThroughputRequests(opt.BatchJobs, DefaultThroughputOptions())
+	prioP50, prioP99, batchP99, err := tb.regionLatency(reqs, regions, opt, true)
+	if err != nil {
+		return nil, err
+	}
+	noP50, noP99, _, err := tb.regionLatency(reqs, regions, opt, false)
+	if err != nil {
+		return nil, err
+	}
+	r.Addf("interactive region fix vs %d-job backlog: priority lane p50 %.1fms p99 %.1fms, no lane p50 %.1fms p99 %.1fms, batch p99 %.1fms",
+		opt.BatchJobs, prioP50, prioP99, noP50, noP99, batchP99)
+
+	r.AddMetric("regions_hit_pct_max_budget", hitAtMax, "%")
+	r.AddMetric("regions_argmax_match_pct", matchPct, "%")
+	r.AddMetric("regions_prio_p50_ms", prioP50, "ms")
+	r.AddMetric("regions_prio_p99_ms", prioP99, "ms")
+	r.AddMetric("regions_noprio_p99_ms", noP99, "ms")
+	r.AddMetric("regions_batch_p99_ms", batchP99, "ms")
+	return r, nil
+}
+
+// restrictedArgmaxCell returns the argmax over the cells of sub using
+// the full-grid surface h (lower flat sub-index wins ties, matching
+// the grids' tie-break).
+func restrictedArgmaxCell(h *core.Heatmap, full, sub core.GridSpec) int {
+	best, bestV := -1, 0.0
+	for iy := 0; iy < sub.Ny; iy++ {
+		for ix := 0; ix < sub.Nx; ix++ {
+			fx, fy := sub.X0-full.X0+ix, sub.Y0-full.Y0+iy
+			if v := h.Flat[fy*full.Nx+fx]; best == -1 || v > bestV {
+				best, bestV = iy*sub.Nx+ix, v
+			}
+		}
+	}
+	return best
+}
+
+// regionLatency floods an engine's batch lane with reqs, then submits
+// opt.PriorityJobs interactive region fixes (priority lane on or off)
+// and returns their p50/p99 plus the batch jobs' p99, in
+// milliseconds.
+func (tb *Testbed) regionLatency(reqs []engine.Request, regions []core.Region, opt RegionsOptions, lane bool) (p50, p99, batchP99 float64, err error) {
+	cfg := core.DefaultConfig(tb.Wavelength)
+	cfg.GridCell = DefaultThroughputOptions().GridCell
+	cfg.SynthCache = core.NewSynthCacheBudget(opt.Budgets[len(opt.Budgets)-1])
+	eng := engine.New(engine.Options{Workers: 2, Queue: len(reqs) + 8, Config: cfg})
+	defer eng.Close()
+
+	// Warm caches so the timing measures queueing, not LUT builds.
+	if r := eng.Locate(reqs[0]); r.Err != nil {
+		return 0, 0, 0, r.Err
+	}
+
+	var mu sync.Mutex
+	var batchMS, prioMS []float64
+	var wg sync.WaitGroup
+	submit := func(req engine.Request, out *[]float64) error {
+		wg.Add(1)
+		start := time.Now()
+		return eng.Submit(req, func(r engine.Result) {
+			ms := float64(time.Since(start)) / float64(time.Millisecond)
+			mu.Lock()
+			if r.Err == nil {
+				*out = append(*out, ms)
+			}
+			mu.Unlock()
+			wg.Done()
+		})
+	}
+	for _, q := range reqs {
+		if err := submit(q, &batchMS); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	for i := 0; i < opt.PriorityJobs; i++ {
+		q := reqs[i%len(reqs)]
+		q.Region = regions[i%len(regions)]
+		q.Priority = lane
+		if err := submit(q, &prioMS); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	wg.Wait()
+	if len(prioMS) < opt.PriorityJobs {
+		return 0, 0, 0, fmt.Errorf("only %d/%d region fixes succeeded", len(prioMS), opt.PriorityJobs)
+	}
+	sort.Float64s(prioMS)
+	sort.Float64s(batchMS)
+	return stats.Percentile(prioMS, 50), stats.Percentile(prioMS, 99), stats.Percentile(batchMS, 99), nil
+}
