@@ -7,6 +7,14 @@
 // AP identities 1–6 map to the simulated testbed's sites, so the server
 // knows each reporting array's position and orientation.
 //
+// Steady-state serving is predictive by default: a client with a live
+// Kalman track is localized inside its prediction's gate region and
+// verified, falling back to the full grid otherwise (-predict=false
+// restores unconditional full-grid serving). The scheduler applies
+// per-client admission quotas (-client-quota) and batch-queue ageing
+// (-age-limit) so neither a hostile flood nor the latency lane can
+// starve anyone.
+//
 //	arraytrack-server -listen :7100 -quorum 3
 //
 // Engine and tracker counters are logged every -stats-every interval
@@ -33,11 +41,16 @@ import (
 
 func logStats(eng *engine.Engine, backend *server.Backend) {
 	st := eng.Stats()
-	log.Printf("stats: submitted=%d (prio=%d) completed=%d fixes=%d failures=%d rejected=%d tracked=%d gate_rejects=%d queued=%d prio_queued=%d pending_clients=%d workers=%d",
-		st.Submitted, st.PrioritySubmitted, st.Completed, st.Fixes, st.Failures, st.Rejected,
+	log.Printf("stats: submitted=%d (prio=%d) completed=%d fixes=%d failures=%d rejected=%d (quota=%d) tracked=%d gate_rejects=%d queued=%d prio_queued=%d pending_clients=%d workers=%d",
+		st.Submitted, st.PrioritySubmitted, st.Completed, st.Fixes, st.Failures, st.Rejected, st.QuotaRejected,
 		st.TrackedClients, st.TrackRejects, st.Queued, st.PriorityQueued, backend.PendingClients(), st.Workers)
+	log.Printf("sched: aged=%d stolen=%d | predictive: served=%d fallbacks no_track=%d border=%d gate=%d error=%d",
+		st.AgedBatch, st.PriorityStolen, st.Predicted,
+		st.PredictFallbackNoTrack, st.PredictFallbackBorder, st.PredictFallbackGate, st.PredictFallbackError)
 	log.Printf("synth cache: entries=%d bytes=%d budget=%d hits=%d misses=%d evictions=%d slices=%d",
 		st.SynthLUTs, st.SynthBytes, st.SynthBudget, st.SynthHits, st.SynthMisses, st.SynthEvictions, st.SynthSlices)
+	log.Printf("steering cache: entries=%d bytes=%d budget=%d hits=%d misses=%d evictions=%d",
+		st.SteeringTables, st.SteeringBytes, st.SteeringBudget, st.SteeringHits, st.SteeringMisses, st.SteeringEvictions)
 }
 
 func main() {
@@ -50,6 +63,16 @@ func main() {
 	statsEvery := flag.Duration("stats-every", 30*time.Second, "period for the stats log line (0 disables)")
 	synthBudget := flag.Int64("synth-cache-budget", core.DefaultSynthCacheBudget,
 		"byte budget for the synthesis LUT cache (ad-hoc region queries churn it; 0 = unbounded)")
+	steeringBudget := flag.Int64("steering-cache-budget", music.DefaultSteeringCacheBudget,
+		"byte budget for the steering-vector table cache (0 = unbounded)")
+	clientQuota := flag.Int("client-quota", 16,
+		"max jobs one client may hold admitted-but-uncompleted across both scheduler lanes (0 = unlimited)")
+	ageLimit := flag.Duration("age-limit", 0,
+		"batch job head-of-line wait beyond which it is served ahead of priority traffic (0 = scheduler default, negative disables)")
+	predict := flag.Bool("predict", true,
+		"serve clients with live tracks from the track-guided predictive region (verified, full-grid fallback)")
+	predictSigma := flag.Float64("predict-sigma", engine.DefaultPredictSigma,
+		"gate-covariance inflation for the predictive search region, in sigmas (clamped up to the tracker gate)")
 	flag.Parse()
 
 	tb := testbed.New()
@@ -63,9 +86,20 @@ func main() {
 	if *synthBudget != core.SharedSynthCache().Budget() {
 		cfg.SynthCache = core.NewSynthCacheBudget(*synthBudget)
 	}
+	if *steeringBudget != music.SharedSteeringCache().Budget() {
+		cfg.Steering = music.NewSteeringCacheBudget(*steeringBudget)
+	}
 
 	tracker := engine.NewTracker(engine.TrackerOptions{TTL: *trackTTL})
-	eng := engine.New(engine.Options{Workers: *workers, Config: cfg, Tracker: tracker})
+	eng := engine.New(engine.Options{
+		Workers:      *workers,
+		Config:       cfg,
+		Tracker:      tracker,
+		ClientQuota:  *clientQuota,
+		AgeLimit:     *ageLimit,
+		Predict:      *predict,
+		PredictSigma: *predictSigma,
+	})
 	defer eng.Close()
 
 	sink := &engine.CaptureSink{
@@ -85,8 +119,12 @@ func main() {
 				log.Printf("client %d: localization failed: %v", r.ClientID, r.Err)
 				return
 			}
-			fmt.Printf("client %d located at %v  (%d APs)\n",
-				r.ClientID, r.Pos, len(r.Spectra))
+			how := "full-grid"
+			if r.Predicted {
+				how = "track-guided"
+			}
+			fmt.Printf("client %d located at %v  (%d APs, %s)\n",
+				r.ClientID, r.Pos, len(r.Spectra), how)
 		},
 		OnTrack: func(u engine.TrackUpdate) {
 			status := "tracked"

@@ -150,6 +150,18 @@ var experiments = []experiment{
 		}
 		return tb.RunRegions(opt)
 	}},
+	{"sched", "engine scheduler + track-guided predictive localization", func(tb *testbed.Testbed, fast bool) (*testbed.Report, error) {
+		opt := testbed.DefaultSchedOptions()
+		if fast {
+			opt.Steps = 10
+			opt.Sites = []int{0, 2, 4, 5}
+			opt.BatchJobs = 12
+			opt.PriorityJobs = 6
+			opt.FloodMillis = 150
+			opt.Trials = 2
+		}
+		return tb.RunSched(opt)
+	}},
 	{"ablation", "pipeline ablations", func(tb *testbed.Testbed, fast bool) (*testbed.Report, error) {
 		opt := accuracyOpts(fast)
 		opt.APCounts = []int{3}

@@ -196,44 +196,123 @@ func (p *Pipeline) SynthesizeRegion(specs []APSpectrum, min, max geom.Point, reg
 		cell = 0.10
 	}
 	if p.cfg.SynthCache == nil {
-		lo, hi := min, max
-		if !region.IsZero() {
-			var err error
-			if lo, hi, err = region.clampTo(min, max); err != nil {
-				return geom.Point{}, err
-			}
-			if region.Cell != 0 && region.Cell != cell {
-				// Same work cap as the staged path: a scoped pitch may
-				// not demand more cells than a full-area fix.
-				full, err := GridSpecFor(min, max, cell)
-				if err != nil {
-					return geom.Point{}, err
-				}
-				scoped, err := GridSpecFor(lo, hi, region.Cell)
-				if err != nil {
-					return geom.Point{}, err
-				}
-				if scoped.Cells() > full.Cells() {
-					return geom.Point{}, fmt.Errorf("%w: %d cells at pitch %g exceeds the %d-cell full grid",
-						ErrBadRegion, scoped.Cells(), region.Cell, full.Cells())
-				}
-				cell = region.Cell
-			}
+		lo, hi, cell, _, err := seedRegionClamp(min, max, region, cell)
+		if err != nil {
+			return geom.Point{}, err
 		}
 		pos, _, err := Localize(specs, lo, hi, cell)
 		return pos, err
 	}
-	sg, err := NewSynthGridRegion(min, max, region, SynthOptions{
+	sg, err := NewSynthGridRegion(min, max, region, p.synthOptions(cell))
+	if err != nil {
+		return geom.Point{}, err
+	}
+	return sg.Localize(specs)
+}
+
+// synthOptions translates the pipeline config into staged-synthesis
+// options at the given fine pitch.
+func (p *Pipeline) synthOptions(cell float64) SynthOptions {
+	return SynthOptions{
 		Cell:         cell,
 		Workers:      p.cfg.SynthWorkers,
 		Cache:        p.cfg.SynthCache,
 		CoarseFactor: p.cfg.CoarseFactor,
 		RefineTopK:   p.cfg.RefineTopK,
-	})
-	if err != nil {
-		return geom.Point{}, err
+		Yield:        p.cfg.SynthYield,
 	}
-	return sg.Localize(specs)
+}
+
+// SynthesizeRegionInterior is SynthesizeRegion plus a report of
+// whether the region's grid argmax was strictly interior to the
+// region on every open side (see SynthGrid.LocalizeInterior) — the
+// verification bit the engine's predictive track-guided path keys
+// on. A zero region (full area) always reports interior: there is no
+// wider area to fall back to.
+func (p *Pipeline) SynthesizeRegionInterior(specs []APSpectrum, min, max geom.Point, region Region) (geom.Point, bool, error) {
+	if region.IsZero() {
+		pos, err := p.Synthesize(specs, min, max)
+		return pos, err == nil, err
+	}
+	if err := region.Validate(); err != nil {
+		return geom.Point{}, false, err
+	}
+	cell := p.cfg.GridCell
+	if cell <= 0 {
+		cell = 0.10
+	}
+	if p.cfg.SynthCache == nil {
+		return p.seedRegionInterior(specs, min, max, region, cell)
+	}
+	sg, err := NewSynthGridRegion(min, max, region, p.synthOptions(cell))
+	if err != nil {
+		return geom.Point{}, false, err
+	}
+	return sg.LocalizeInterior(specs)
+}
+
+// seedRegionClamp resolves the seed path's clamped box, effective
+// pitch, and scoped-pitch flag for a non-zero region, enforcing the
+// same work cap as the staged path: a scoped pitch may not demand
+// more cells than a full-area fix (regions arrive untrusted). Shared
+// by SynthesizeRegion and seedRegionInterior so both entry points
+// validate identically.
+func seedRegionClamp(min, max geom.Point, region Region, cell float64) (lo, hi geom.Point, outCell float64, scoped bool, err error) {
+	lo, hi = min, max
+	if region.IsZero() {
+		return lo, hi, cell, false, nil
+	}
+	if lo, hi, err = region.clampTo(min, max); err != nil {
+		return lo, hi, cell, false, err
+	}
+	if region.Cell != 0 && region.Cell != cell {
+		full, err := GridSpecFor(min, max, cell)
+		if err != nil {
+			return lo, hi, cell, true, err
+		}
+		sc, err := GridSpecFor(lo, hi, region.Cell)
+		if err != nil {
+			return lo, hi, cell, true, err
+		}
+		if sc.Cells() > full.Cells() {
+			return lo, hi, cell, true, fmt.Errorf("%w: %d cells at pitch %g exceeds the %d-cell full grid",
+				ErrBadRegion, sc.Cells(), region.Cell, full.Cells())
+		}
+		cell = region.Cell
+		scoped = true
+	}
+	return lo, hi, cell, scoped, nil
+}
+
+// seedRegionInterior is the seed-path (no SynthCache) region search
+// with the interior report derived from the coarse heatmap argmax,
+// mirroring the staged path's semantics exactly: for a lattice-
+// aligned region a side flush with the configured search area counts
+// as closed (nothing lies beyond it), while a scoped-pitch region —
+// which the staged path builds without a parent grid — treats every
+// side as open (conservative).
+func (p *Pipeline) seedRegionInterior(specs []APSpectrum, min, max geom.Point, region Region, cell float64) (geom.Point, bool, error) {
+	lo, hi, cell, scoped, err := seedRegionClamp(min, max, region, cell)
+	if err != nil {
+		return geom.Point{}, false, err
+	}
+	pos, h, err := Localize(specs, lo, hi, cell)
+	if err != nil {
+		return geom.Point{}, false, err
+	}
+	best := 0
+	for c := 1; c < len(h.Flat); c++ {
+		if h.Flat[c] > h.Flat[best] {
+			best = c
+		}
+	}
+	ix, iy := best%h.Nx, best/h.Nx
+	const eps = 1e-9
+	interior := (ix > 0 || (!scoped && lo.X <= min.X+eps)) &&
+		(ix < h.Nx-1 || (!scoped && hi.X >= max.X-eps)) &&
+		(iy > 0 || (!scoped && lo.Y <= min.Y+eps)) &&
+		(iy < h.Ny-1 || (!scoped && hi.Y >= max.Y-eps))
+	return pos, interior, nil
 }
 
 // Locate runs the complete pipeline for one client: per-AP processing
@@ -248,8 +327,26 @@ func (p *Pipeline) Locate(aps []*AP, captures [][]FrameCapture, min, max geom.Po
 // ad-hoc search region (zero region = full area). Spectrum processing
 // is identical; only the Eq. 8 search area changes.
 func (p *Pipeline) LocateRegion(aps []*AP, captures [][]FrameCapture, min, max geom.Point, region Region) (geom.Point, []APSpectrum, error) {
+	specs, err := p.ProcessAPs(aps, captures)
+	if err != nil {
+		return geom.Point{}, nil, err
+	}
+	pos, err := p.SynthesizeRegion(specs, min, max, region)
+	return pos, specs, err
+}
+
+// ProcessAPs runs the per-AP half of the pipeline — frame spectra,
+// suppression, weighting, symmetry removal — for every contributing
+// AP (fanned across Config.APWorkers when >1) and returns the
+// position-tagged spectra ready for synthesis. captures[i] holds the
+// frames AP i overheard; APs with no captures are skipped. At least
+// one AP must contribute. Splitting this stage from synthesis is what
+// lets the engine's predictive path try a track-guided region first
+// and fall back to the full grid without re-processing a single
+// spectrum.
+func (p *Pipeline) ProcessAPs(aps []*AP, captures [][]FrameCapture) ([]APSpectrum, error) {
 	if len(aps) != len(captures) {
-		return geom.Point{}, nil, errors.New("core: captures must align with APs")
+		return nil, errors.New("core: captures must align with APs")
 	}
 	var contrib []int
 	for i := range aps {
@@ -258,7 +355,7 @@ func (p *Pipeline) LocateRegion(aps []*AP, captures [][]FrameCapture, min, max g
 		}
 	}
 	if len(contrib) == 0 {
-		return geom.Point{}, nil, errors.New("core: no AP overheard the client")
+		return nil, errors.New("core: no AP overheard the client")
 	}
 
 	// Per-AP processing is independent; fan it out over a bounded
@@ -304,10 +401,9 @@ func (p *Pipeline) LocateRegion(aps []*AP, captures [][]FrameCapture, min, max g
 	specs := make([]APSpectrum, 0, len(contrib))
 	for _, i := range contrib {
 		if errs[i] != nil {
-			return geom.Point{}, nil, fmt.Errorf("core: AP %d: %w", i, errs[i])
+			return nil, fmt.Errorf("core: AP %d: %w", i, errs[i])
 		}
 		specs = append(specs, APSpectrum{Pos: aps[i].Array.Pos, Spectrum: spectra[i]})
 	}
-	pos, err := p.SynthesizeRegion(specs, min, max, region)
-	return pos, specs, err
+	return specs, nil
 }

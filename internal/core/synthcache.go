@@ -46,6 +46,21 @@ const DefaultSynthCacheBudget int64 = 256 << 20
 // entries.
 const synthEntryOverhead = 128
 
+// sliceablePromoteMisses is how many region LUT builds may miss the
+// same absent full-grid parent before the parent itself is built and
+// cached: a region-only workload (no full-area fixes ever warming the
+// parent) stops paying an atan2 per cell per distinct region and
+// starts slicing rows on the next miss. Two misses are tolerated so a
+// one-off region query never triggers a full-grid build it would not
+// amortize.
+const sliceablePromoteMisses = 3
+
+// sliceableMissTableCap bounds the per-shard miss-counter table
+// against unbounded key churn (hostile grids); when full it is simply
+// cleared — counting restarts, promotion is delayed, correctness is
+// unaffected.
+const sliceableMissTableCap = 512
+
 // lutCost is the byte footprint of a fine bearing LUT: one int32 bin
 // plus one float64 fraction per cell, plus the entry overhead.
 func lutCost(cells int) int64 { return int64(cells)*12 + synthEntryOverhead }
@@ -74,6 +89,10 @@ type synthShard struct {
 	head    *synthEntry
 	tail    *synthEntry
 	bytes   int64
+	// sliceableMiss counts, per absent parent key, region builds that
+	// could have been row slices had the parent been resident — the
+	// promotion trigger for region-only workloads.
+	sliceableMiss map[synthKey]uint32
 }
 
 func (sh *synthShard) unlink(e *synthEntry) {
@@ -264,7 +283,9 @@ func (c *SynthCache) lutFor(ap geom.Point, spec GridSpec, parent *GridSpec, bins
 // the spec is a sub-grid of it, built from scratch otherwise. Slicing
 // also freshens the parent's recency — the full grid is the hot
 // ancestor of every aligned region and must not churn out under
-// region pressure.
+// region pressure. Misses against an absent parent are counted; the
+// sliceablePromoteMisses-th one builds and caches the parent so a
+// region-only workload stops rebuilding slices from scratch.
 func (c *SynthCache) buildOrSlice(ap geom.Point, spec GridSpec, parent *GridSpec, bins int) *bearingLUT {
 	if parent != nil && spec.subGridOf(*parent) {
 		pkey := keyOf(ap, *parent, bins)
@@ -273,11 +294,36 @@ func (c *SynthCache) buildOrSlice(ap geom.Point, spec GridSpec, parent *GridSpec
 		pe := psh.entries[pkey]
 		if pe != nil {
 			psh.moveFront(pe)
-		}
-		psh.mu.Unlock()
-		if pe != nil {
+			psh.mu.Unlock()
 			c.slices.Add(1)
 			return sliceLUT(pe.lut, *parent, spec)
+		}
+		promote := false
+		// Never promote a parent the budget could not retain anyway:
+		// the build would repeat every sliceablePromoteMisses-th miss
+		// without ever paying off.
+		if limit := c.shardBudget(); c.budget == 0 || lutCost(parent.Cells()) <= limit {
+			if psh.sliceableMiss == nil {
+				psh.sliceableMiss = make(map[synthKey]uint32)
+			} else if len(psh.sliceableMiss) >= sliceableMissTableCap {
+				clear(psh.sliceableMiss)
+			}
+			n := psh.sliceableMiss[pkey] + 1
+			if n >= sliceablePromoteMisses {
+				promote = true
+				delete(psh.sliceableMiss, pkey)
+			} else {
+				psh.sliceableMiss[pkey] = n
+			}
+		}
+		psh.mu.Unlock()
+		if promote {
+			// lutFor inserts the parent under the normal budget rules
+			// (and dedups a concurrent promotion); slice from whatever
+			// it returns.
+			plut := c.lutFor(ap, *parent, nil, bins)
+			c.slices.Add(1)
+			return sliceLUT(plut, *parent, spec)
 		}
 	}
 	return buildLUT(ap, spec, bins)

@@ -188,6 +188,69 @@ func TestSynthCacheRebuildBitIdentical(t *testing.T) {
 	}
 }
 
+// TestSynthCachePromotesParentOnThirdSliceableMiss: a region-only
+// workload (the full-grid parent never warmed by a full-area fix)
+// builds its first two region LUTs from scratch, but the third
+// sliceable miss against the same parent builds and caches the parent
+// itself — every subsequent distinct region becomes a row slice. The
+// promoted path stays bit-identical to direct builds.
+func TestSynthCachePromotesParentOnThirdSliceableMiss(t *testing.T) {
+	ap := geom.Pt(0.5, 0.5)
+	full, err := GridSpecFor(geom.Pt(0, 0), geom.Pt(20, 8), 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewSynthCacheBudget(32 << 20)
+	for i := 0; i < 6; i++ {
+		sub, err := subSpecFor(full, geom.Pt(float64(1+2*i), 1), geom.Pt(float64(4+2*i), 5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := c.lutFor(ap, sub, &full, 360)
+		if direct := buildLUT(ap, sub, 360); !lutEqual(got, direct) {
+			t.Fatalf("region %d: promoted-path LUT differs from direct build", i)
+		}
+		u := c.Usage()
+		wantSlices := uint64(0)
+		if i >= 2 {
+			wantSlices = uint64(i - 1) // promotion slices on i==2, hits after
+		}
+		if u.Slices != wantSlices {
+			t.Fatalf("after region %d: Slices = %d, want %d", i, u.Slices, wantSlices)
+		}
+	}
+	// The parent is now resident: a direct full-grid lookup hits.
+	h0, _ := c.Stats()
+	c.lut(ap, full, 360)
+	if h1, _ := c.Stats(); h1 != h0+1 {
+		t.Fatal("promoted parent not resident after the third sliceable miss")
+	}
+}
+
+// TestSynthCacheNoPromoteWhenParentCannotFit: a parent larger than a
+// shard's budget slice is never promoted — the build could not be
+// retained, so region misses keep building directly instead of paying
+// a futile full-grid build every third query.
+func TestSynthCacheNoPromoteWhenParentCannotFit(t *testing.T) {
+	ap := geom.Pt(0.5, 0.5)
+	full, err := GridSpecFor(geom.Pt(0, 0), geom.Pt(20, 8), 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2673-cell parent costs ~32 KB; 8 shards × 2 KB cannot hold it.
+	c := NewSynthCacheBudget(16 << 10)
+	for i := 0; i < 8; i++ {
+		sub, err := subSpecFor(full, geom.Pt(float64(1+2*i), 1), geom.Pt(float64(3+2*i), 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.lutFor(ap, sub, &full, 360)
+	}
+	if u := c.Usage(); u.Slices != 0 {
+		t.Fatalf("Slices = %d for an unretainable parent, want 0", u.Slices)
+	}
+}
+
 // TestSynthCachePassThroughOversized: an entry costing more than a
 // shard's budget slice is served but never retained, and accounting
 // stays exact.

@@ -382,6 +382,12 @@ type SynthOptions struct {
 	// RefineTopK is the minimum number of screening blocks refined (0
 	// means DefaultRefineTopK).
 	RefineTopK int
+	// Yield, when non-nil, is called between serial surface chunks
+	// and screening-block refinements — the cooperative preemption
+	// point Config.SynthYield threads through the pipeline. Only the
+	// serial (Workers ≤ 1) surface path yields: sharded surfaces
+	// belong to latency-lane jobs, which are never preempted.
+	Yield func()
 }
 
 // SynthGrid evaluates Eq. 8 over one grid geometry using cached
@@ -396,6 +402,7 @@ type SynthGrid struct {
 	workers  int
 	coarse   int
 	topK     int
+	yield    func()
 }
 
 // newSynthGrid resolves the option defaults around a prepared spec.
@@ -422,6 +429,7 @@ func newSynthGrid(spec GridSpec, parent *GridSpec, min, max geom.Point, opt Synt
 	return &SynthGrid{
 		spec: spec, parent: parent, min: min, max: max,
 		cache: cache, workers: workers, coarse: coarse, topK: topK,
+		yield: opt.Yield,
 	}
 }
 
@@ -525,7 +533,22 @@ func (sg *SynthGrid) evalSurface(acc []float64, spec GridSpec, luts []*bearingLU
 		workers = cells / shardChunk
 	}
 	if workers <= 1 || cells < minShardCells {
-		evalRange(acc, luts, logTabs, 0, cells)
+		if sg.yield == nil {
+			evalRange(acc, luts, logTabs, 0, cells)
+			return
+		}
+		// Serial surface with a preemption point: evaluate in shard-
+		// sized chunks and yield between them, so a batch fix pauses
+		// for a waiting priority job every few thousand cells instead
+		// of pinning the worker for the whole surface.
+		for lo := 0; lo < cells; lo += shardChunk {
+			hi := lo + shardChunk
+			if hi > cells {
+				hi = cells
+			}
+			evalRange(acc, luts, logTabs, lo, hi)
+			sg.yield()
+		}
 		return
 	}
 	var next atomic.Int64
@@ -606,6 +629,26 @@ func topCells(best []cellCand, k int, acc []float64, lo, hi int) []cellCand {
 	return best
 }
 
+// topCellsYield is topCells over the whole surface with the grid's
+// preemption point between shard-sized chunks: on large grids this
+// scan rivals the surface evaluation itself, and a batch fix must not
+// pin its worker through it.
+func (sg *SynthGrid) topCellsYield(best []cellCand, k int, acc []float64) []cellCand {
+	cells := len(acc)
+	if sg.yield == nil {
+		return topCells(best, k, acc, 0, cells)
+	}
+	for lo := 0; lo < cells; lo += shardChunk {
+		hi := lo + shardChunk
+		if hi > cells {
+			hi = cells
+		}
+		best = topCells(best, k, acc, lo, hi)
+		sg.yield()
+	}
+	return best
+}
+
 // refineEnabled reports whether the coarse screening pass is worth
 // running for this grid.
 func (sg *SynthGrid) refineEnabled() bool {
@@ -625,6 +668,9 @@ func (sg *SynthGrid) blockBounds(ws *synthWorkspace, aps []APSpectrum, logTabs [
 		bl := sg.cache.blockWindows(ap.Pos, sg.spec, ap.Spectrum.Bins(), sg.coarse, sg.parent)
 		tab := logTabs[a]
 		n := ap.Spectrum.Bins()
+		if sg.yield != nil && a > 0 {
+			sg.yield()
+		}
 		if a == 0 {
 			for c := range bounds {
 				bounds[c] = rangeMax(tab, n, bl.start[c], bl.count[c])
@@ -669,9 +715,12 @@ func (sg *SynthGrid) candidates(ws *synthWorkspace, aps []APSpectrum, refined bo
 		// evaluation is cheaper, and trivially exact.
 		maxRefine := len(bounds)/4 + sg.topK
 		for refinedBlocks := 0; ; refinedBlocks++ {
+			if sg.yield != nil {
+				sg.yield()
+			}
 			if refinedBlocks >= maxRefine {
 				sg.evalSurface(ws.fine, sg.spec, luts, logTabs)
-				ws.cand = topCells(ws.cand[:0], hillClimbSeeds, ws.fine, 0, sg.spec.Cells())
+				ws.cand = sg.topCellsYield(ws.cand[:0], hillClimbSeeds, ws.fine)
 				return ws.cand
 			}
 			pick := -1
@@ -697,7 +746,7 @@ func (sg *SynthGrid) candidates(ws *synthWorkspace, aps []APSpectrum, refined bo
 		return ws.cand
 	}
 	sg.evalSurface(ws.fine, sg.spec, luts, logTabs)
-	ws.cand = topCells(ws.cand[:0], hillClimbSeeds, ws.fine, 0, sg.spec.Cells())
+	ws.cand = sg.topCellsYield(ws.cand[:0], hillClimbSeeds, ws.fine)
 	return ws.cand
 }
 
@@ -738,12 +787,64 @@ func (sg *SynthGrid) RefinedArgmaxCell(aps []APSpectrum) (int, error) {
 // transcendental. Pinned bit-for-bit against the scalar path by
 // TestHillClimbTabsMatchesScalar.
 func (sg *SynthGrid) Localize(aps []APSpectrum) (geom.Point, error) {
+	pos, _, err := sg.localize(aps)
+	return pos, err
+}
+
+// LocalizeInterior is Localize plus a report of whether the grid
+// argmax cell is strictly interior to the grid on every open side —
+// the verification bit the predictive localization path keys on: a
+// boundary argmax means the true maximum may lie just outside the
+// region, so the caller must fall back to a wider search. A side is
+// "closed" when the region is flush with its parent full grid there
+// (the search area ends; nothing lies beyond it), so a cell on a
+// closed edge still reports interior. Grids without a parent (full
+// grids, scoped-pitch regions) treat every side as open.
+func (sg *SynthGrid) LocalizeInterior(aps []APSpectrum) (geom.Point, bool, error) {
+	pos, idx, err := sg.localize(aps)
+	if err != nil {
+		return pos, false, err
+	}
+	return pos, sg.interiorCell(idx), nil
+}
+
+// interiorCell reports whether fine cell idx avoids the grid's
+// outermost ring on every open side.
+func (sg *SynthGrid) interiorCell(idx int) bool {
+	ix, iy := idx%sg.spec.Nx, idx/sg.spec.Nx
+	p := sg.parent
+	openL := p == nil || sg.spec.X0 > p.X0
+	openR := p == nil || sg.spec.X0+sg.spec.Nx < p.X0+p.Nx
+	openB := p == nil || sg.spec.Y0 > p.Y0
+	openT := p == nil || sg.spec.Y0+sg.spec.Ny < p.Y0+p.Ny
+	if openL && ix == 0 {
+		return false
+	}
+	if openR && ix == sg.spec.Nx-1 {
+		return false
+	}
+	if openB && iy == 0 {
+		return false
+	}
+	if openT && iy == sg.spec.Ny-1 {
+		return false
+	}
+	return true
+}
+
+// localize runs the screen plus hill climbing and also returns the
+// grid argmax cell (best[0]: the branch-and-bound screen's exact
+// full-surface argmax, lower-index tie-break included).
+func (sg *SynthGrid) localize(aps []APSpectrum) (geom.Point, int, error) {
 	if len(aps) == 0 {
-		return geom.Point{}, errors.New("core: no AP spectra to synthesize")
+		return geom.Point{}, 0, errors.New("core: no AP spectra to synthesize")
 	}
 	ws := synthScratch.Get().(*synthWorkspace)
 	defer synthScratch.Put(ws)
 	best := sg.candidates(ws, aps, true)
+	if len(best) == 0 {
+		return geom.Point{}, 0, errors.New("core: empty synthesis surface")
+	}
 	pos := geom.Point{}
 	score := math.Inf(-1)
 	for _, cand := range best {
@@ -753,7 +854,7 @@ func (sg *SynthGrid) Localize(aps []APSpectrum) (geom.Point, error) {
 			pos, score = p, l
 		}
 	}
-	return pos, nil
+	return pos, best[0].idx, nil
 }
 
 // LogHeatmapInto fills h with the full-resolution log-domain surface

@@ -66,6 +66,15 @@ type Config struct {
 	// RefineTopK is the minimum number of screening blocks the
 	// synthesis screen refines (0 selects DefaultRefineTopK).
 	RefineTopK int
+	// SynthYield, when non-nil, is called by the staged synthesis
+	// loops between surface chunks and screening-block refinements —
+	// a cooperative preemption point. The engine points batch jobs'
+	// yield at its scheduler, so a waiting priority job runs inline
+	// mid-surface (microseconds of latency) instead of behind the
+	// whole in-flight fix (tens of milliseconds). The callback may
+	// run arbitrary work; the surface being evaluated is paused, not
+	// abandoned. nil (and the seed synthesis path) never yields.
+	SynthYield func()
 	// Estimator is the pluggable frame→spectrum stage (nil means
 	// MUSIC, the paper's pipeline). See music.EstimatorByName.
 	Estimator music.Estimator

@@ -6,6 +6,14 @@
 // parallelizing across clients while the steering-vector cache
 // (music.SteeringCache) removes the per-spectrum recomputation the
 // serial path paid for every frame.
+//
+// Scheduling is delegated to the sched subsystem (per-client quotas,
+// queue ageing, cooperative yield-steal preemption), and the
+// steady-state serving path is predictive: when a client has a live
+// Kalman track, the engine derives a search region from the
+// prediction's gate covariance, localizes inside it, and verifies the
+// result — falling back to the full grid whenever the verification
+// fails, so accuracy is never worse than full-grid serving.
 package engine
 
 import (
@@ -16,11 +24,31 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/engine/sched"
 	"repro/internal/geom"
+	"repro/internal/track"
 )
 
 // ErrClosed is returned by Submit-family calls after Close.
 var ErrClosed = errors.New("engine: closed")
+
+// ErrQuota is returned by Submit when the client already holds its
+// full scheduler quota of admitted-but-uncompleted jobs (see
+// Options.ClientQuota). The submission was refused, not queued.
+var ErrQuota = sched.ErrQuota
+
+// DefaultPredictSigma is the gate-covariance inflation used when
+// predictive localization is enabled without an explicit sigma: the
+// search box covers the sigma-σ innovation ellipse of the client's
+// track. It is clamped up to the tracker's Mahalanobis gate so the
+// box always contains every fix the tracker could accept.
+const DefaultPredictSigma = 4.0
+
+// DefaultPredictMinFixes is how many gate-accepted fixes a track
+// needs before the engine trusts its prediction enough to shrink the
+// search area: one fix pins position but not velocity, so the first
+// couple of predictions would be wild.
+const DefaultPredictMinFixes = 3
 
 // Request is one localization job: every capture the backend grouped
 // for one client, organized per AP (Captures[i] holds AP i's frames;
@@ -34,13 +62,16 @@ type Request struct {
 	// Region, when non-zero, restricts synthesis to an ad-hoc
 	// bounding box (clamped to [Min, Max]) at an optional per-request
 	// resolution. Malformed regions fail the job with a wrapped
-	// core.ErrBadRegion.
+	// core.ErrBadRegion. An explicit region disables the predictive
+	// path for this job.
 	Region core.Region
 	// Priority routes the job through the engine's latency lane:
-	// workers prefer it over queued batch traffic, and its synthesis
-	// surface is sharded across the config's SynthWorkers instead of
-	// being clamped to one goroutine. Meant for single interactive
-	// fixes (typically region queries), not bulk submission.
+	// workers prefer it over queued batch traffic (up to the
+	// scheduler's ageing bound), batch jobs mid-surface yield to it,
+	// and its synthesis surface is sharded across the config's
+	// SynthWorkers instead of being clamped to one goroutine. Meant
+	// for single interactive fixes (typically region queries), not
+	// bulk submission.
 	Priority bool
 	// Time is the capture timestamp, used by the tracker to advance
 	// the client's Kalman state. Zero means the tracker's clock.
@@ -53,6 +84,10 @@ type Result struct {
 	Pos      geom.Point
 	Spectra  []core.APSpectrum
 	Err      error
+	// Predicted reports that the fix was served from the track-guided
+	// predictive region (verified interior + gate-accepted), not a
+	// full-grid search.
+	Predicted bool
 	// Track is the smoothed track update for this fix when the engine
 	// has a Tracker; nil otherwise (and on failures).
 	Track *TrackUpdate
@@ -62,14 +97,23 @@ type Result struct {
 type Options struct {
 	// Workers is the pool size; 0 means GOMAXPROCS.
 	Workers int
-	// Queue is the job queue depth; 0 means 4×Workers. Submit blocks
-	// once the queue is full, providing natural backpressure.
+	// Queue is the batch lane depth; 0 means 4×Workers. Submit blocks
+	// once the lane is full, providing natural backpressure.
 	Queue int
 	// PriorityQueue is the latency lane's depth; 0 means Workers.
 	// Kept intentionally shallow: the lane exists for single
 	// interactive fixes, and a deep priority queue would just starve
 	// batch traffic.
 	PriorityQueue int
+	// ClientQuota is the scheduler's per-client token budget across
+	// both lanes: a client may hold at most this many jobs admitted
+	// but not yet completed; excess submissions fail fast with
+	// ErrQuota. 0 means unlimited (closed deployments).
+	ClientQuota int
+	// AgeLimit bounds how long a batch job waits behind the latency
+	// lane before the scheduler serves it anyway. 0 means
+	// sched.DefaultAgeLimit; negative disables ageing.
+	AgeLimit time.Duration
 	// Config is the pipeline configuration applied to every job. For
 	// batch jobs the engine clamps Config.APWorkers and
 	// Config.SynthWorkers to 1: the pool already keeps every core
@@ -78,12 +122,33 @@ type Options struct {
 	// the configured SynthWorkers — a single interactive fix shards
 	// its surface across cores the batch lane is not saturating.
 	// Synthesis reuses the cached bearing LUTs and the coarse-to-fine
-	// screen either way.
+	// screen either way. Config.SynthYield is owned by the engine
+	// (batch jobs yield to the scheduler); any caller value is
+	// overwritten.
 	Config core.Config
 	// Tracker, when non-nil, folds every successful fix into the
 	// client's Kalman track; results carry the smoothed update and
 	// subscribers stream them (Tracker.Subscribe).
 	Tracker *Tracker
+	// Predict enables track-guided predictive localization (requires
+	// a Tracker): jobs without an explicit region localize inside the
+	// track prediction's PredictSigma-σ gate box and fall back to the
+	// full grid unless the result verifies (argmax strictly interior
+	// to the region and Mahalanobis-accepted by the prediction).
+	Predict bool
+	// PredictSigma overrides the gate-covariance inflation (0 means
+	// DefaultPredictSigma). Values below the tracker's gate are
+	// raised to it, so the region always covers every fix the tracker
+	// could accept.
+	PredictSigma float64
+	// PredictMinFixes overrides how many accepted fixes a track needs
+	// before predictions are trusted (0 means DefaultPredictMinFixes).
+	PredictMinFixes int
+	// NoPreempt disables the cooperative yield-steal: batch fixes run
+	// their synthesis to completion and priority jobs wait for the
+	// next free worker, as before the scheduler subsystem. Kept as an
+	// operational escape hatch and for A/B latency measurement.
+	NoPreempt bool
 }
 
 // Stats is a snapshot of engine counters.
@@ -96,14 +161,34 @@ type Stats struct {
 	Fixes uint64
 	// Failures is the number of jobs that returned an error.
 	Failures uint64
-	// Rejected is the number of submissions refused (engine closed).
+	// Rejected is the number of submissions refused (engine closed or
+	// client quota exhausted).
 	Rejected uint64
+	// QuotaRejected is the subset of Rejected refused with ErrQuota.
+	QuotaRejected uint64
 	// TrackedClients is the number of live client tracks (0 without a
 	// tracker).
 	TrackedClients int
 	// TrackRejects is the cumulative number of fixes the tracker's
 	// outlier gate discarded (0 without a tracker).
 	TrackRejects uint64
+	// Predicted counts fixes served from the track-guided predictive
+	// region (verified); the PredictFallback* counters break down why
+	// the remaining predictive attempts fell back to the full grid.
+	Predicted uint64
+	// PredictFallbackNoTrack counts jobs eligible for prediction
+	// whose client had no live, mature track.
+	PredictFallbackNoTrack uint64
+	// PredictFallbackBorder counts predictive fixes rejected because
+	// the region argmax sat on an open region border (the true peak
+	// may lie outside).
+	PredictFallbackBorder uint64
+	// PredictFallbackGate counts predictive fixes rejected by the
+	// prediction's Mahalanobis gate.
+	PredictFallbackGate uint64
+	// PredictFallbackError counts predictive attempts whose region
+	// search errored (e.g. the predicted box left the search area).
+	PredictFallbackError uint64
 	// SynthLUTs is the number of distinct bearing LUTs the synthesis
 	// cache holds — one per (AP position, grid geometry) pair seen (0
 	// when the config runs the seed synthesis path).
@@ -119,9 +204,25 @@ type Stats struct {
 	SynthMisses    uint64
 	SynthEvictions uint64
 	SynthSlices    uint64
+	// SteeringTables, SteeringBytes and SteeringBudget mirror the
+	// steering-vector cache's accounting; SteeringHits, SteeringMisses
+	// and SteeringEvictions its cumulative counters. All zero when the
+	// config computes steering vectors per bin (seed path).
+	SteeringTables    int
+	SteeringBytes     int64
+	SteeringBudget    int64
+	SteeringHits      uint64
+	SteeringMisses    uint64
+	SteeringEvictions uint64
 	// PrioritySubmitted is the number of jobs accepted into the
 	// latency lane (included in Submitted).
 	PrioritySubmitted uint64
+	// AgedBatch counts batch jobs the scheduler served ahead of
+	// waiting priority traffic because they aged past the limit.
+	AgedBatch uint64
+	// PriorityStolen counts priority jobs run inline by a batch
+	// worker at a synthesis yield point (preemption mid-surface).
+	PriorityStolen uint64
 	// Workers is the pool size.
 	Workers int
 	// Queued is the instantaneous batch queue depth.
@@ -135,25 +236,34 @@ type job struct {
 	done func(Result)
 }
 
-// Engine runs localization jobs on a fixed worker pool with two
-// lanes: a deep batch queue and a shallow latency-priority queue that
-// workers always drain first. All methods are safe for concurrent
-// use.
+// Engine runs localization jobs on a fixed worker pool scheduled by
+// the sched subsystem: a deep batch lane and a shallow latency lane
+// workers prefer (bounded by ageing), with per-client admission
+// quotas and mid-surface preemption. All methods are safe for
+// concurrent use.
 type Engine struct {
-	cfg       core.Config // batch lane: APWorkers/SynthWorkers clamped to 1
-	prioCfg   core.Config // latency lane: SynthWorkers kept for surface sharding
+	cfg       core.Config // batch lane: APWorkers/SynthWorkers clamped to 1, yields to the scheduler
+	prioCfg   core.Config // latency lane: SynthWorkers kept for surface sharding, never yields
 	tracker   *Tracker
-	jobs      chan job
-	prio      chan job
+	q         *sched.Queue
+	predSigma float64 // 0 = predictive path disabled
+	predMin   int
 	wg        sync.WaitGroup
 	mu        sync.RWMutex
 	closed    bool
 	submitted atomic.Uint64
 	prioSub   atomic.Uint64
 	rejected  atomic.Uint64
+	quotaRej  atomic.Uint64
 	fixes     atomic.Uint64
 	failures  atomic.Uint64
 	workers   int
+
+	predicted     atomic.Uint64
+	predNoTrack   atomic.Uint64
+	predBorder    atomic.Uint64
+	predGate      atomic.Uint64
+	predRegionErr atomic.Uint64
 }
 
 // New starts an engine with opt.Workers workers. Close it when done.
@@ -174,6 +284,7 @@ func New(opt Options) *Engine {
 	if prioCfg.APWorkers > 1 {
 		prioCfg.APWorkers = 1
 	}
+	prioCfg.SynthYield = nil // latency-lane jobs are the preemptors, never the preempted
 	cfg := prioCfg
 	if cfg.SynthWorkers > 1 {
 		cfg.SynthWorkers = 1
@@ -182,9 +293,33 @@ func New(opt Options) *Engine {
 		cfg:     cfg,
 		prioCfg: prioCfg,
 		tracker: opt.Tracker,
-		jobs:    make(chan job, queue),
-		prio:    make(chan job, prioQueue),
+		q: sched.New(sched.Options{
+			BatchDepth:    queue,
+			PriorityDepth: prioQueue,
+			ClientQuota:   opt.ClientQuota,
+			AgeLimit:      opt.AgeLimit,
+		}),
 		workers: workers,
+	}
+	if opt.Predict && opt.Tracker != nil {
+		sigma := opt.PredictSigma
+		if sigma <= 0 {
+			sigma = DefaultPredictSigma
+		}
+		if g := opt.Tracker.opt.Gate; sigma < g {
+			sigma = g // the region must cover everything the gate accepts
+		}
+		e.predSigma = sigma
+		e.predMin = opt.PredictMinFixes
+		if e.predMin <= 0 {
+			e.predMin = DefaultPredictMinFixes
+		}
+	}
+	// Batch jobs yield between synthesis chunks: a waiting priority
+	// job is stolen and run inline, preempting the batch surface by
+	// microseconds instead of a whole in-flight fix.
+	if !opt.NoPreempt {
+		e.cfg.SynthYield = e.yieldSteal
 	}
 	e.wg.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -196,42 +331,30 @@ func New(opt Options) *Engine {
 func (e *Engine) worker() {
 	defer e.wg.Done()
 	for {
-		j, ok := e.next()
+		it, ok := e.q.Pop()
 		if !ok {
 			return
 		}
-		j.done(e.run(j.req))
+		e.execute(it)
 	}
 }
 
-// next dequeues the worker's next job, preferring the latency lane: a
-// non-blocking priority poll first, then a blocking wait on both
-// lanes. After Close (both channels closed), it drains whatever
-// remains and reports false.
-func (e *Engine) next() (job, bool) {
-	select {
-	case j, ok := <-e.prio:
-		if ok {
-			return j, true
-		}
-		// Latency lane closed: finish draining the batch lane.
-		j, ok = <-e.jobs
-		return j, ok
-	default:
-	}
-	select {
-	case j, ok := <-e.prio:
-		if ok {
-			return j, true
-		}
-		j, ok = <-e.jobs
-		return j, ok
-	case j, ok := <-e.jobs:
-		if ok {
-			return j, true
-		}
-		j, ok = <-e.prio
-		return j, ok
+// execute runs one scheduled item to completion and releases its
+// quota token.
+func (e *Engine) execute(it sched.Item) {
+	j := it.Payload.(job)
+	r := e.run(j.req)
+	e.q.Done(it.Client)
+	j.done(r)
+}
+
+// yieldSteal is the cooperative preemption point the batch config's
+// SynthYield points at: if a priority job is waiting, run it inline
+// on this worker, then resume the paused batch surface. Priority jobs
+// never yield, so the steal cannot recurse.
+func (e *Engine) yieldSteal() {
+	if it, ok := e.q.TryPriority(); ok {
+		e.execute(it)
 	}
 }
 
@@ -240,24 +363,94 @@ func (e *Engine) run(req Request) Result {
 	if req.Priority {
 		cfg = e.prioCfg
 	}
-	pos, specs, err := core.LocateClientRegion(req.APs, req.Captures, req.Min, req.Max, req.Region, cfg)
-	r := Result{ClientID: req.ClientID, Pos: pos, Spectra: specs, Err: err}
+	p := core.NewPipeline(cfg)
+	specs, err := p.ProcessAPs(req.APs, req.Captures)
 	if err != nil {
 		e.failures.Add(1)
-		return r
+		return Result{ClientID: req.ClientID, Err: err}
+	}
+	r := Result{ClientID: req.ClientID, Spectra: specs}
+
+	// Predictive path: spectra are processed exactly once; only the
+	// synthesis stage retries on fallback, so a fallback costs one
+	// extra (full-grid) search, never a pipeline rerun.
+	if pos, ok := e.predictiveFix(p, req, specs); ok {
+		r.Pos, r.Predicted = pos, true
+	} else {
+		r.Pos, err = p.SynthesizeRegion(specs, req.Min, req.Max, req.Region)
+		if err != nil {
+			r.Spectra = nil
+			r.Err = err
+			e.failures.Add(1)
+			return r
+		}
 	}
 	e.fixes.Add(1)
 	if e.tracker != nil {
-		upd := e.tracker.Observe(req.ClientID, pos, req.Time)
+		upd := e.tracker.Observe(req.ClientID, r.Pos, req.Time)
 		r.Track = &upd
 	}
 	return r
 }
 
+// predictiveFix attempts the track-guided region localization for a
+// job with no explicit region: derive a search region from the
+// client's Kalman prediction (gate covariance inflated to the
+// configured sigma, padded by two grid cells so the verification ring
+// exists), localize inside it, and verify — the region argmax must be
+// strictly interior on every open side and the position must pass the
+// prediction's Mahalanobis gate. Any other outcome falls back to the
+// full grid, so a served fix is either verified-predictive or exactly
+// what full-grid serving would produce.
+func (e *Engine) predictiveFix(p *core.Pipeline, req Request, specs []core.APSpectrum) (geom.Point, bool) {
+	if e.predSigma <= 0 || e.tracker == nil || !req.Region.IsZero() {
+		return geom.Point{}, false
+	}
+	pred, ok := e.tracker.Predict(req.ClientID, req.Time, e.predMin)
+	if !ok {
+		e.predNoTrack.Add(1)
+		return geom.Point{}, false
+	}
+	region := PredictRegion(pred, e.predSigma, e.cfg.GridCell)
+	pos, interior, err := p.SynthesizeRegionInterior(specs, req.Min, req.Max, region)
+	switch {
+	case err != nil:
+		// E.g. the predicted box fell outside the search area after a
+		// long coast; the full grid still serves the client.
+		e.predRegionErr.Add(1)
+	case !interior:
+		e.predBorder.Add(1)
+	case !pred.Accepts(pos):
+		e.predGate.Add(1)
+	default:
+		e.predicted.Add(1)
+		return pos, true
+	}
+	return geom.Point{}, false
+}
+
+// PredictRegion derives the track-guided search region the engine
+// uses for a prediction: the sigma-σ gate box padded by two grid
+// cells on every side, so a verified fix always has an interior ring
+// to sit in. Exported so benchmarks and experiments can measure
+// exactly the serving path's region.
+func PredictRegion(pred track.Prediction, sigma, cell float64) core.Region {
+	if cell <= 0 {
+		cell = 0.10
+	}
+	pad := 2 * cell
+	lo, hi := pred.Box(sigma)
+	return core.Region{
+		Min: geom.Pt(lo.X-pad, lo.Y-pad),
+		Max: geom.Pt(hi.X+pad, hi.Y+pad),
+	}
+}
+
 // Submit enqueues a job; done is invoked exactly once, from a worker
 // goroutine, with the job's result. Priority requests enter the
 // latency lane, everything else the batch queue. Submit blocks while
-// the target lane is full and returns ErrClosed after Close.
+// the target lane is full, fails fast with ErrQuota when the client's
+// scheduler quota is exhausted, and returns ErrClosed after Close.
 func (e *Engine) Submit(req Request, done func(Result)) error {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
@@ -265,15 +458,29 @@ func (e *Engine) Submit(req Request, done func(Result)) error {
 		e.rejected.Add(1)
 		return ErrClosed
 	}
-	// Count before the send: a worker can dequeue and complete the job
+	// Count before the push: a worker can dequeue and complete the job
 	// the instant it lands, and Stats must never show Completed >
-	// Submitted.
+	// Submitted. Rejected pushes undo the count.
 	e.submitted.Add(1)
 	if req.Priority {
 		e.prioSub.Add(1)
-		e.prio <- job{req: req, done: done}
-	} else {
-		e.jobs <- job{req: req, done: done}
+	}
+	err := e.q.Push(sched.Item{
+		Client:   req.ClientID,
+		Priority: req.Priority,
+		Payload:  job{req: req, done: done},
+	})
+	if err != nil {
+		e.submitted.Add(^uint64(0))
+		if req.Priority {
+			e.prioSub.Add(^uint64(0))
+		}
+		e.rejected.Add(1)
+		if errors.Is(err, sched.ErrQuota) {
+			e.quotaRej.Add(1)
+			return ErrQuota
+		}
+		return ErrClosed
 	}
 	return nil
 }
@@ -315,16 +522,25 @@ func (e *Engine) LocateBatch(reqs []Request) []Result {
 func (e *Engine) Stats() Stats {
 	fixes := e.fixes.Load()
 	failures := e.failures.Load()
+	qs := e.q.Stats()
 	s := Stats{
-		Submitted:         e.submitted.Load(),
-		Completed:         fixes + failures,
-		Fixes:             fixes,
-		Failures:          failures,
-		Rejected:          e.rejected.Load(),
-		PrioritySubmitted: e.prioSub.Load(),
-		Workers:           e.workers,
-		Queued:            len(e.jobs),
-		PriorityQueued:    len(e.prio),
+		Submitted:              e.submitted.Load(),
+		Completed:              fixes + failures,
+		Fixes:                  fixes,
+		Failures:               failures,
+		Rejected:               e.rejected.Load(),
+		QuotaRejected:          e.quotaRej.Load(),
+		Predicted:              e.predicted.Load(),
+		PredictFallbackNoTrack: e.predNoTrack.Load(),
+		PredictFallbackBorder:  e.predBorder.Load(),
+		PredictFallbackGate:    e.predGate.Load(),
+		PredictFallbackError:   e.predRegionErr.Load(),
+		PrioritySubmitted:      e.prioSub.Load(),
+		AgedBatch:              qs.Aged,
+		PriorityStolen:         qs.Stolen,
+		Workers:                e.workers,
+		Queued:                 qs.BatchQueued,
+		PriorityQueued:         qs.PriorityQueued,
 	}
 	if e.tracker != nil {
 		ts := e.tracker.Stats()
@@ -341,6 +557,15 @@ func (e *Engine) Stats() Stats {
 		s.SynthEvictions = u.Evictions
 		s.SynthSlices = u.Slices
 	}
+	if e.cfg.Steering != nil {
+		u := e.cfg.Steering.Usage()
+		s.SteeringTables = u.Entries
+		s.SteeringBytes = u.Bytes
+		s.SteeringBudget = u.Budget
+		s.SteeringHits = u.Hits
+		s.SteeringMisses = u.Misses
+		s.SteeringEvictions = u.Evictions
+	}
 	return s
 }
 
@@ -353,8 +578,7 @@ func (e *Engine) Close() {
 		return
 	}
 	e.closed = true
-	close(e.prio)
-	close(e.jobs)
 	e.mu.Unlock()
+	e.q.Close()
 	e.wg.Wait()
 }

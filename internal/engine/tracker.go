@@ -221,6 +221,42 @@ func (t *Tracker) maybeSweepLocked(now time.Time) {
 	}
 }
 
+// Predict returns the client's track prediction at time at (zero =
+// the tracker's clock): the expected position and the innovation
+// covariance the next fix will be gated against, extrapolated from
+// the last accepted update without mutating the track. It reports
+// false when the client has no track, the track is stale (older than
+// TTL — Observe would restart it, so its prediction is meaningless),
+// or the track has fewer than minFixes accepted fixes (velocity not
+// yet observable). This is the covariance→region export the engine's
+// predictive localization path consumes.
+func (t *Tracker) Predict(clientID uint32, at time.Time, minFixes int) (track.Prediction, bool) {
+	if at.IsZero() {
+		at = t.opt.Now()
+	}
+	t.mu.Lock()
+	ct, ok := t.clients[clientID]
+	t.mu.Unlock()
+	if !ok {
+		return track.Prediction{}, false
+	}
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	if t.opt.TTL > 0 && !ct.last.IsZero() && at.Sub(ct.last) > t.opt.TTL {
+		return track.Prediction{}, false
+	}
+	if ct.filter.Accepted() < minFixes {
+		return track.Prediction{}, false
+	}
+	dt := 0.0
+	if !ct.last.IsZero() {
+		if d := at.Sub(ct.last).Seconds(); d > 0 {
+			dt = d
+		}
+	}
+	return ct.filter.PredictState(dt)
+}
+
 // Snapshot returns a client's current smoothed state, if it is being
 // tracked.
 func (t *Tracker) Snapshot(clientID uint32) (TrackUpdate, bool) {

@@ -78,62 +78,195 @@ func keyFor(a *array.Array, lambda float64, bins int) steeringKey {
 	}
 }
 
-// SteeringCache memoizes steering tables per geometry key. It is safe
-// for concurrent use; lookups on the hot path take only a read lock.
+// DefaultSteeringCacheBudget bounds the process-wide shared cache. A
+// 360-bin, 9-element table costs ~52 KB, so the default holds several
+// hundred distinct geometries — far beyond any static deployment, but
+// a hard ceiling if per-request array geometries ever arrive from the
+// wire.
+const DefaultSteeringCacheBudget int64 = 32 << 20
+
+// steeringEntryOverhead approximates an entry's fixed footprint
+// (struct, map header, LRU links) so small tables are not
+// undercounted.
+const steeringEntryOverhead = 128
+
+// steeringCost is one table's accounted byte footprint.
+func steeringCost(t *SteeringTable) int64 {
+	return int64(len(t.data))*16 + steeringEntryOverhead
+}
+
+// steeringEntry is one cached table with its LRU links and cost.
+type steeringEntry struct {
+	key        steeringKey
+	table      *SteeringTable
+	cost       int64
+	prev, next *steeringEntry
+}
+
+// SteeringUsage is a snapshot of the cache's accounting and counters,
+// surfaced through engine.Stats and the server's stats dump.
+type SteeringUsage struct {
+	// Entries is the number of tables held.
+	Entries int
+	// Bytes is the summed cost of held tables; never exceeds Budget
+	// when a budget is set.
+	Bytes int64
+	// Budget is the configured byte cap (0 = unbounded).
+	Budget int64
+	// Hits and Misses count lookups; Evictions counts tables dropped
+	// (or served unretained) to stay within the budget.
+	Hits, Misses, Evictions uint64
+}
+
+// SteeringCache memoizes steering tables per geometry key under an
+// optional byte budget, with the same size-accounted LRU treatment as
+// core.SynthCache: entry cost is the table footprint, the reported
+// size is the exact sum of held costs, eviction happens inside the
+// insert's critical section (the visible size never exceeds the
+// budget), and an entry larger than the whole budget is served
+// without being retained. Safe for concurrent use. Geometry keys are
+// a handful in static deployments, so one mutex (not shards) keeps
+// the hot path a single short critical section that also freshens
+// recency.
 type SteeringCache struct {
-	mu     sync.RWMutex
-	tables map[steeringKey]*SteeringTable
-	hits   atomic.Uint64
-	misses atomic.Uint64
+	budget int64 // 0 means unbounded
+
+	mu      sync.Mutex
+	tables  map[steeringKey]*steeringEntry
+	head    *steeringEntry
+	tail    *steeringEntry
+	bytes   int64
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+	evicted atomic.Uint64
 }
 
-// NewSteeringCache returns an empty cache.
-func NewSteeringCache() *SteeringCache {
-	return &SteeringCache{tables: make(map[steeringKey]*SteeringTable)}
+// NewSteeringCache returns an empty, unbounded cache (the static-
+// deployment configuration: a handful of geometries ever).
+func NewSteeringCache() *SteeringCache { return NewSteeringCacheBudget(0) }
+
+// NewSteeringCacheBudget returns an empty cache holding at most
+// budget bytes of table state (0 = unbounded).
+func NewSteeringCacheBudget(budget int64) *SteeringCache {
+	if budget < 0 {
+		budget = 0
+	}
+	return &SteeringCache{budget: budget, tables: make(map[steeringKey]*steeringEntry)}
 }
 
-var sharedSteering = NewSteeringCache()
+var sharedSteering = NewSteeringCacheBudget(DefaultSteeringCacheBudget)
 
 // SharedSteeringCache returns the process-wide cache that
 // core.DefaultConfig wires into every pipeline by default.
 func SharedSteeringCache() *SteeringCache { return sharedSteering }
 
+// Budget returns the configured byte cap (0 = unbounded).
+func (c *SteeringCache) Budget() int64 { return c.budget }
+
+func (c *SteeringCache) unlink(e *steeringEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *SteeringCache) pushFront(e *steeringEntry) {
+	e.prev, e.next = nil, c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *SteeringCache) moveFront(e *steeringEntry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
 // Table returns the steering table for (array geometry, wavelength,
 // bins), computing and memoizing it on first use. Concurrent first
 // lookups may compute the table more than once; exactly one result is
-// kept, so callers always converge on a canonical table.
+// kept, so callers always converge on a canonical table (unless the
+// budget forces pass-through, in which case each caller keeps its own
+// identical copy for the duration of the call).
 func (c *SteeringCache) Table(a *array.Array, lambda float64, bins int) *SteeringTable {
 	key := keyFor(a, lambda, bins)
-	c.mu.RLock()
-	t, ok := c.tables[key]
-	c.mu.RUnlock()
-	if ok {
+	c.mu.Lock()
+	if e, ok := c.tables[key]; ok {
+		c.moveFront(e)
+		c.mu.Unlock()
 		c.hits.Add(1)
-		return t
+		return e.table
 	}
+	c.mu.Unlock()
 
 	fresh := NewSteeringTable(a, lambda, bins)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if t, ok := c.tables[key]; ok {
+	if e, ok := c.tables[key]; ok {
+		c.moveFront(e)
 		c.hits.Add(1)
-		return t
+		return e.table
 	}
 	c.misses.Add(1)
-	c.tables[key] = fresh
+	e := &steeringEntry{key: key, table: fresh, cost: steeringCost(fresh)}
+	if c.budget > 0 && e.cost > c.budget {
+		// Larger than the whole budget: serve without retaining, and
+		// without flushing innocent residents first.
+		c.evicted.Add(1)
+		return fresh
+	}
+	c.tables[key] = e
+	c.pushFront(e)
+	c.bytes += e.cost
+	for c.budget > 0 && c.bytes > c.budget && c.tail != nil {
+		victim := c.tail
+		c.unlink(victim)
+		delete(c.tables, victim.key)
+		c.bytes -= victim.cost
+		c.evicted.Add(1)
+	}
 	return fresh
 }
 
 // Len returns the number of distinct tables held.
 func (c *SteeringCache) Len() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return len(c.tables)
 }
 
 // Stats returns cumulative hit and miss counts (diagnostics).
 func (c *SteeringCache) Stats() (hits, misses uint64) {
 	return c.hits.Load(), c.misses.Load()
+}
+
+// Usage returns the cache's accounting snapshot.
+func (c *SteeringCache) Usage() SteeringUsage {
+	u := SteeringUsage{
+		Budget:    c.budget,
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evicted.Load(),
+	}
+	c.mu.Lock()
+	u.Entries = len(c.tables)
+	u.Bytes = c.bytes
+	c.mu.Unlock()
+	return u
 }
 
 // MUSICWithTable is MUSIC evaluated against a precomputed steering

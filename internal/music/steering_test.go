@@ -170,6 +170,85 @@ func TestSteeringCacheReusesTables(t *testing.T) {
 	}
 }
 
+// TestSteeringCacheBudgetLRU: the bounded cache evicts least-recently
+// used tables at insert time, accounting stays exact (Σ costs ==
+// Bytes ≤ Budget at every step), and re-Gets after eviction return
+// bit-identical tables.
+func TestSteeringCacheBudgetLRU(t *testing.T) {
+	one := steeringCost(NewSteeringTable(array.NewLinear(geom.Pt(0, 0), 0, 4, lambda), lambda, 90))
+	c := NewSteeringCacheBudget(3 * one) // room for exactly three 4-element 90-bin tables
+	mk := func(n int) *array.Array { return array.NewLinear(geom.Pt(0, 0), float64(n)*0.01, 4, lambda) }
+
+	var first *SteeringTable
+	for i := 0; i < 5; i++ {
+		tab := c.Table(mk(i), lambda, 90)
+		if i == 0 {
+			first = tab
+		}
+		u := c.Usage()
+		if u.Budget != 3*one {
+			t.Fatalf("Budget = %d, want %d", u.Budget, 3*one)
+		}
+		if u.Bytes > u.Budget {
+			t.Fatalf("after insert %d: %d bytes exceeds %d budget", i, u.Bytes, u.Budget)
+		}
+		if want := int64(u.Entries) * one; u.Bytes != want {
+			t.Fatalf("after insert %d: Bytes %d != %d entries × %d cost", i, u.Bytes, u.Entries, one)
+		}
+	}
+	u := c.Usage()
+	if u.Entries != 3 || u.Evictions != 2 {
+		t.Fatalf("usage %+v, want 3 entries / 2 evictions", u)
+	}
+	// Geometry 0 was evicted; a re-Get rebuilds an identical table.
+	rebuilt := c.Table(mk(0), lambda, 90)
+	if rebuilt == first {
+		t.Fatal("evicted table pointer survived")
+	}
+	if len(rebuilt.data) != len(first.data) {
+		t.Fatal("rebuilt table shape differs")
+	}
+	for i := range rebuilt.data {
+		if rebuilt.data[i] != first.data[i] {
+			t.Fatalf("rebuilt table differs at %d", i)
+		}
+	}
+	// Recency: touch the now-oldest resident, insert a new geometry,
+	// and the touched one must survive.
+	c.Table(mk(2), lambda, 90) // freshen 2
+	c.Table(mk(9), lambda, 90) // evicts 3 (LRU), not 2
+	h0, _ := c.Stats()
+	c.Table(mk(2), lambda, 90)
+	if h1, _ := c.Stats(); h1 != h0+1 {
+		t.Fatal("recently touched table was evicted out of LRU order")
+	}
+}
+
+// TestSteeringCacheOversizedPassThrough: a table larger than the
+// whole budget is served but never retained, and does not flush
+// residents.
+func TestSteeringCacheOversizedPassThrough(t *testing.T) {
+	small := array.NewLinear(geom.Pt(0, 0), 0, 4, lambda)
+	c := NewSteeringCacheBudget(steeringCost(NewSteeringTable(small, lambda, 90)))
+	c.Table(small, lambda, 90) // resident
+	big := array.NewLinear(geom.Pt(0, 0), 0, 8, lambda)
+	if got := c.Table(big, lambda, 3600); got == nil {
+		t.Fatal("oversized table not served")
+	}
+	u := c.Usage()
+	if u.Entries != 1 {
+		t.Fatalf("entries = %d after oversized lookup, want the small resident only", u.Entries)
+	}
+	if u.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1 (the pass-through)", u.Evictions)
+	}
+	h0, _ := c.Stats()
+	c.Table(small, lambda, 90)
+	if h1, _ := c.Stats(); h1 != h0+1 {
+		t.Fatal("oversized pass-through flushed the resident")
+	}
+}
+
 func TestSteeringCacheConcurrent(t *testing.T) {
 	c := NewSteeringCache()
 	a := array.NewLinear(geom.Pt(0, 0), 0, 8, lambda)

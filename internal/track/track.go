@@ -31,6 +31,7 @@ type Filter struct {
 	gate        float64
 	initialized bool
 	rejects     int
+	accepts     int
 }
 
 // NewFilter returns a tracker. processNoise is the acceleration
@@ -53,6 +54,14 @@ func (f *Filter) State() (pos geom.Point, vel geom.Vec) {
 
 // Rejected returns how many fixes the gate has discarded.
 func (f *Filter) Rejected() int { return f.rejects }
+
+// Accepted returns how many fixes have been folded into the state
+// (the initializing fix included).
+func (f *Filter) Accepted() int { return f.accepts }
+
+// Gate returns the configured Mahalanobis gate in σ units (0 when
+// gating is disabled).
+func (f *Filter) Gate() float64 { return f.gate }
 
 // Predict advances the state by dt seconds without a measurement.
 func (f *Filter) Predict(dt float64) error {
@@ -121,6 +130,7 @@ func (f *Filter) Update(fix geom.Point, dt float64) (accepted bool, err error) {
 		f.p[10] = 4
 		f.p[15] = 4
 		f.initialized = true
+		f.accepts = 1
 		return true, nil
 	}
 	if dt < 0 {
@@ -168,6 +178,7 @@ func (f *Filter) Update(fix geom.Point, dt float64) (accepted bool, err error) {
 		}
 	}
 	f.p = pNew
+	f.accepts++
 	return true, nil
 }
 
@@ -175,6 +186,82 @@ func (f *Filter) Update(fix geom.Point, dt float64) (accepted bool, err error) {
 // of track confidence.
 func (f *Filter) PositionVariance() (vx, vy float64) {
 	return f.p[0], f.p[5]
+}
+
+// Prediction is the filter's state extrapolated forward without a
+// measurement: where the next fix is expected and the innovation
+// covariance S = H(FPFᵀ+Q)Hᵀ + R it will be gated against. It is the
+// covariance→region export the predictive localization path consumes:
+// Box bounds where a gate-accepted fix can land, so a search
+// restricted to it provably never excludes a fix the tracker would
+// have accepted.
+type Prediction struct {
+	// Pos is the predicted position, Vel the velocity estimate carried
+	// with it.
+	Pos geom.Point
+	Vel geom.Vec
+	// Sxx, Sxy, Syy are the innovation covariance entries (m²).
+	Sxx, Sxy, Syy float64
+	// Gate is the filter's Mahalanobis gate in σ units (0 = disabled).
+	Gate float64
+}
+
+// PredictState returns the prediction dt seconds ahead of the last
+// update without mutating the filter. It reports false before the
+// first accepted fix. Negative dt is treated as zero (a simultaneous
+// or slightly reordered capture, as in Update).
+func (f *Filter) PredictState(dt float64) (Prediction, bool) {
+	if !f.initialized {
+		return Prediction{}, false
+	}
+	if dt < 0 || math.IsNaN(dt) {
+		dt = 0
+	}
+	g := *f // value copy: predict scratch, the filter is untouched
+	g.predict(dt)
+	r2 := f.measNoise * f.measNoise
+	return Prediction{
+		Pos:  geom.Pt(g.x[0], g.x[1]),
+		Vel:  geom.Vec{X: g.x[2], Y: g.x[3]},
+		Sxx:  g.p[0] + r2,
+		Sxy:  g.p[1],
+		Syy:  g.p[5] + r2,
+		Gate: f.gate,
+	}, true
+}
+
+// MahalanobisSq returns the squared Mahalanobis distance of a fix
+// under the prediction's innovation covariance — the quantity Update
+// gates against. A degenerate covariance returns +Inf (nothing is
+// accepted).
+func (p Prediction) MahalanobisSq(fix geom.Point) float64 {
+	det := p.Sxx*p.Syy - p.Sxy*p.Sxy
+	if det <= 0 {
+		return math.Inf(1)
+	}
+	y0, y1 := fix.X-p.Pos.X, fix.Y-p.Pos.Y
+	return (y0*(p.Syy*y0-p.Sxy*y1) + y1*(p.Sxx*y1-p.Sxy*y0)) / det
+}
+
+// Accepts reports whether a fix at the given position would pass the
+// prediction's Mahalanobis gate (always true when gating is disabled).
+func (p Prediction) Accepts(fix geom.Point) bool {
+	if p.Gate <= 0 {
+		return true
+	}
+	return p.MahalanobisSq(fix) <= p.Gate*p.Gate
+}
+
+// Box returns the axis-aligned box covering the sigma-σ innovation
+// ellipse around the predicted position: half-extents sigma·√Sxx and
+// sigma·√Syy (the ellipse's exact axis-aligned bound, whatever the
+// cross-correlation). Every fix with Mahalanobis distance ≤ sigma
+// lies inside it, so with sigma ≥ Gate the box contains every fix the
+// filter could accept.
+func (p Prediction) Box(sigma float64) (min, max geom.Point) {
+	hx := sigma * math.Sqrt(math.Max(p.Sxx, 0))
+	hy := sigma * math.Sqrt(math.Max(p.Syy, 0))
+	return geom.Pt(p.Pos.X-hx, p.Pos.Y-hy), geom.Pt(p.Pos.X+hx, p.Pos.Y+hy)
 }
 
 // Track is a convenience wrapper that feeds a sequence of fixes through

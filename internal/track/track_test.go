@@ -128,6 +128,129 @@ func TestTrackTrail(t *testing.T) {
 	}
 }
 
+func TestPredictStateMatchesPredictAndDoesNotMutate(t *testing.T) {
+	f := NewFilter(0.5, 0.3, 4)
+	if _, ok := f.PredictState(1); ok {
+		t.Fatal("PredictState before init must report false")
+	}
+	for i := 0; i < 20; i++ {
+		f.Update(geom.Pt(float64(i)*0.5, 2), 0.5)
+	}
+	posBefore, velBefore := f.State()
+	vxB, vyB := f.PositionVariance()
+
+	pred, ok := f.PredictState(0.5)
+	if !ok {
+		t.Fatal("PredictState after init must report true")
+	}
+	// Non-mutating: the filter is exactly where it was.
+	posAfter, velAfter := f.State()
+	vxA, vyA := f.PositionVariance()
+	if posAfter != posBefore || velAfter != velBefore || vxA != vxB || vyA != vyB {
+		t.Fatal("PredictState mutated the filter")
+	}
+	// Consistent with the mutating Predict: same predicted position
+	// and position covariance.
+	g := *f
+	if err := g.Predict(0.5); err != nil {
+		t.Fatal(err)
+	}
+	gpos, gvel := g.State()
+	if pred.Pos != gpos || pred.Vel != gvel {
+		t.Fatalf("PredictState pos %v vel %v != Predict %v %v", pred.Pos, pred.Vel, gpos, gvel)
+	}
+	gx, gy := g.PositionVariance()
+	r2 := 0.3 * 0.3
+	if math.Abs(pred.Sxx-(gx+r2)) > 1e-12 || math.Abs(pred.Syy-(gy+r2)) > 1e-12 {
+		t.Fatalf("innovation covariance %v %v != predicted P + R (%v %v)", pred.Sxx, pred.Syy, gx+r2, gy+r2)
+	}
+	if pred.Gate != 4 {
+		t.Fatalf("Gate = %v, want 4", pred.Gate)
+	}
+}
+
+// TestPredictionGateMatchesFilterGate: a fix the prediction's
+// Mahalanobis check accepts is exactly a fix Update would accept at
+// the same dt, and vice versa — the predictive region path and the
+// tracker gate agree by construction.
+func TestPredictionGateMatchesFilterGate(t *testing.T) {
+	mk := func() *Filter {
+		f := NewFilter(0.5, 0.3, 4)
+		for i := 0; i < 15; i++ {
+			f.Update(geom.Pt(float64(i)*0.4, 1), 0.5)
+		}
+		return f
+	}
+	base := mk()
+	pred, _ := base.PredictState(0.5)
+	for _, fix := range []geom.Point{
+		pred.Pos,                            // dead centre: accepted
+		pred.Pos.Add(geom.Vec{X: 0.5}),      // near: accepted
+		pred.Pos.Add(geom.Vec{X: 10, Y: 5}), // catastrophic: rejected
+	} {
+		f := mk()
+		accepted, err := f.Update(fix, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := pred.Accepts(fix); got != accepted {
+			t.Fatalf("fix %v: Prediction.Accepts=%v, Filter.Update accepted=%v", fix, got, accepted)
+		}
+	}
+}
+
+// TestPredictionBoxCoversGate: every fix at Mahalanobis distance ≤
+// sigma lies inside Box(sigma), so a region search over the box never
+// excludes a fix the gate would accept.
+func TestPredictionBoxCoversGate(t *testing.T) {
+	f := NewFilter(0.8, 0.4, 4)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 12; i++ {
+		f.Update(geom.Pt(float64(i)*0.6+rng.NormFloat64()*0.2, 3+rng.NormFloat64()*0.2), 0.5)
+	}
+	pred, _ := f.PredictState(1.0)
+	min, max := pred.Box(pred.Gate)
+	if !(min.X < pred.Pos.X && pred.Pos.X < max.X && min.Y < pred.Pos.Y && pred.Pos.Y < max.Y) {
+		t.Fatalf("box %v–%v does not contain predicted pos %v", min, max, pred.Pos)
+	}
+	// Sample the gate ellipse boundary densely: all inside the box.
+	for k := 0; k < 360; k++ {
+		// A point at Mahalanobis distance exactly Gate along direction θ:
+		// solve y = d·u / sqrt(uᵀS⁻¹u) for unit u.
+		th := 2 * math.Pi * float64(k) / 360
+		ux, uy := math.Cos(th), math.Sin(th)
+		det := pred.Sxx*pred.Syy - pred.Sxy*pred.Sxy
+		q := (pred.Syy*ux*ux - 2*pred.Sxy*ux*uy + pred.Sxx*uy*uy) / det
+		s := pred.Gate / math.Sqrt(q)
+		p := geom.Pt(pred.Pos.X+s*ux, pred.Pos.Y+s*uy)
+		if d2 := pred.MahalanobisSq(p); math.Abs(math.Sqrt(d2)-pred.Gate) > 1e-9 {
+			t.Fatalf("boundary construction off: d=%v want %v", math.Sqrt(d2), pred.Gate)
+		}
+		if p.X < min.X-1e-9 || p.X > max.X+1e-9 || p.Y < min.Y-1e-9 || p.Y > max.Y+1e-9 {
+			t.Fatalf("gate-ellipse point %v escapes box %v–%v", p, min, max)
+		}
+	}
+	if !pred.Accepts(pred.Pos) {
+		t.Fatal("predicted position itself must be accepted")
+	}
+}
+
+func TestFilterAcceptedCount(t *testing.T) {
+	f := NewFilter(0.5, 0.3, 4)
+	if f.Accepted() != 0 {
+		t.Fatalf("Accepted before init = %d", f.Accepted())
+	}
+	f.Update(geom.Pt(0, 0), 0)
+	f.Update(geom.Pt(0.3, 0), 0.5)
+	if f.Accepted() != 2 {
+		t.Fatalf("Accepted = %d, want 2", f.Accepted())
+	}
+	f.Update(geom.Pt(40, 40), 0.5) // gated outlier
+	if f.Accepted() != 2 || f.Rejected() != 1 {
+		t.Fatalf("after outlier: accepts %d rejects %d", f.Accepted(), f.Rejected())
+	}
+}
+
 func TestCovarianceStaysSymmetricPositive(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	f := NewFilter(1, 0.3, 0)
