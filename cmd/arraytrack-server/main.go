@@ -17,17 +17,25 @@
 //
 //	arraytrack-server -listen :7100 -quorum 3
 //
-// Engine and tracker counters are logged every -stats-every interval
-// and, on Unix, dumped on demand with SIGUSR1. Pair with
-// cmd/arraytrack-ap.
+// The server runs like a service: SIGINT/SIGTERM triggers a graceful
+// drain (stop accepting, flush every in-flight job, write the -snapshot
+// tracker image, exit 0) and -restore resumes those tracks
+// bit-identically on the next start. -http serves Prometheus metrics,
+// per-client track introspection, and the hot-reloadable knobs;
+// -knobs names a JSON knobs file applied at startup and re-applied on
+// SIGHUP. Engine and tracker counters are also logged every
+// -stats-every interval and, on Unix, dumped on demand with SIGUSR1.
+// Pair with cmd/arraytrack-ap.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"time"
@@ -35,9 +43,26 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/music"
+	"repro/internal/ops"
 	"repro/internal/server"
 	"repro/internal/testbed"
 )
+
+// applyKnobsFile loads a JSON ops.Knobs document and pushes it onto
+// the serving process; used at startup and on SIGHUP.
+func applyKnobsFile(srv *ops.Server, path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Printf("knobs: %v", err)
+		return
+	}
+	var k ops.Knobs
+	if err := json.Unmarshal(data, &k); err != nil {
+		log.Printf("knobs: parse %s: %v", path, err)
+		return
+	}
+	log.Printf("knobs: applied %v from %s", srv.Apply(k), path)
+}
 
 func logStats(eng *engine.Engine, backend *server.Backend) {
 	st := eng.Stats()
@@ -73,6 +98,14 @@ func main() {
 		"serve clients with live tracks from the track-guided predictive region (verified, full-grid fallback)")
 	predictSigma := flag.Float64("predict-sigma", engine.DefaultPredictSigma,
 		"gate-covariance inflation for the predictive search region, in sigmas (clamped up to the tracker gate)")
+	httpAddr := flag.String("http", "",
+		"ops HTTP listen address for /metrics, /clients, /knobs, /healthz (empty disables)")
+	snapshotPath := flag.String("snapshot", "",
+		"write the tracker snapshot here after the graceful drain (empty disables)")
+	restorePath := flag.String("restore", "",
+		"restore tracker state from this snapshot at startup (empty disables)")
+	knobsPath := flag.String("knobs", "",
+		"JSON knobs file applied at startup and re-applied on SIGHUP (empty disables)")
 	flag.Parse()
 
 	tb := testbed.New()
@@ -91,6 +124,15 @@ func main() {
 	}
 
 	tracker := engine.NewTracker(engine.TrackerOptions{TTL: *trackTTL})
+	if *restorePath != "" {
+		snap, err := ops.Load(*restorePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		n := tracker.Restore(snap.Tracks)
+		log.Printf("restored %d/%d client tracks from %s (saved %s)",
+			n, len(snap.Tracks), *restorePath, time.Unix(0, snap.SavedUnixNano).Format(time.RFC3339))
+	}
 	eng := engine.New(engine.Options{
 		Workers:      *workers,
 		Config:       cfg,
@@ -143,8 +185,33 @@ func main() {
 	}
 	log.Printf("ArrayTrack server listening on %s (quorum %d, estimator %s)", l.Addr(), *quorum, est.Name())
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), shutdownSignals()...)
 	defer stop()
+
+	opsSrv := &ops.Server{
+		Engine:         eng,
+		SynthCache:     cfg.SynthCache,
+		Steering:       cfg.Steering,
+		PendingClients: backend.PendingClients,
+	}
+	if *knobsPath != "" {
+		applyKnobsFile(opsSrv, *knobsPath)
+		notifyReloadSignal(ctx, func() { applyKnobsFile(opsSrv, *knobsPath) })
+	}
+	var httpSrv *http.Server
+	if *httpAddr != "" {
+		hl, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		httpSrv = &http.Server{Handler: opsSrv.Handler()}
+		log.Printf("ops endpoint on http://%s (/metrics /clients /knobs /healthz)", hl.Addr())
+		go func() {
+			if err := httpSrv.Serve(hl); err != nil && err != http.ErrServerClosed {
+				log.Printf("ops endpoint: %v", err)
+			}
+		}()
+	}
 
 	if *statsEvery > 0 {
 		go func() {
@@ -165,4 +232,24 @@ func main() {
 	if err := backend.Serve(ctx, l); err != nil && ctx.Err() == nil {
 		log.Fatal(err)
 	}
+
+	// Graceful drain: the listener is already closed (Serve returned),
+	// so no new captures arrive; Drain flushes every admitted job
+	// through the scheduler and waits for the workers, leaving the
+	// tracker quiescent for the snapshot.
+	log.Print("draining: flushing in-flight jobs")
+	eng.Drain()
+	if *snapshotPath != "" {
+		snap := ops.NewSnapshot(tracker, time.Now().UnixNano())
+		if err := ops.Save(*snapshotPath, snap); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("snapshot: %d client tracks written to %s", len(snap.Tracks), *snapshotPath)
+	}
+	if httpSrv != nil {
+		shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		httpSrv.Shutdown(shutCtx)
+		cancel()
+	}
+	log.Print("drained, exiting")
 }

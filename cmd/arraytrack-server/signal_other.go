@@ -2,8 +2,18 @@
 
 package main
 
-import "context"
+import (
+	"context"
+	"os"
+)
+
+// shutdownSignals: only the interrupt is portable off Unix.
+func shutdownSignals() []os.Signal { return []os.Signal{os.Interrupt} }
 
 // notifyStatsSignal is a no-op on platforms without SIGUSR1; the
 // periodic -stats-every log line still runs.
 func notifyStatsSignal(context.Context, func()) {}
+
+// notifyReloadSignal is a no-op on platforms without SIGHUP; knobs can
+// still be hot-reloaded through the HTTP endpoint.
+func notifyReloadSignal(context.Context, func()) {}

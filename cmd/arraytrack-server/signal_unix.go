@@ -9,11 +9,27 @@ import (
 	"syscall"
 )
 
+// shutdownSignals are the signals that trigger the graceful drain:
+// stop accepting, flush in-flight jobs, write the snapshot, exit.
+func shutdownSignals() []os.Signal {
+	return []os.Signal{os.Interrupt, syscall.SIGTERM}
+}
+
 // notifyStatsSignal dumps engine/tracker stats whenever the process
 // receives SIGUSR1 (kill -USR1 <pid>).
 func notifyStatsSignal(ctx context.Context, dump func()) {
+	notifyOn(ctx, syscall.SIGUSR1, dump)
+}
+
+// notifyReloadSignal re-applies the -knobs file whenever the process
+// receives SIGHUP (kill -HUP <pid>), the conventional reload signal.
+func notifyReloadSignal(ctx context.Context, reload func()) {
+	notifyOn(ctx, syscall.SIGHUP, reload)
+}
+
+func notifyOn(ctx context.Context, sig os.Signal, fn func()) {
 	ch := make(chan os.Signal, 1)
-	signal.Notify(ch, syscall.SIGUSR1)
+	signal.Notify(ch, sig)
 	go func() {
 		for {
 			select {
@@ -21,7 +37,7 @@ func notifyStatsSignal(ctx context.Context, dump func()) {
 				signal.Stop(ch)
 				return
 			case <-ch:
-				dump()
+				fn()
 			}
 		}
 	}()

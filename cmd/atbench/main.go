@@ -162,6 +162,16 @@ var experiments = []experiment{
 		}
 		return tb.RunSched(opt)
 	}},
+	{"ops", "kill→snapshot→restore mid-walk: zero tracks lost, identical RMSE", func(tb *testbed.Testbed, fast bool) (*testbed.Report, error) {
+		opt := testbed.DefaultOpsOptions()
+		if fast {
+			opt.Steps = 10
+			opt.KillStep = 5
+			opt.Sites = []int{0, 1, 3, 5}
+		}
+		r, _, err := tb.RunOps(opt)
+		return r, err
+	}},
 	{"ablation", "pipeline ablations", func(tb *testbed.Testbed, fast bool) (*testbed.Report, error) {
 		opt := accuracyOpts(fast)
 		opt.APCounts = []int{3}

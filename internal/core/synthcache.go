@@ -133,7 +133,7 @@ func (sh *synthShard) moveFront(e *synthEntry) {
 // the synthesis-layer sibling of music.SteeringCache. Safe for
 // concurrent use; lookups lock only the key's shard.
 type SynthCache struct {
-	budget    int64 // total bytes; 0 means unbounded
+	budget    atomic.Int64 // total bytes; 0 means unbounded; resized by SetBudget
 	shards    [synthShards]synthShard
 	hits      atomic.Uint64
 	misses    atomic.Uint64
@@ -172,7 +172,8 @@ func NewSynthCacheBudget(budget int64) *SynthCache {
 	if budget < 0 {
 		budget = 0
 	}
-	c := &SynthCache{budget: budget}
+	c := &SynthCache{}
+	c.budget.Store(budget)
 	for i := range c.shards {
 		c.shards[i].entries = make(map[synthKey]*synthEntry)
 	}
@@ -185,14 +186,34 @@ var sharedSynth = NewSynthCacheBudget(DefaultSynthCacheBudget)
 // core.DefaultConfig wires into every pipeline by default.
 func SharedSynthCache() *SynthCache { return sharedSynth }
 
-// Budget returns the configured byte cap (0 = unbounded).
-func (c *SynthCache) Budget() int64 { return c.budget }
+// Budget returns the live byte cap (0 = unbounded).
+func (c *SynthCache) Budget() int64 { return c.budget.Load() }
+
+// SetBudget hot-reloads the byte cap (≤0 = unbounded). Shrinking
+// evicts least-recently-used entries shard by shard inside each
+// shard's critical section, so the visible size converges to the new
+// budget before SetBudget returns and never exceeds it afterwards.
+// Growing simply leaves more room. Callers mid-lookup are unaffected:
+// they hold plain pointers to immutable LUTs.
+func (c *SynthCache) SetBudget(budget int64) {
+	if budget < 0 {
+		budget = 0
+	}
+	c.budget.Store(budget)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		c.evictOverLocked(sh)
+		sh.mu.Unlock()
+	}
+}
 
 func (c *SynthCache) shardBudget() int64 {
-	if c.budget == 0 {
+	b := c.budget.Load()
+	if b == 0 {
 		return 0 // unbounded
 	}
-	return c.budget / synthShards
+	return b / synthShards
 }
 
 func (c *SynthCache) shardOf(key synthKey) *synthShard {
@@ -220,7 +241,7 @@ func (c *SynthCache) shardOf(key synthKey) *synthShard {
 // never observe the cache over budget.
 func (c *SynthCache) evictOverLocked(sh *synthShard) {
 	limit := c.shardBudget()
-	if c.budget == 0 {
+	if limit == 0 {
 		return
 	}
 	for sh.bytes > limit && sh.tail != nil {
@@ -264,7 +285,7 @@ func (c *SynthCache) lutFor(ap geom.Point, spec GridSpec, parent *GridSpec, bins
 		return e.lut
 	}
 	e := &synthEntry{key: key, lut: fresh, cost: lutCost(spec.Cells())}
-	if limit := c.shardBudget(); c.budget > 0 && e.cost > limit {
+	if limit := c.shardBudget(); limit > 0 && e.cost > limit {
 		// Larger than the shard's whole slice: serve it without
 		// retaining it (counted as an eviction), and crucially without
 		// inserting first — insert-then-evict would flush every
@@ -302,7 +323,7 @@ func (c *SynthCache) buildOrSlice(ap geom.Point, spec GridSpec, parent *GridSpec
 		// Never promote a parent the budget could not retain anyway:
 		// the build would repeat every sliceablePromoteMisses-th miss
 		// without ever paying off.
-		if limit := c.shardBudget(); c.budget == 0 || lutCost(parent.Cells()) <= limit {
+		if limit := c.shardBudget(); limit == 0 || lutCost(parent.Cells()) <= limit {
 			if psh.sliceableMiss == nil {
 				psh.sliceableMiss = make(map[synthKey]uint32)
 			} else if len(psh.sliceableMiss) >= sliceableMissTableCap {
@@ -385,7 +406,7 @@ func (c *SynthCache) blockWindows(ap geom.Point, spec GridSpec, bins, factor int
 		return bl
 	}
 	cost := blockCost(len(fresh.start))
-	if limit := c.shardBudget(); c.budget > 0 && e.cost+cost > limit {
+	if limit := c.shardBudget(); limit > 0 && e.cost+cost > limit {
 		// The entry's LUT fits but LUT + windows would not: serve the
 		// windows uncached and keep the (more expensive to rebuild)
 		// LUT resident rather than evicting neighbours to make room.
@@ -425,7 +446,7 @@ func (c *SynthCache) Stats() (hits, misses uint64) {
 // budget/shards bytes, the summed Bytes never exceeds Budget.
 func (c *SynthCache) Usage() SynthCacheUsage {
 	u := SynthCacheUsage{
-		Budget:    c.budget,
+		Budget:    c.budget.Load(),
 		Hits:      c.hits.Load(),
 		Misses:    c.misses.Load(),
 		Evictions: c.evictions.Load(),

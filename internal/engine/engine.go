@@ -18,6 +18,7 @@ package engine
 
 import (
 	"errors"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -246,7 +247,7 @@ type Engine struct {
 	prioCfg   core.Config // latency lane: SynthWorkers kept for surface sharding, never yields
 	tracker   *Tracker
 	q         *sched.Queue
-	predSigma float64 // 0 = predictive path disabled
+	predSigma atomic.Uint64 // Float64bits; 0 = predictive path disabled; hot-reloaded by SetPredictSigma
 	predMin   int
 	wg        sync.WaitGroup
 	mu        sync.RWMutex
@@ -301,19 +302,15 @@ func New(opt Options) *Engine {
 		}),
 		workers: workers,
 	}
+	// predMin is fixed at construction (SetPredictSigma can enable the
+	// predictive path later, so it must be valid even when Predict
+	// starts off).
+	e.predMin = opt.PredictMinFixes
+	if e.predMin <= 0 {
+		e.predMin = DefaultPredictMinFixes
+	}
 	if opt.Predict && opt.Tracker != nil {
-		sigma := opt.PredictSigma
-		if sigma <= 0 {
-			sigma = DefaultPredictSigma
-		}
-		if g := opt.Tracker.opt.Gate; sigma < g {
-			sigma = g // the region must cover everything the gate accepts
-		}
-		e.predSigma = sigma
-		e.predMin = opt.PredictMinFixes
-		if e.predMin <= 0 {
-			e.predMin = DefaultPredictMinFixes
-		}
+		e.SetPredictSigma(opt.PredictSigma)
 	}
 	// Batch jobs yield between synthesis chunks: a waiting priority
 	// job is stolen and run inline, preempting the batch surface by
@@ -403,7 +400,8 @@ func (e *Engine) run(req Request) Result {
 // full grid, so a served fix is either verified-predictive or exactly
 // what full-grid serving would produce.
 func (e *Engine) predictiveFix(p *core.Pipeline, req Request, specs []core.APSpectrum) (geom.Point, bool) {
-	if e.predSigma <= 0 || e.tracker == nil || !req.Region.IsZero() {
+	sigma := e.PredictSigma()
+	if sigma <= 0 || e.tracker == nil || !req.Region.IsZero() {
 		return geom.Point{}, false
 	}
 	pred, ok := e.tracker.Predict(req.ClientID, req.Time, e.predMin)
@@ -411,7 +409,7 @@ func (e *Engine) predictiveFix(p *core.Pipeline, req Request, specs []core.APSpe
 		e.predNoTrack.Add(1)
 		return geom.Point{}, false
 	}
-	region := PredictRegion(pred, e.predSigma, e.cfg.GridCell)
+	region := PredictRegion(pred, sigma, e.cfg.GridCell)
 	pos, interior, err := p.SynthesizeRegionInterior(specs, req.Min, req.Max, region)
 	switch {
 	case err != nil:
@@ -487,6 +485,49 @@ func (e *Engine) Submit(req Request, done func(Result)) error {
 
 // Tracker returns the engine's tracker (nil when tracking is off).
 func (e *Engine) Tracker() *Tracker { return e.tracker }
+
+// PredictSigma returns the live predictive-region sigma (0 = the
+// predictive path is disabled).
+func (e *Engine) PredictSigma() float64 {
+	return math.Float64frombits(e.predSigma.Load())
+}
+
+// SetPredictSigma hot-reloads the predictive-region sigma: 0 selects
+// DefaultPredictSigma, negative disables the predictive path, and any
+// value is clamped up to the tracker's Mahalanobis gate so the search
+// box always covers every fix the tracker could accept. A no-op on an
+// engine without a tracker (there is nothing to predict from). Takes
+// effect on the next job.
+func (e *Engine) SetPredictSigma(sigma float64) {
+	if e.tracker == nil {
+		return
+	}
+	if sigma < 0 {
+		e.predSigma.Store(0)
+		return
+	}
+	if sigma == 0 {
+		sigma = DefaultPredictSigma
+	}
+	if g := e.tracker.opt.Gate; sigma < g {
+		sigma = g // the region must cover everything the gate accepts
+	}
+	e.predSigma.Store(math.Float64bits(sigma))
+}
+
+// SetClientQuota hot-reloads the scheduler's per-client token budget
+// (0 = unlimited); admitted jobs are never cancelled.
+func (e *Engine) SetClientQuota(n int) { e.q.SetClientQuota(n) }
+
+// ClientQuota returns the scheduler's live per-client token budget.
+func (e *Engine) ClientQuota() int { return e.q.ClientQuota() }
+
+// SetAgeLimit hot-reloads the scheduler's batch-ageing bound (0 =
+// scheduler default, negative disables ageing).
+func (e *Engine) SetAgeLimit(d time.Duration) { e.q.SetAgeLimit(d) }
+
+// AgeLimit returns the scheduler's live ageing bound.
+func (e *Engine) AgeLimit() time.Duration { return e.q.AgeLimit() }
 
 // Locate runs one job synchronously through the pool.
 func (e *Engine) Locate(req Request) Result {
@@ -570,11 +611,23 @@ func (e *Engine) Stats() Stats {
 }
 
 // Close stops accepting jobs, drains both lanes, and waits for the
-// workers to exit. Safe to call once.
-func (e *Engine) Close() {
+// workers to exit. Safe to call more than once.
+func (e *Engine) Close() { e.Drain() }
+
+// Drain performs the graceful-shutdown sequence: new submissions are
+// refused with ErrClosed, every already-admitted job in both scheduler
+// lanes runs to completion (done callbacks included — nothing is
+// dropped), and Drain returns once the last worker has exited. After
+// Drain the tracker (if any) is quiescent, so Tracker.SnapshotAll
+// observes the final post-flush state of every track — the
+// write-snapshot-then-exit step of a rolling restart runs on exactly
+// the state a continued process would have served from. Safe to call
+// more than once; later calls return immediately.
+func (e *Engine) Drain() {
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
+		e.wg.Wait() // a concurrent first Drain may still be flushing
 		return
 	}
 	e.closed = true

@@ -72,7 +72,7 @@ func TestPredictiveFixVerifyAndFallbacks(t *testing.T) {
 	// Gate reject: a peak near the box corner is interior to the
 	// region but outside the Mahalanobis ellipse (corner distance ≈
 	// 0.93·σ·√2 > σ).
-	_, hi := pred.Box(eng.predSigma)
+	_, hi := pred.Box(eng.PredictSigma())
 	corner := geom.Pt(
 		pred.Pos.X+0.93*(hi.X-pred.Pos.X),
 		pred.Pos.Y+0.93*(hi.Y-pred.Pos.Y),
@@ -139,14 +139,30 @@ func TestPredictSigmaClampedToGate(t *testing.T) {
 	eng := New(Options{Workers: 1, Config: core.Config{}, Tracker: tracker,
 		Predict: true, PredictSigma: 2})
 	defer eng.Close()
-	if eng.predSigma != 5 {
-		t.Fatalf("predSigma = %v, want clamped to the tracker gate 5", eng.predSigma)
+	if s := eng.PredictSigma(); s != 5 {
+		t.Fatalf("predSigma = %v, want clamped to the tracker gate 5", s)
 	}
-	// Predict without a tracker stays disabled.
+	// A hot-reloaded sigma is clamped the same way, and a negative
+	// value disables the predictive path.
+	eng.SetPredictSigma(3)
+	if s := eng.PredictSigma(); s != 5 {
+		t.Fatalf("hot-reloaded predSigma = %v, want clamped to the tracker gate 5", s)
+	}
+	eng.SetPredictSigma(7)
+	if s := eng.PredictSigma(); s != 7 {
+		t.Fatalf("hot-reloaded predSigma = %v, want 7", s)
+	}
+	eng.SetPredictSigma(-1)
+	if s := eng.PredictSigma(); s != 0 {
+		t.Fatalf("negative sigma did not disable the predictive path (sigma %v)", s)
+	}
+	// Predict without a tracker stays disabled — including via the
+	// hot-reload path.
 	bare := New(Options{Workers: 1, Config: core.Config{}, Predict: true})
 	defer bare.Close()
-	if bare.predSigma != 0 {
-		t.Fatalf("predictive path enabled without a tracker (sigma %v)", bare.predSigma)
+	bare.SetPredictSigma(4)
+	if s := bare.PredictSigma(); s != 0 {
+		t.Fatalf("predictive path enabled without a tracker (sigma %v)", s)
 	}
 }
 

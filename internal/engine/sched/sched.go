@@ -257,6 +257,47 @@ func (q *Queue) TryPriority() (Item, bool) {
 	return it, true
 }
 
+// SetClientQuota hot-reloads the per-client token budget (0 =
+// unlimited). A lowered quota never cancels admitted jobs: clients over
+// the new budget simply cannot push again until enough of their jobs
+// complete. Pushers blocked on a full lane re-check against the new
+// value when they wake.
+func (q *Queue) SetClientQuota(n int) {
+	if n < 0 {
+		n = 0
+	}
+	q.mu.Lock()
+	q.opt.ClientQuota = n
+	q.mu.Unlock()
+}
+
+// SetAgeLimit hot-reloads the batch-ageing bound with the same
+// semantics as Options.AgeLimit: 0 means DefaultAgeLimit, negative
+// disables ageing (strict priority). Takes effect on the next Pop.
+func (q *Queue) SetAgeLimit(d time.Duration) {
+	if d == 0 {
+		d = DefaultAgeLimit
+	}
+	q.mu.Lock()
+	q.opt.AgeLimit = d
+	q.mu.Unlock()
+}
+
+// ClientQuota returns the live per-client token budget (0 =
+// unlimited).
+func (q *Queue) ClientQuota() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.opt.ClientQuota
+}
+
+// AgeLimit returns the live ageing bound (negative = disabled).
+func (q *Queue) AgeLimit() time.Duration {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.opt.AgeLimit
+}
+
 // Done returns a client's token, releasing quota held since Push.
 // Call it exactly once per popped (or stolen) item, after the job
 // completes.

@@ -50,6 +50,12 @@ type CaptureSink struct {
 	lastPrio map[uint32]time.Time
 }
 
+// priorityTableCap bounds the per-client grant table. Client IDs
+// arrive from the wire, so without a hard cap a flood of unique IDs
+// (spoofed MACs) grows the map without limit — the stale sweep alone
+// cannot help when every entry is fresh.
+const priorityTableCap = 4096
+
 // allowPriority reports whether a priority dispatch for the client is
 // within its rate budget, recording the grant. Server wall-clock time
 // is used — capture timestamps are as untrusted as the flag itself.
@@ -68,12 +74,28 @@ func (s *CaptureSink) allowPriority(clientID uint32, now time.Time) bool {
 	}
 	if s.lastPrio == nil {
 		s.lastPrio = make(map[uint32]time.Time)
-	} else if len(s.lastPrio) >= 4096 {
-		// Bound the table against client-ID churn: drop stale grants.
+	} else if len(s.lastPrio) >= priorityTableCap {
+		// Bound the table against client-ID churn: drop stale grants
+		// first, then — if the table is still full of in-interval
+		// entries (unique-ID flood) — evict the oldest grants outright.
+		// Evicting an in-interval grant re-arms that client's budget
+		// early, which is the cheap failure mode; unbounded growth is
+		// not.
 		for id, at := range s.lastPrio {
 			if now.Sub(at) >= iv {
 				delete(s.lastPrio, id)
 			}
+		}
+		for len(s.lastPrio) >= priorityTableCap {
+			var oldestID uint32
+			var oldestAt time.Time
+			first := true
+			for id, at := range s.lastPrio {
+				if first || at.Before(oldestAt) {
+					oldestID, oldestAt, first = id, at, false
+				}
+			}
+			delete(s.lastPrio, oldestID)
 		}
 	}
 	s.lastPrio[clientID] = now
@@ -87,17 +109,30 @@ func (s *CaptureSink) allowPriority(clientID uint32, now time.Time) bool {
 // interactive region query rides the engine's latency lane while the
 // rest of the flush's traffic batches; the flag is rate-limited per
 // client (PriorityInterval) since it arrives from the wire untrusted.
-// It is called by the backend on its ingest path, so it only
-// enqueues — blocking at most on engine backpressure, never on the
-// pipeline.
+// Records from APs Resolve does not know are discarded entirely —
+// frames, timestamps, region, and priority flag alike: a capture
+// whose provenance cannot be established must not steer the job (pin
+// it to an attacker-chosen box, jump the latency lane, or poison the
+// Kalman state with a bogus timestamp). It is called by the backend
+// on its ingest path, so it only enqueues — blocking at most on
+// engine backpressure, never on the pipeline.
 func (s *CaptureSink) Dispatch(clientID uint32, captures []server.Capture) {
 	var order []uint32
 	byAP := make(map[uint32][]core.FrameCapture)
 	newest := make(map[uint32]time.Time)
+	resolved := make(map[uint32]*core.AP)
 	var region core.Region
 	var regionAt time.Time
 	var priority bool
 	for _, c := range captures {
+		ap, seen := resolved[c.APID]
+		if !seen {
+			ap = s.Resolve(c.APID)
+			resolved[c.APID] = ap
+		}
+		if ap == nil {
+			continue // unknown AP: the record carries no influence
+		}
 		if _, ok := byAP[c.APID]; !ok {
 			order = append(order, c.APID)
 		}
@@ -110,18 +145,13 @@ func (s *CaptureSink) Dispatch(clientID uint32, captures []server.Capture) {
 		}
 		priority = priority || c.Priority
 	}
-	var aps []*core.AP
-	var frames [][]core.FrameCapture
-	// The newest *resolved* capture timestamp advances the client's
-	// track; records from unknown APs are discarded entirely, so a
-	// bogus timestamp on one must not poison the Kalman state either.
+	aps := make([]*core.AP, 0, len(order))
+	frames := make([][]core.FrameCapture, 0, len(order))
+	// The newest resolved capture timestamp advances the client's
+	// track.
 	var at time.Time
 	for _, id := range order {
-		ap := s.Resolve(id)
-		if ap == nil {
-			continue
-		}
-		aps = append(aps, ap)
+		aps = append(aps, resolved[id])
 		frames = append(frames, byAP[id])
 		if newest[id].After(at) {
 			at = newest[id]

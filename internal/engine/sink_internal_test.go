@@ -1,0 +1,49 @@
+package engine
+
+import (
+	"testing"
+	"time"
+)
+
+// TestAllowPriorityTableHardCap (regression): client IDs arrive from
+// the wire, so a flood of unique IDs all claiming priority inside one
+// interval used to grow lastPrio without bound — the stale sweep never
+// fires when every entry is fresh. The table must stay at or under its
+// hard cap no matter the arrival pattern.
+func TestAllowPriorityTableHardCap(t *testing.T) {
+	s := &CaptureSink{}
+	now := time.Unix(1700000000, 0)
+
+	// 10k distinct clients, all within one interval: nothing is stale,
+	// so only oldest-grant eviction can bound the table.
+	for i := 0; i < 10000; i++ {
+		if !s.allowPriority(uint32(i+1), now.Add(time.Duration(i)*time.Microsecond)) {
+			t.Fatalf("first grant for client %d denied", i+1)
+		}
+	}
+	s.mu.Lock()
+	n := len(s.lastPrio)
+	s.mu.Unlock()
+	if n > priorityTableCap {
+		t.Fatalf("lastPrio holds %d entries, cap is %d", n, priorityTableCap)
+	}
+
+	// Throttling still works for a client whose grant survived the
+	// flood: the most recent grant is never the eviction victim.
+	if s.allowPriority(10000, now.Add(10000*time.Microsecond)) {
+		t.Fatal("back-to-back grant for a retained client must be denied")
+	}
+
+	// Once entries go stale the sweep path reclaims them before any
+	// oldest-grant eviction, and the table stays bounded.
+	later := now.Add(time.Hour)
+	for i := 0; i < 5000; i++ {
+		s.allowPriority(uint32(100000+i), later.Add(time.Duration(i)*time.Microsecond))
+	}
+	s.mu.Lock()
+	n = len(s.lastPrio)
+	s.mu.Unlock()
+	if n > priorityTableCap {
+		t.Fatalf("lastPrio holds %d entries after stale sweep era, cap is %d", n, priorityTableCap)
+	}
+}

@@ -1,0 +1,93 @@
+package engine_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/geom"
+	"repro/internal/server"
+)
+
+// TestCaptureSinkDiscardsUnknownAPProvenance (regression): Dispatch
+// used to harvest region, priority flag, and timestamps from every
+// capture in a flush *before* resolving APs, so a record from an
+// unknown AP — dropped from the localization itself — could still pin
+// the job to an attacker-chosen region, jump the latency lane, and
+// advance the Kalman track with a bogus timestamp. Discarded records
+// must carry no influence at all.
+func TestCaptureSinkDiscardsUnknownAPProvenance(t *testing.T) {
+	aps, cfg, mkStreams := syntheticSetup()
+	tr := engine.NewTracker(engine.TrackerOptions{Gate: -1})
+	eng := engine.New(engine.Options{Workers: 1, Config: cfg, Tracker: tr})
+	defer eng.Close()
+	results := make(chan engine.Result, 1)
+	sink := &engine.CaptureSink{
+		Engine: eng,
+		Resolve: func(apID uint32) *core.AP {
+			if int(apID) < 1 || int(apID) > len(aps) {
+				return nil
+			}
+			return aps[apID-1]
+		},
+		Min:      geom.Pt(0, 0),
+		Max:      geom.Pt(6, 4),
+		OnResult: func(r engine.Result) { results <- r },
+	}
+
+	rng := rand.New(rand.NewSource(15))
+	s1, s2 := mkStreams(rng), mkStreams(rng)
+	now := time.Now()
+	bogusRegion := core.Region{Min: geom.Pt(5.0, 3.0), Max: geom.Pt(5.5, 3.5)}
+	sink.Dispatch(31, []server.Capture{
+		{APID: 1, ClientID: 31, Timestamp: now, Streams: s1},
+		// Unknown AP 99: carries a region, the priority flag, and a
+		// timestamp an hour in the future. All of it must be ignored.
+		{APID: 99, ClientID: 31, Timestamp: now.Add(time.Hour),
+			Streams: mkStreams(rng), Region: bogusRegion, Priority: true},
+		{APID: 2, ClientID: 31, Timestamp: now.Add(time.Millisecond), Streams: s2},
+	})
+	r := <-results
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+
+	// The fix must equal the full-grid result over the two known APs —
+	// not the bogus region's argmax.
+	direct := eng.Locate(engine.Request{
+		ClientID: 32,
+		APs:      aps,
+		Captures: [][]core.FrameCapture{{{Streams: s1}}, {{Streams: s2}}},
+		Min:      geom.Pt(0, 0),
+		Max:      geom.Pt(6, 4),
+	})
+	if direct.Err != nil {
+		t.Fatal(direct.Err)
+	}
+	if r.Pos != direct.Pos {
+		t.Fatalf("sink fix %v != full-grid fix %v — unknown AP's region leaked into the job", r.Pos, direct.Pos)
+	}
+	if inBogus := r.Pos.X >= bogusRegion.Min.X && r.Pos.X <= bogusRegion.Max.X &&
+		r.Pos.Y >= bogusRegion.Min.Y && r.Pos.Y <= bogusRegion.Max.Y; inBogus {
+		t.Fatalf("test scene degenerate: full-grid fix %v landed inside the bogus region", r.Pos)
+	}
+
+	// The priority flag on the discarded record must not reach the
+	// latency lane.
+	if st := eng.Stats(); st.PrioritySubmitted != 0 {
+		t.Fatalf("PrioritySubmitted = %d, want 0 — unknown AP's priority flag leaked", st.PrioritySubmitted)
+	}
+
+	// The track must carry the newest *resolved* timestamp, not the
+	// bogus future one.
+	snap, ok := tr.Snapshot(31)
+	if !ok {
+		t.Fatal("client 31 not tracked after dispatch")
+	}
+	if !snap.Time.Equal(now.Add(time.Millisecond)) {
+		t.Fatalf("track time %v, want %v — unknown AP's timestamp poisoned the track",
+			snap.Time, now.Add(time.Millisecond))
+	}
+}

@@ -9,7 +9,9 @@ package engine
 // fixes.
 
 import (
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/geom"
@@ -92,6 +94,10 @@ type clientTrack struct {
 	mu     sync.Mutex
 	filter *track.Filter
 	last   time.Time
+	// lastAccepted records whether the most recent Observe passed the
+	// outlier gate, so introspection reports the track's real state
+	// instead of assuming acceptance.
+	lastAccepted bool
 }
 
 // Tracker keeps per-client Kalman state across captures. All methods
@@ -99,6 +105,10 @@ type clientTrack struct {
 // a short map lookup.
 type Tracker struct {
 	opt TrackerOptions
+	// ttl is the live eviction TTL in nanoseconds (≤0 disables). It
+	// starts at opt.TTL and is the one tracker knob that hot-reloads
+	// (SetTTL), so every reader loads it atomically.
+	ttl atomic.Int64
 
 	mu        sync.Mutex
 	clients   map[uint32]*clientTrack
@@ -113,11 +123,26 @@ type Tracker struct {
 
 // NewTracker returns a tracker with the given options.
 func NewTracker(opt TrackerOptions) *Tracker {
-	return &Tracker{
+	t := &Tracker{
 		opt:     opt.withDefaults(),
 		clients: make(map[uint32]*clientTrack),
 		subs:    make(map[int]chan TrackUpdate),
 	}
+	t.ttl.Store(int64(t.opt.TTL))
+	return t
+}
+
+// TTL returns the live eviction TTL (≤0 means eviction is disabled).
+func (t *Tracker) TTL() time.Duration { return time.Duration(t.ttl.Load()) }
+
+// SetTTL hot-reloads the eviction TTL: positive enables eviction after
+// d of silence, zero or negative disables it. Takes effect on the next
+// Observe/Predict/Snapshot; already-evicted tracks do not come back.
+func (t *Tracker) SetTTL(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	t.ttl.Store(int64(d))
 }
 
 // Observe folds one raw fix for a client into its track and returns
@@ -134,11 +159,12 @@ func (t *Tracker) Observe(clientID uint32, fix geom.Point, at time.Time) TrackUp
 		at = t.opt.Now()
 	}
 
+	ttl := t.TTL()
 	t.mu.Lock()
 	ct, ok := t.clients[clientID]
-	if ok && t.opt.TTL > 0 {
+	if ok && ttl > 0 {
 		ct.mu.Lock()
-		stale := !ct.last.IsZero() && at.Sub(ct.last) > t.opt.TTL
+		stale := !ct.last.IsZero() && at.Sub(ct.last) > ttl
 		ct.mu.Unlock()
 		if stale {
 			t.evicted++
@@ -172,6 +198,7 @@ func (t *Tracker) Observe(clientID uint32, fix geom.Point, at time.Time) TrackUp
 	if at.After(ct.last) {
 		ct.last = at
 	}
+	ct.lastAccepted = accepted
 	pos, vel := ct.filter.State()
 	ct.mu.Unlock()
 
@@ -203,16 +230,17 @@ func (t *Tracker) Observe(clientID uint32, fix geom.Point, at time.Time) TrackUp
 // maybeSweepLocked evicts stale clients at most once per TTL/4. Caller
 // holds t.mu.
 func (t *Tracker) maybeSweepLocked(now time.Time) {
-	if t.opt.TTL <= 0 {
+	ttl := t.TTL()
+	if ttl <= 0 {
 		return
 	}
-	if !t.lastSweep.IsZero() && now.Sub(t.lastSweep) < t.opt.TTL/4 {
+	if !t.lastSweep.IsZero() && now.Sub(t.lastSweep) < ttl/4 {
 		return
 	}
 	t.lastSweep = now
 	for id, ct := range t.clients {
 		ct.mu.Lock()
-		stale := !ct.last.IsZero() && now.Sub(ct.last) > t.opt.TTL
+		stale := !ct.last.IsZero() && now.Sub(ct.last) > ttl
 		ct.mu.Unlock()
 		if stale {
 			delete(t.clients, id)
@@ -242,7 +270,7 @@ func (t *Tracker) Predict(clientID uint32, at time.Time, minFixes int) (track.Pr
 	}
 	ct.mu.Lock()
 	defer ct.mu.Unlock()
-	if t.opt.TTL > 0 && !ct.last.IsZero() && at.Sub(ct.last) > t.opt.TTL {
+	if ttl := t.TTL(); ttl > 0 && !ct.last.IsZero() && at.Sub(ct.last) > ttl {
 		return track.Prediction{}, false
 	}
 	if ct.filter.Accepted() < minFixes {
@@ -258,8 +286,12 @@ func (t *Tracker) Predict(clientID uint32, at time.Time, minFixes int) (track.Pr
 }
 
 // Snapshot returns a client's current smoothed state, if it is being
-// tracked.
+// tracked. It applies the same TTL staleness rule as Predict — a track
+// Observe would restart rather than continue reports false — and
+// Accepted reflects whether the client's most recent fix actually
+// passed the outlier gate, not an assumption.
 func (t *Tracker) Snapshot(clientID uint32) (TrackUpdate, bool) {
+	now := t.opt.Now()
 	t.mu.Lock()
 	ct, ok := t.clients[clientID]
 	t.mu.Unlock()
@@ -268,14 +300,111 @@ func (t *Tracker) Snapshot(clientID uint32) (TrackUpdate, bool) {
 	}
 	ct.mu.Lock()
 	defer ct.mu.Unlock()
+	if ttl := t.TTL(); ttl > 0 && !ct.last.IsZero() && now.Sub(ct.last) > ttl {
+		return TrackUpdate{}, false
+	}
 	pos, vel := ct.filter.State()
 	return TrackUpdate{
 		ClientID: clientID,
 		Time:     ct.last,
 		Smoothed: pos,
 		Vel:      vel,
-		Accepted: true,
+		Accepted: ct.lastAccepted,
 	}, true
+}
+
+// ClientSnapshot is one client's complete serialized track state: the
+// Kalman filter (position, velocity, covariance, accept counters) plus
+// the timestamps the tracker's TTL and dt arithmetic depend on. It is
+// the unit Tracker.SnapshotAll emits and Restore consumes, and
+// round-trips exactly through encoding/json.
+type ClientSnapshot struct {
+	ClientID uint32 `json:"client_id"`
+	// Filter is the client's Kalman state, restored bit-identically.
+	Filter track.FilterState `json:"filter"`
+	// LastUnixNano is the track's last fix timestamp (UnixNano; 0 for
+	// a never-stamped track).
+	LastUnixNano int64 `json:"last_unix_nano"`
+	// LastAccepted mirrors whether the most recent fix passed the gate.
+	LastAccepted bool `json:"last_accepted"`
+}
+
+// SnapshotAll captures every live client track, sorted by client ID so
+// the output is deterministic for a given tracker state. Tracks past
+// TTL are skipped — Observe would restart them, so carrying them across
+// a restart would only resurrect state the live tracker had already
+// declared dead. This is the drain-side half of the restart (and shard
+// migration) primitive; Restore is the other half.
+func (t *Tracker) SnapshotAll() []ClientSnapshot {
+	now := t.opt.Now()
+	t.mu.Lock()
+	tracks := make(map[uint32]*clientTrack, len(t.clients))
+	for id, ct := range t.clients {
+		tracks[id] = ct
+	}
+	t.mu.Unlock()
+
+	ttl := t.TTL()
+	out := make([]ClientSnapshot, 0, len(tracks))
+	for id, ct := range tracks {
+		ct.mu.Lock()
+		stale := ttl > 0 && !ct.last.IsZero() && now.Sub(ct.last) > ttl
+		if !stale {
+			var lastNano int64
+			if !ct.last.IsZero() {
+				lastNano = ct.last.UnixNano()
+			}
+			out = append(out, ClientSnapshot{
+				ClientID:     id,
+				Filter:       ct.filter.Snapshot(),
+				LastUnixNano: lastNano,
+				LastAccepted: ct.lastAccepted,
+			})
+		}
+		ct.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ClientID < out[j].ClientID })
+	return out
+}
+
+// Restore installs snapshotted tracks, overwriting any existing state
+// for the same client IDs. Each filter resumes bit-identically — a
+// Predict or Observe after Restore computes exactly what the
+// snapshotted tracker would have. Snapshots with invalid filter state
+// are skipped rather than poisoning the map; the count of installed
+// tracks is returned. Meant for startup (-restore) and shard handoff;
+// restoring into a serving tracker is safe but replaces the affected
+// clients' live state.
+func (t *Tracker) Restore(snaps []ClientSnapshot) int {
+	n := 0
+	for _, s := range snaps {
+		f, err := track.NewFilterFromState(s.Filter)
+		if err != nil {
+			continue
+		}
+		ct := &clientTrack{filter: f, lastAccepted: s.LastAccepted}
+		if s.LastUnixNano != 0 {
+			ct.last = time.Unix(0, s.LastUnixNano)
+		}
+		t.mu.Lock()
+		t.clients[s.ClientID] = ct
+		t.mu.Unlock()
+		n++
+	}
+	return n
+}
+
+// Clients returns the IDs of all live tracks, sorted (the introspection
+// endpoint's index).
+func (t *Tracker) Clients() []uint32 {
+	t.mu.Lock()
+	ids := make([]uint32, 0, len(t.clients))
+	for id := range t.clients {
+		ids = append(ids, id)
+	}
+	t.mu.Unlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }
 
 // Subscribe registers a buffered stream of track updates. Updates are

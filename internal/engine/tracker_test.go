@@ -74,7 +74,8 @@ func TestTrackerGateRejectsOutlier(t *testing.T) {
 // removed on later observations.
 func TestTrackerEviction(t *testing.T) {
 	base := time.Unix(1700000000, 0)
-	tr := engine.NewTracker(engine.TrackerOptions{TTL: 30 * time.Second})
+	tr := engine.NewTracker(engine.TrackerOptions{TTL: 30 * time.Second,
+		Now: func() time.Time { return base.Add(40 * time.Second) }})
 	tr.Observe(1, geom.Pt(1, 1), base)
 	tr.Observe(2, geom.Pt(2, 2), base.Add(40*time.Second))
 	st := tr.Stats()
@@ -124,11 +125,51 @@ func TestTrackerStaleClientRestartsFresh(t *testing.T) {
 	}
 }
 
+// TestTrackerSnapshotReportsRealState (regression): Snapshot used to
+// hardcode Accepted: true and skip the TTL check, so the introspection
+// path reported a gate-rejected track as healthy and a stale track —
+// one Observe would restart and Predict already refused — as live.
+func TestTrackerSnapshotReportsRealState(t *testing.T) {
+	base := time.Unix(1700000000, 0)
+	now := base
+	tr := engine.NewTracker(engine.TrackerOptions{MeasSigma: 0.3, Gate: 4,
+		TTL: 30 * time.Second, Now: func() time.Time { return now }})
+	for i := 0; i < 10; i++ {
+		tr.Observe(1, geom.Pt(5+0.1*float64(i), 5), base.Add(time.Duration(i)*time.Second))
+	}
+	now = base.Add(9 * time.Second)
+	snap, ok := tr.Snapshot(1)
+	if !ok || !snap.Accepted {
+		t.Fatalf("healthy track snapshot = %+v, %v; want live and accepted", snap, ok)
+	}
+
+	// A gate-rejected last fix must show up as Accepted: false.
+	now = base.Add(10 * time.Second)
+	if upd := tr.Observe(1, geom.Pt(35, 14), now); upd.Accepted {
+		t.Fatal("outlier fix should be gate-rejected")
+	}
+	snap, ok = tr.Snapshot(1)
+	if !ok {
+		t.Fatal("gated track must still be live")
+	}
+	if snap.Accepted {
+		t.Fatal("Snapshot reported Accepted for a gate-rejected last fix")
+	}
+
+	// Past TTL the track is stale: Predict refuses it, so Snapshot must
+	// too instead of presenting a track Observe would restart.
+	now = base.Add(2 * time.Minute)
+	if _, ok := tr.Snapshot(1); ok {
+		t.Fatal("TTL-stale track still visible via Snapshot")
+	}
+}
+
 // TestTrackerOutOfOrderFix: a fix older than the track's last
 // timestamp must fold in with dt=0 instead of erroring or rewinding.
 func TestTrackerOutOfOrderFix(t *testing.T) {
 	base := time.Unix(1700000000, 0)
-	tr := engine.NewTracker(engine.TrackerOptions{Gate: -1})
+	tr := engine.NewTracker(engine.TrackerOptions{Gate: -1,
+		Now: func() time.Time { return base.Add(10 * time.Second) }})
 	tr.Observe(1, geom.Pt(5, 5), base.Add(10*time.Second))
 	upd := tr.Observe(1, geom.Pt(5.1, 5), base.Add(5*time.Second))
 	if !upd.Accepted {

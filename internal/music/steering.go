@@ -129,7 +129,7 @@ type SteeringUsage struct {
 // the hot path a single short critical section that also freshens
 // recency.
 type SteeringCache struct {
-	budget int64 // 0 means unbounded
+	budget atomic.Int64 // 0 means unbounded; resized by SetBudget
 
 	mu      sync.Mutex
 	tables  map[steeringKey]*steeringEntry
@@ -151,7 +151,9 @@ func NewSteeringCacheBudget(budget int64) *SteeringCache {
 	if budget < 0 {
 		budget = 0
 	}
-	return &SteeringCache{budget: budget, tables: make(map[steeringKey]*steeringEntry)}
+	c := &SteeringCache{tables: make(map[steeringKey]*steeringEntry)}
+	c.budget.Store(budget)
+	return c
 }
 
 var sharedSteering = NewSteeringCacheBudget(DefaultSteeringCacheBudget)
@@ -160,8 +162,35 @@ var sharedSteering = NewSteeringCacheBudget(DefaultSteeringCacheBudget)
 // core.DefaultConfig wires into every pipeline by default.
 func SharedSteeringCache() *SteeringCache { return sharedSteering }
 
-// Budget returns the configured byte cap (0 = unbounded).
-func (c *SteeringCache) Budget() int64 { return c.budget }
+// Budget returns the live byte cap (0 = unbounded).
+func (c *SteeringCache) Budget() int64 { return c.budget.Load() }
+
+// SetBudget hot-reloads the byte cap (≤0 = unbounded). Shrinking
+// evicts least-recently-used tables inside the cache's critical
+// section before returning; growing leaves more room. Tables already
+// handed out stay valid — they are immutable.
+func (c *SteeringCache) SetBudget(budget int64) {
+	if budget < 0 {
+		budget = 0
+	}
+	c.budget.Store(budget)
+	c.mu.Lock()
+	c.evictOverLocked()
+	c.mu.Unlock()
+}
+
+// evictOverLocked drops LRU tables until the cache fits its budget.
+// Caller holds c.mu.
+func (c *SteeringCache) evictOverLocked() {
+	budget := c.budget.Load()
+	for budget > 0 && c.bytes > budget && c.tail != nil {
+		victim := c.tail
+		c.unlink(victim)
+		delete(c.tables, victim.key)
+		c.bytes -= victim.cost
+		c.evicted.Add(1)
+	}
+}
 
 func (c *SteeringCache) unlink(e *steeringEntry) {
 	if e.prev != nil {
@@ -223,7 +252,7 @@ func (c *SteeringCache) Table(a *array.Array, lambda float64, bins int) *Steerin
 	}
 	c.misses.Add(1)
 	e := &steeringEntry{key: key, table: fresh, cost: steeringCost(fresh)}
-	if c.budget > 0 && e.cost > c.budget {
+	if budget := c.budget.Load(); budget > 0 && e.cost > budget {
 		// Larger than the whole budget: serve without retaining, and
 		// without flushing innocent residents first.
 		c.evicted.Add(1)
@@ -232,13 +261,7 @@ func (c *SteeringCache) Table(a *array.Array, lambda float64, bins int) *Steerin
 	c.tables[key] = e
 	c.pushFront(e)
 	c.bytes += e.cost
-	for c.budget > 0 && c.bytes > c.budget && c.tail != nil {
-		victim := c.tail
-		c.unlink(victim)
-		delete(c.tables, victim.key)
-		c.bytes -= victim.cost
-		c.evicted.Add(1)
-	}
+	c.evictOverLocked()
 	return fresh
 }
 
@@ -257,7 +280,7 @@ func (c *SteeringCache) Stats() (hits, misses uint64) {
 // Usage returns the cache's accounting snapshot.
 func (c *SteeringCache) Usage() SteeringUsage {
 	u := SteeringUsage{
-		Budget:    c.budget,
+		Budget:    c.budget.Load(),
 		Hits:      c.hits.Load(),
 		Misses:    c.misses.Load(),
 		Evictions: c.evicted.Load(),

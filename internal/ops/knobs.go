@@ -1,0 +1,114 @@
+package ops
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+// Knobs is the set of parameters safe to change on a serving process:
+// none of them invalidate in-flight jobs or cached state — caches
+// re-evict to a shrunk budget, the scheduler re-reads quotas per
+// admission, and the predictive sigma / track TTL are loaded per job.
+// Every field is a pointer; nil means "leave unchanged", so a partial
+// JSON document (or config file) updates only what it names.
+type Knobs struct {
+	// SynthCacheBudget resizes the synthesis LUT cache (bytes,
+	// 0 = unbounded).
+	SynthCacheBudget *int64 `json:"synth_cache_budget,omitempty"`
+	// SteeringCacheBudget resizes the steering-vector cache (bytes,
+	// 0 = unbounded).
+	SteeringCacheBudget *int64 `json:"steering_cache_budget,omitempty"`
+	// ClientQuota resets the per-client scheduler token budget
+	// (0 = unlimited).
+	ClientQuota *int `json:"client_quota,omitempty"`
+	// AgeLimitMillis resets the batch ageing bound (0 = scheduler
+	// default, negative disables).
+	AgeLimitMillis *int64 `json:"age_limit_ms,omitempty"`
+	// PredictSigma resets the predictive-region sigma (0 = engine
+	// default, negative disables the predictive path; clamped up to
+	// the tracker gate).
+	PredictSigma *float64 `json:"predict_sigma,omitempty"`
+	// TrackTTLMillis resets the track eviction TTL (≤0 disables
+	// eviction).
+	TrackTTLMillis *int64 `json:"track_ttl_ms,omitempty"`
+}
+
+// Apply pushes every non-nil knob onto the serving process and returns
+// the names of the knobs it applied (for the reload log line). Knobs
+// whose target is absent — e.g. a cache the Server was not handed — are
+// skipped silently: the document stays portable across configurations.
+func (s *Server) Apply(k Knobs) []string {
+	var applied []string
+	if k.SynthCacheBudget != nil && s.SynthCache != nil {
+		s.SynthCache.SetBudget(*k.SynthCacheBudget)
+		applied = append(applied, "synth_cache_budget")
+	}
+	if k.SteeringCacheBudget != nil && s.Steering != nil {
+		s.Steering.SetBudget(*k.SteeringCacheBudget)
+		applied = append(applied, "steering_cache_budget")
+	}
+	if k.ClientQuota != nil {
+		s.Engine.SetClientQuota(*k.ClientQuota)
+		applied = append(applied, "client_quota")
+	}
+	if k.AgeLimitMillis != nil {
+		s.Engine.SetAgeLimit(time.Duration(*k.AgeLimitMillis) * time.Millisecond)
+		applied = append(applied, "age_limit_ms")
+	}
+	if k.PredictSigma != nil {
+		s.Engine.SetPredictSigma(*k.PredictSigma)
+		applied = append(applied, "predict_sigma")
+	}
+	if k.TrackTTLMillis != nil {
+		if tr := s.Engine.Tracker(); tr != nil {
+			tr.SetTTL(time.Duration(*k.TrackTTLMillis) * time.Millisecond)
+			applied = append(applied, "track_ttl_ms")
+		}
+	}
+	return applied
+}
+
+// Current reads back the live values of every knob the server can
+// reach, for GET /knobs and the reload log.
+func (s *Server) Current() Knobs {
+	var k Knobs
+	if s.SynthCache != nil {
+		v := s.SynthCache.Budget()
+		k.SynthCacheBudget = &v
+	}
+	if s.Steering != nil {
+		v := s.Steering.Budget()
+		k.SteeringCacheBudget = &v
+	}
+	q := s.Engine.ClientQuota()
+	k.ClientQuota = &q
+	age := int64(s.Engine.AgeLimit() / time.Millisecond)
+	k.AgeLimitMillis = &age
+	sigma := s.Engine.PredictSigma()
+	k.PredictSigma = &sigma
+	if tr := s.Engine.Tracker(); tr != nil {
+		ttl := int64(tr.TTL() / time.Millisecond)
+		k.TrackTTLMillis = &ttl
+	}
+	return k
+}
+
+func (s *Server) handleKnobsGet(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.Current())
+}
+
+func (s *Server) handleKnobsPost(w http.ResponseWriter, r *http.Request) {
+	var k Knobs
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&k); err != nil {
+		http.Error(w, "bad knobs document: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	applied := s.Apply(k)
+	writeJSON(w, struct {
+		Applied []string `json:"applied"`
+		Live    Knobs    `json:"live"`
+	}{Applied: applied, Live: s.Current()})
+}

@@ -1,0 +1,250 @@
+package ops_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/geom"
+	"repro/internal/music"
+	"repro/internal/ops"
+)
+
+// walkTracker builds a tracker with a few matured client tracks on a
+// pinned clock.
+func walkTracker(base time.Time) *engine.Tracker {
+	tr := engine.NewTracker(engine.TrackerOptions{MeasSigma: 0.4, Gate: 4,
+		TTL: time.Minute, Now: func() time.Time { return base.Add(10 * time.Second) }})
+	for i := 0; i < 8; i++ {
+		at := base.Add(time.Duration(i) * time.Second)
+		tr.Observe(7, geom.Pt(2+0.5*float64(i), 5), at)
+		tr.Observe(9, geom.Pt(30, 12), at)
+	}
+	return tr
+}
+
+// TestSnapshotSaveLoadRoundTrip: Save → Load → Restore reproduces the
+// drained tracker's predictions bit-for-bit.
+func TestSnapshotSaveLoadRoundTrip(t *testing.T) {
+	base := time.Unix(1700000000, 0)
+	tr := walkTracker(base)
+	path := filepath.Join(t.TempDir(), "tracks.json")
+	snap := ops.NewSnapshot(tr, base.Add(10*time.Second).UnixNano())
+	if len(snap.Tracks) != 2 {
+		t.Fatalf("snapshot holds %d tracks, want 2", len(snap.Tracks))
+	}
+	if err := ops.Save(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ops.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Version != ops.SnapshotVersion || len(loaded.Tracks) != 2 {
+		t.Fatalf("loaded snapshot: version %d, %d tracks", loaded.Version, len(loaded.Tracks))
+	}
+
+	fresh := engine.NewTracker(engine.TrackerOptions{MeasSigma: 0.4, Gate: 4,
+		TTL: time.Minute, Now: func() time.Time { return base.Add(10 * time.Second) }})
+	if n := fresh.Restore(loaded.Tracks); n != 2 {
+		t.Fatalf("restored %d tracks, want 2", n)
+	}
+	at := base.Add(11 * time.Second)
+	for _, id := range []uint32{7, 9} {
+		want, ok1 := tr.Predict(id, at, 3)
+		got, ok2 := fresh.Predict(id, at, 3)
+		if !ok1 || !ok2 {
+			t.Fatalf("client %d: predict ok = %v/%v", id, ok1, ok2)
+		}
+		if got != want {
+			t.Fatalf("client %d: restored prediction %+v != live %+v", id, got, want)
+		}
+	}
+}
+
+// TestSnapshotLoadRejectsVersionSkew: a future-versioned file fails
+// with ErrSnapshotVersion instead of being misparsed.
+func TestSnapshotLoadRejectsVersionSkew(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tracks.json")
+	base := time.Unix(1700000000, 0)
+	snap := ops.NewSnapshot(walkTracker(base), base.UnixNano())
+	snap.Version = ops.SnapshotVersion + 1
+	if err := ops.Save(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ops.Load(path); err == nil || !strings.Contains(err.Error(), "unsupported snapshot version") {
+		t.Fatalf("version skew: err = %v, want ErrSnapshotVersion", err)
+	}
+}
+
+func opsServer(t *testing.T) (*ops.Server, *engine.Engine, *engine.Tracker) {
+	t.Helper()
+	base := time.Unix(1700000000, 0)
+	tr := walkTracker(base)
+	synth := core.NewSynthCacheBudget(64 << 20)
+	steer := music.NewSteeringCacheBudget(32 << 20)
+	eng := engine.New(engine.Options{
+		Workers: 1,
+		Config:  core.Config{Wavelength: 0.1225, GridCell: 0.5, SynthCache: synth, Steering: steer},
+		Tracker: tr, ClientQuota: 16,
+		Predict: true, PredictSigma: 4,
+	})
+	t.Cleanup(eng.Close)
+	pending := 3
+	return &ops.Server{
+		Engine: eng, SynthCache: synth, Steering: steer,
+		PendingClients: func() int { return pending },
+	}, eng, tr
+}
+
+// TestMetricsEndpoint: /metrics speaks Prometheus text format and
+// carries the engine, tracker, scheduler, and cache families.
+func TestMetricsEndpoint(t *testing.T) {
+	srv, _, _ := opsServer(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"# TYPE arraytrack_jobs_submitted_total counter",
+		"arraytrack_tracked_clients 2",
+		"arraytrack_pending_clients 3",
+		"arraytrack_synth_cache_budget_bytes 67108864",
+		"arraytrack_steering_cache_budget_bytes 33554432",
+		`arraytrack_predict_fallback_total{reason="no_track"}`,
+		"arraytrack_predict_sigma 4",
+		"arraytrack_client_quota 16",
+		"arraytrack_track_observed_total 16",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+}
+
+// TestClientIntrospection: /clients indexes live tracks and
+// /clients/{id} reports one client's smoothed state.
+func TestClientIntrospection(t *testing.T) {
+	srv, _, tr := opsServer(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/clients")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var index struct {
+		Clients []uint32 `json:"clients"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&index); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(index.Clients) != 2 || index.Clients[0] != 7 || index.Clients[1] != 9 {
+		t.Fatalf("client index = %v, want [7 9]", index.Clients)
+	}
+
+	resp, err = ts.Client().Get(ts.URL + "/clients/7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view struct {
+		ClientID uint32 `json:"client_id"`
+		Smoothed struct{ X, Y float64 }
+		Accepted bool `json:"accepted"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	want, _ := tr.Snapshot(7)
+	if view.ClientID != 7 || view.Smoothed.X != want.Smoothed.X || view.Accepted != want.Accepted {
+		t.Fatalf("client view %+v != snapshot %+v", view, want)
+	}
+
+	if resp, _ := ts.Client().Get(ts.URL + "/clients/999"); resp.StatusCode != 404 {
+		t.Fatalf("untracked client = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestKnobsApplyAndReadback: POST /knobs hot-reloads partial documents
+// and GET /knobs reads the live values back.
+func TestKnobsApplyAndReadback(t *testing.T) {
+	srv, eng, tr := opsServer(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	doc := `{"synth_cache_budget": 1048576, "client_quota": 4, "predict_sigma": 6, "track_ttl_ms": 5000}`
+	resp, err := ts.Client().Post(ts.URL+"/knobs", "application/json", strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var applied struct {
+		Applied []string `json:"applied"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&applied); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(applied.Applied) != 4 {
+		t.Fatalf("applied = %v, want 4 knobs", applied.Applied)
+	}
+	if b := srv.SynthCache.Budget(); b != 1<<20 {
+		t.Fatalf("synth budget = %d, want %d", b, 1<<20)
+	}
+	if q := eng.ClientQuota(); q != 4 {
+		t.Fatalf("client quota = %d, want 4", q)
+	}
+	if s := eng.PredictSigma(); s != 6 {
+		t.Fatalf("predict sigma = %v, want 6", s)
+	}
+	if ttl := tr.TTL(); ttl != 5*time.Second {
+		t.Fatalf("track TTL = %v, want 5s", ttl)
+	}
+
+	// Unnamed knobs stay put (partial update), and readback agrees.
+	resp, err = ts.Client().Get(ts.URL + "/knobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var live ops.Knobs
+	if err := json.NewDecoder(resp.Body).Decode(&live); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if live.SteeringCacheBudget == nil || *live.SteeringCacheBudget != 32<<20 {
+		t.Fatalf("steering budget changed by a document that did not name it: %+v", live.SteeringCacheBudget)
+	}
+	if live.ClientQuota == nil || *live.ClientQuota != 4 {
+		t.Fatalf("knobs readback quota = %+v, want 4", live.ClientQuota)
+	}
+
+	// Unknown fields are rejected — a typoed knob must not silently
+	// no-op.
+	resp, err = ts.Client().Post(ts.URL+"/knobs", "application/json", strings.NewReader(`{"clint_quota": 1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("typoed knob = %d, want 400", resp.StatusCode)
+	}
+}

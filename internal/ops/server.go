@@ -1,0 +1,199 @@
+package ops
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/geom"
+	"repro/internal/music"
+)
+
+// Server exposes a running engine's metrics, per-client track
+// introspection, and the hot-reloadable knobs over HTTP. Only Engine
+// is required; nil optional fields simply hide the corresponding
+// surface. All handlers are safe for concurrent use — they only touch
+// the engine's own concurrency-safe accessors.
+type Server struct {
+	// Engine is the serving engine. Required.
+	Engine *engine.Engine
+	// SynthCache and Steering are the caches the engine's config was
+	// built with; needed only for hot-reloading their budgets (the
+	// metrics come through engine.Stats either way).
+	SynthCache *core.SynthCache
+	Steering   *music.SteeringCache
+	// PendingClients, when non-nil, reports the backend's count of
+	// clients buffered below quorum (exported as a gauge).
+	PendingClients func() int
+}
+
+// Handler returns the ops mux:
+//
+//	GET  /metrics       Prometheus text exposition of every counter
+//	GET  /healthz       200 ok
+//	GET  /clients       JSON index of live tracked client IDs
+//	GET  /clients/{id}  one client's smoothed track state
+//	GET  /knobs         current values of the hot-reloadable knobs
+//	POST /knobs         apply a Knobs JSON document (partial updates)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /clients", s.handleClients)
+	mux.HandleFunc("GET /clients/{id}", s.handleClient)
+	mux.HandleFunc("GET /knobs", s.handleKnobsGet)
+	mux.HandleFunc("POST /knobs", s.handleKnobsPost)
+	return mux
+}
+
+// promWriter accumulates one Prometheus text-format exposition; the
+// hand-rolled writer keeps the repo dependency-free.
+type promWriter struct {
+	b strings.Builder
+}
+
+func (p *promWriter) counter(name, help string, v uint64) {
+	fmt.Fprintf(&p.b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+}
+
+func (p *promWriter) gauge(name, help string, v int64) {
+	fmt.Fprintf(&p.b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+}
+
+func (p *promWriter) gaugeF(name, help string, v float64) {
+	fmt.Fprintf(&p.b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := s.Engine.Stats()
+	var p promWriter
+
+	p.counter("arraytrack_jobs_submitted_total", "Jobs accepted into the scheduler (both lanes).", st.Submitted)
+	p.counter("arraytrack_jobs_priority_submitted_total", "Jobs accepted into the latency lane.", st.PrioritySubmitted)
+	p.counter("arraytrack_jobs_completed_total", "Jobs finished (fixes + failures).", st.Completed)
+	p.counter("arraytrack_fixes_total", "Successful localizations.", st.Fixes)
+	p.counter("arraytrack_failures_total", "Jobs that returned an error.", st.Failures)
+	p.counter("arraytrack_rejected_total", "Submissions refused (closed or quota).", st.Rejected)
+	p.counter("arraytrack_quota_rejected_total", "Submissions refused with the per-client quota.", st.QuotaRejected)
+	p.counter("arraytrack_sched_aged_batch_total", "Batch jobs served ahead of priority traffic after ageing out.", st.AgedBatch)
+	p.counter("arraytrack_sched_priority_stolen_total", "Priority jobs run inline at a batch synthesis yield point.", st.PriorityStolen)
+
+	p.counter("arraytrack_predicted_fixes_total", "Fixes served from the verified track-guided region.", st.Predicted)
+	for _, f := range []struct {
+		reason string
+		v      uint64
+	}{
+		{"no_track", st.PredictFallbackNoTrack},
+		{"border", st.PredictFallbackBorder},
+		{"gate", st.PredictFallbackGate},
+		{"error", st.PredictFallbackError},
+	} {
+		name := "arraytrack_predict_fallback_total"
+		if f.reason == "no_track" {
+			fmt.Fprintf(&p.b, "# HELP %s Predictive attempts that fell back to the full grid, by reason.\n# TYPE %s counter\n", name, name)
+		}
+		fmt.Fprintf(&p.b, "%s{reason=%q} %d\n", name, f.reason, f.v)
+	}
+
+	p.gauge("arraytrack_workers", "Localization worker pool size.", int64(st.Workers))
+	p.gauge("arraytrack_queue_depth", "Instantaneous batch lane depth.", int64(st.Queued))
+	p.gauge("arraytrack_priority_queue_depth", "Instantaneous latency lane depth.", int64(st.PriorityQueued))
+	p.gauge("arraytrack_tracked_clients", "Live client tracks.", int64(st.TrackedClients))
+	p.counter("arraytrack_track_gate_rejects_total", "Fixes discarded by the tracker's Mahalanobis gate.", st.TrackRejects)
+	if tr := s.Engine.Tracker(); tr != nil {
+		ts := tr.Stats()
+		p.counter("arraytrack_track_observed_total", "Fixes folded into client tracks.", ts.Observed)
+		p.counter("arraytrack_track_evicted_total", "Stale client tracks evicted.", ts.Evicted)
+	}
+	if s.PendingClients != nil {
+		p.gauge("arraytrack_pending_clients", "Clients buffered below capture quorum.", int64(s.PendingClients()))
+	}
+
+	p.gauge("arraytrack_synth_cache_entries", "Bearing LUTs held by the synthesis cache.", int64(st.SynthLUTs))
+	p.gauge("arraytrack_synth_cache_bytes", "Accounted synthesis cache size.", st.SynthBytes)
+	p.gauge("arraytrack_synth_cache_budget_bytes", "Synthesis cache byte budget (0 = unbounded).", st.SynthBudget)
+	p.counter("arraytrack_synth_cache_hits_total", "Synthesis cache lookup hits.", st.SynthHits)
+	p.counter("arraytrack_synth_cache_misses_total", "Synthesis cache lookup misses.", st.SynthMisses)
+	p.counter("arraytrack_synth_cache_evictions_total", "Synthesis cache evictions.", st.SynthEvictions)
+	p.counter("arraytrack_synth_cache_slices_total", "Region LUTs sliced from cached full-grid entries.", st.SynthSlices)
+
+	p.gauge("arraytrack_steering_cache_entries", "Steering tables held.", int64(st.SteeringTables))
+	p.gauge("arraytrack_steering_cache_bytes", "Accounted steering cache size.", st.SteeringBytes)
+	p.gauge("arraytrack_steering_cache_budget_bytes", "Steering cache byte budget (0 = unbounded).", st.SteeringBudget)
+	p.counter("arraytrack_steering_cache_hits_total", "Steering cache lookup hits.", st.SteeringHits)
+	p.counter("arraytrack_steering_cache_misses_total", "Steering cache lookup misses.", st.SteeringMisses)
+	p.counter("arraytrack_steering_cache_evictions_total", "Steering cache evictions.", st.SteeringEvictions)
+
+	p.gaugeF("arraytrack_predict_sigma", "Live predictive-region sigma (0 = predictive path disabled).", s.Engine.PredictSigma())
+	p.gauge("arraytrack_client_quota", "Per-client scheduler token budget (0 = unlimited).", int64(s.Engine.ClientQuota()))
+	p.gauge("arraytrack_age_limit_seconds", "Batch ageing bound in seconds (negative = disabled).", int64(s.Engine.AgeLimit()/time.Second))
+	if tr := s.Engine.Tracker(); tr != nil {
+		p.gauge("arraytrack_track_ttl_seconds", "Track eviction TTL in seconds (0 = disabled).", int64(tr.TTL()/time.Second))
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, p.b.String())
+}
+
+// clientView is the introspection JSON for one tracked client.
+type clientView struct {
+	ClientID uint32     `json:"client_id"`
+	Time     time.Time  `json:"time"`
+	Smoothed geom.Point `json:"smoothed"`
+	Vel      geom.Vec   `json:"vel"`
+	Accepted bool       `json:"accepted"`
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *Server) handleClients(w http.ResponseWriter, _ *http.Request) {
+	tr := s.Engine.Tracker()
+	if tr == nil {
+		http.Error(w, "no tracker configured", http.StatusNotFound)
+		return
+	}
+	ids := tr.Clients()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	writeJSON(w, struct {
+		Clients []uint32 `json:"clients"`
+	}{Clients: ids})
+}
+
+func (s *Server) handleClient(w http.ResponseWriter, r *http.Request) {
+	tr := s.Engine.Tracker()
+	if tr == nil {
+		http.Error(w, "no tracker configured", http.StatusNotFound)
+		return
+	}
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 32)
+	if err != nil {
+		http.Error(w, "bad client id", http.StatusBadRequest)
+		return
+	}
+	snap, ok := tr.Snapshot(uint32(id))
+	if !ok {
+		http.Error(w, "client not tracked", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, clientView{
+		ClientID: snap.ClientID,
+		Time:     snap.Time,
+		Smoothed: snap.Smoothed,
+		Vel:      snap.Vel,
+		Accepted: snap.Accepted,
+	})
+}

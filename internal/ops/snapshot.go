@@ -1,0 +1,96 @@
+// Package ops is the operational surface of an ArrayTrack deployment:
+// versioned snapshot/restore of tracker state (the restart and shard-
+// migration primitive), an HTTP metrics and introspection endpoint,
+// and hot-reload of the knobs that are safe to change on a serving
+// process. It exists so a long-lived arraytrack-server can be run like
+// a service — drained, restarted, and observed — without losing the
+// Kalman tracks that are the paper's headline output.
+package ops
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/engine"
+)
+
+// SnapshotVersion is the current on-disk snapshot format. Load refuses
+// files written by a different (future) version instead of guessing at
+// their layout.
+const SnapshotVersion = 1
+
+// ErrSnapshotVersion is wrapped by Load when the file's version does
+// not match SnapshotVersion.
+var ErrSnapshotVersion = errors.New("ops: unsupported snapshot version")
+
+// Snapshot is the on-disk restart image: every live client track,
+// serialized losslessly. encoding/json emits the shortest decimal that
+// round-trips each float64 exactly, so a restored filter's state is
+// bit-identical to the drained one — Predict after restore computes
+// exactly what the old process would have.
+type Snapshot struct {
+	Version       int                     `json:"version"`
+	SavedUnixNano int64                   `json:"saved_unix_nano"`
+	Tracks        []engine.ClientSnapshot `json:"tracks"`
+}
+
+// NewSnapshot stamps a snapshot of the tracker's live clients at the
+// given wall-clock time (UnixNano).
+func NewSnapshot(t *engine.Tracker, savedUnixNano int64) Snapshot {
+	return Snapshot{
+		Version:       SnapshotVersion,
+		SavedUnixNano: savedUnixNano,
+		Tracks:        t.SnapshotAll(),
+	}
+}
+
+// Save writes the snapshot atomically: a temp file in the target's
+// directory, fsynced, then renamed over the destination. A crash mid-
+// write leaves the previous snapshot intact, never a torn file.
+func Save(path string, s Snapshot) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Errorf("ops: marshal snapshot: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("ops: save snapshot: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("ops: save snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("ops: save snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("ops: save snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("ops: save snapshot: %w", err)
+	}
+	return nil
+}
+
+// Load reads and validates a snapshot written by Save.
+func Load(path string) (Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Snapshot{}, fmt.Errorf("ops: load snapshot: %w", err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Snapshot{}, fmt.Errorf("ops: load snapshot %s: %w", path, err)
+	}
+	if s.Version != SnapshotVersion {
+		return Snapshot{}, fmt.Errorf("%w: file %s has version %d, want %d",
+			ErrSnapshotVersion, path, s.Version, SnapshotVersion)
+	}
+	return s, nil
+}

@@ -188,6 +188,86 @@ func (f *Filter) PositionVariance() (vx, vy float64) {
 	return f.p[0], f.p[5]
 }
 
+// FilterState is the complete serializable state of a Filter: the
+// state vector, the full covariance, the noise/gate parameters, and
+// the accept/reject counters. It is the unit the engine's tracker
+// snapshot/restore (and the shard-migration path built on it) ships
+// across process boundaries; NewFilterFromState rebuilds a filter
+// whose every subsequent Predict/Update/PredictState is bit-identical
+// to the original's. All fields are plain numbers, so the struct
+// round-trips exactly through encoding/json (Go emits the shortest
+// decimal that parses back to the same float64).
+type FilterState struct {
+	// X is the state estimate [x, y, vx, vy].
+	X [4]float64 `json:"x"`
+	// P is the row-major 4×4 state covariance.
+	P [16]float64 `json:"p"`
+	// ProcessNoise, MeasNoise, Gate mirror the NewFilter parameters
+	// (post-clamping, so restoring never re-clamps a live value).
+	ProcessNoise float64 `json:"process_noise"`
+	MeasNoise    float64 `json:"meas_noise"`
+	Gate         float64 `json:"gate"`
+	// Initialized reports whether the first fix has been folded in.
+	Initialized bool `json:"initialized"`
+	// Accepts and Rejects are the gate counters.
+	Accepts int `json:"accepts"`
+	Rejects int `json:"rejects"`
+}
+
+// Snapshot captures the filter's complete state.
+func (f *Filter) Snapshot() FilterState {
+	return FilterState{
+		X:            f.x,
+		P:            f.p,
+		ProcessNoise: f.processNoise,
+		MeasNoise:    f.measNoise,
+		Gate:         f.gate,
+		Initialized:  f.initialized,
+		Accepts:      f.accepts,
+		Rejects:      f.rejects,
+	}
+}
+
+// Valid reports whether the state is restorable: finite numbers
+// everywhere and positive noise parameters. It rejects snapshots that
+// were corrupted in transit rather than trying to repair them.
+func (s FilterState) Valid() bool {
+	finite := func(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+	for _, v := range s.X {
+		if !finite(v) {
+			return false
+		}
+	}
+	for _, v := range s.P {
+		if !finite(v) {
+			return false
+		}
+	}
+	return finite(s.ProcessNoise) && s.ProcessNoise > 0 &&
+		finite(s.MeasNoise) && s.MeasNoise > 0 &&
+		finite(s.Gate) && s.Gate >= 0
+}
+
+// NewFilterFromState rebuilds a filter from a snapshot. The state is
+// copied verbatim — no clamping, no re-derivation — so predictions and
+// updates continue bit-identically from where the snapshotted filter
+// left off. It returns an error for states Valid rejects.
+func NewFilterFromState(s FilterState) (*Filter, error) {
+	if !s.Valid() {
+		return nil, errors.New("track: invalid filter state")
+	}
+	return &Filter{
+		x:            s.X,
+		p:            s.P,
+		processNoise: s.ProcessNoise,
+		measNoise:    s.MeasNoise,
+		gate:         s.Gate,
+		initialized:  s.Initialized,
+		accepts:      s.Accepts,
+		rejects:      s.Rejects,
+	}, nil
+}
+
 // Prediction is the filter's state extrapolated forward without a
 // measurement: where the next fix is expected and the innovation
 // covariance S = H(FPFᵀ+Q)Hᵀ + R it will be gated against. It is the

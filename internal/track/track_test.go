@@ -1,6 +1,7 @@
 package track
 
 import (
+	"encoding/json"
 	"math"
 	"math/rand"
 	"testing"
@@ -262,6 +263,97 @@ func TestCovarianceStaysSymmetricPositive(t *testing.T) {
 		vx, vy := f.PositionVariance()
 		if vx <= 0 || vy <= 0 || math.IsNaN(vx) || math.IsNaN(vy) {
 			t.Fatalf("variance degenerate at step %d: %v %v", i, vx, vy)
+		}
+	}
+}
+
+// TestFilterSnapshotRoundTripBitIdentical is the restore property
+// test: for random fix histories (including gated outliers and
+// degenerate dts), Snapshot → JSON → NewFilterFromState must yield a
+// filter whose predictions, state, and future updates are bit-for-bit
+// identical to the live one — a restarted server resumes tracks as if
+// it never died.
+func TestFilterSnapshotRoundTripBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 60; trial++ {
+		gate := float64(rng.Intn(4)) // 0 disables on some trials
+		f := NewFilter(0.2+rng.Float64()*2, 0.1+rng.Float64(), gate)
+		steps := 1 + rng.Intn(50)
+		for i := 0; i < steps; i++ {
+			fix := geom.Pt(rng.Float64()*40, rng.Float64()*16)
+			if rng.Intn(8) == 0 {
+				fix = geom.Pt(rng.Float64()*1e3, rng.Float64()*1e3) // outlier: exercise rejects
+			}
+			if _, err := f.Update(fix, rng.Float64()*2); err != nil {
+				t.Fatalf("trial %d step %d: %v", trial, i, err)
+			}
+		}
+
+		data, err := json.Marshal(f.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st FilterState
+		if err := json.Unmarshal(data, &st); err != nil {
+			t.Fatal(err)
+		}
+		g, err := NewFilterFromState(st)
+		if err != nil {
+			t.Fatalf("trial %d: restore rejected a live filter's snapshot: %v", trial, err)
+		}
+
+		if g.Accepted() != f.Accepted() || g.Rejected() != f.Rejected() || g.Gate() != f.Gate() {
+			t.Fatalf("trial %d: counters drifted across restore", trial)
+		}
+		for _, dt := range []float64{0, 0.37, 1.5, 10} {
+			pa, oka := f.PredictState(dt)
+			pb, okb := g.PredictState(dt)
+			if oka != okb || pa != pb {
+				t.Fatalf("trial %d dt=%v: restored prediction %+v != live %+v", trial, dt, pb, pa)
+			}
+		}
+
+		// The filters must also continue identically.
+		next := geom.Pt(rng.Float64()*40, rng.Float64()*16)
+		accA, errA := f.Update(next, 0.5)
+		accB, errB := g.Update(next, 0.5)
+		if accA != accB || (errA == nil) != (errB == nil) {
+			t.Fatalf("trial %d: post-restore update diverged: %v/%v vs %v/%v", trial, accA, errA, accB, errB)
+		}
+		pA, vA := f.State()
+		pB, vB := g.State()
+		if pA != pB || vA != vB {
+			t.Fatalf("trial %d: post-restore state %v %v != live %v %v", trial, pB, vB, pA, vA)
+		}
+		vxA, vyA := f.PositionVariance()
+		vxB, vyB := g.PositionVariance()
+		if vxA != vxB || vyA != vyB {
+			t.Fatalf("trial %d: post-restore variance diverged", trial)
+		}
+	}
+}
+
+// TestFilterStateValidation: restore refuses corrupted snapshots
+// (NaN/Inf fields, non-positive noise) instead of installing them.
+func TestFilterStateValidation(t *testing.T) {
+	f := NewFilter(1, 0.3, 4)
+	f.Update(geom.Pt(1, 2), 0)
+	good := f.Snapshot()
+	if !good.Valid() {
+		t.Fatal("live snapshot must validate")
+	}
+	cases := map[string]func(*FilterState){
+		"nan state":     func(s *FilterState) { s.X[2] = math.NaN() },
+		"inf cov":       func(s *FilterState) { s.P[0] = math.Inf(1) },
+		"zero process":  func(s *FilterState) { s.ProcessNoise = 0 },
+		"neg meas":      func(s *FilterState) { s.MeasNoise = -1 },
+		"negative gate": func(s *FilterState) { s.Gate = -2 },
+	}
+	for name, corrupt := range cases {
+		s := good
+		corrupt(&s)
+		if _, err := NewFilterFromState(s); err == nil {
+			t.Errorf("%s: corrupted snapshot restored without error", name)
 		}
 	}
 }
