@@ -38,6 +38,8 @@ func main() {
 	seed := flag.Int64("seed", 0, "noise seed (0 = derived from AP id)")
 	regionStr := flag.String("region", "", "ad-hoc search region minx,miny,maxx,maxy[,cell] to attach to the captures")
 	priority := flag.Bool("priority", false, "mark captures for the server's latency-priority lane")
+	batch := flag.Int("batch", 0, "upload v3 batch frames of up to this many captures (0 = per-record v1/v2)")
+	udp := flag.Bool("udp", false, "upload batch-frame datagrams over UDP instead of a TCP stream")
 	flag.Parse()
 
 	tb := testbed.New()
@@ -109,13 +111,26 @@ func main() {
 			*id, f+1, start, rec.SNRdB)
 	}
 
-	conn, err := net.Dial("tcp", *addr)
+	network := "tcp"
+	if *udp {
+		network = "udp"
+	}
+	conn, err := net.Dial(network, *addr)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer conn.Close()
-	if err := node.Upload(context.Background(), conn); err != nil {
+	ctx := context.Background()
+	switch {
+	case *udp:
+		err = node.UploadDatagrams(ctx, conn, server.MaxDatagramBytes)
+	case *batch > 0:
+		err = node.UploadBatch(ctx, conn, *batch)
+	default:
+		err = node.Upload(ctx, conn)
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("AP %d: uploaded %d frame(s) to %s", *id, *frames, *addr)
+	log.Printf("AP %d: uploaded %d frame(s) to %s over %s", *id, *frames, *addr, network)
 }

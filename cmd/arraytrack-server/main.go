@@ -76,6 +76,10 @@ func logStats(eng *engine.Engine, backend *server.Backend) {
 		st.SynthLUTs, st.SynthBytes, st.SynthBudget, st.SynthHits, st.SynthMisses, st.SynthEvictions, st.SynthSlices)
 	log.Printf("steering cache: entries=%d bytes=%d budget=%d hits=%d misses=%d evictions=%d",
 		st.SteeringTables, st.SteeringBytes, st.SteeringBudget, st.SteeringHits, st.SteeringMisses, st.SteeringEvictions)
+	if u := backend.UDP(); u.Datagrams > 0 || u.Bad > 0 {
+		log.Printf("udp feed: datagrams=%d captures=%d bad=%d seq_gaps=%d reorders=%d",
+			u.Datagrams, u.Captures, u.Bad, u.SeqGaps, u.SeqReorders)
+	}
 }
 
 func main() {
@@ -106,6 +110,8 @@ func main() {
 		"restore tracker state from this snapshot at startup (empty disables)")
 	knobsPath := flag.String("knobs", "",
 		"JSON knobs file applied at startup and re-applied on SIGHUP (empty disables)")
+	udpAddr := flag.String("udp", "",
+		"also accept batch-frame capture datagrams on this UDP address (empty disables)")
 	flag.Parse()
 
 	tb := testbed.New()
@@ -187,6 +193,19 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), shutdownSignals()...)
 	defer stop()
+
+	if *udpAddr != "" {
+		pc, err := net.ListenPacket("udp", *udpAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("UDP capture feed on %s (batch-frame datagrams)", pc.LocalAddr())
+		go func() {
+			if err := backend.ServeUDP(ctx, pc); err != nil && ctx.Err() == nil {
+				log.Printf("udp feed: %v", err)
+			}
+		}()
+	}
 
 	opsSrv := &ops.Server{
 		Engine:         eng,

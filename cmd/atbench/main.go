@@ -172,6 +172,16 @@ var experiments = []experiment{
 		r, _, err := tb.RunOps(opt)
 		return r, err
 	}},
+	{"ingest", "flood ingest: v3 batch + pooled decode vs seed per-record path", func(tb *testbed.Testbed, fast bool) (*testbed.Report, error) {
+		opt := testbed.DefaultIngestOptions()
+		if fast {
+			opt.Captures = 2048
+			opt.Trials = 3
+			opt.Shapes = []testbed.IngestShape{{Antennas: 8, Samples: 16}}
+			opt.BatchSizes = []int{32, 128}
+		}
+		return tb.RunIngest(opt)
+	}},
 	{"ablation", "pipeline ablations", func(tb *testbed.Testbed, fast bool) (*testbed.Report, error) {
 		opt := accuracyOpts(fast)
 		opt.APCounts = []int{3}

@@ -157,16 +157,22 @@ func (s *CaptureSink) Dispatch(clientID uint32, captures []server.Capture) {
 			at = newest[id]
 		}
 	}
-	deliver := func(r Result) {
+	// The sink owns the flushed captures (server.Dispatcher contract):
+	// their stream buffers may be borrowed from pooled ingest
+	// workspaces, and go back to the pool once the job that consumed
+	// them completes — the release hook of the zero-copy ingest path.
+	// finish runs exactly once per flush, on every path out.
+	finish := func(r Result) {
 		if s.OnResult != nil {
 			s.OnResult(r)
 		}
 		if s.OnTrack != nil && r.Track != nil {
 			s.OnTrack(*r.Track)
 		}
+		server.ReleaseAll(captures)
 	}
 	if len(aps) == 0 {
-		deliver(Result{ClientID: clientID, Err: ErrNoKnownAP})
+		finish(Result{ClientID: clientID, Err: ErrNoKnownAP})
 		return
 	}
 	if priority && !s.allowPriority(clientID, time.Now()) {
@@ -177,7 +183,7 @@ func (s *CaptureSink) Dispatch(clientID uint32, captures []server.Capture) {
 		Min: s.Min, Max: s.Max, Time: at,
 		Region: region, Priority: priority,
 	}
-	if err := s.Engine.Submit(req, deliver); err != nil {
-		deliver(Result{ClientID: clientID, Err: err})
+	if err := s.Engine.Submit(req, finish); err != nil {
+		finish(Result{ClientID: clientID, Err: err})
 	}
 }

@@ -1,0 +1,602 @@
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// Version 3 of the wire protocol amortizes the per-record framing cost
+// over a whole burst of captures: one length-prefixed frame carries up
+// to MaxBatchCaptures records, so the server ingests a burst with a
+// single ReadFull instead of two framed reads per capture, and the AP
+// ships it with a single Write (one syscall — the batched-RX idiom of
+// user-space fast paths, applied to the sample feed of §4.4).
+//
+//	frame header (12 bytes):
+//	  magic    uint32  'A''T' + version 3
+//	  bodyLen  uint32  bytes that follow the header
+//	  count    uint16  captures in the frame (1..MaxBatchCaptures)
+//	  reserved uint16  must be zero
+//	body (bodyLen bytes):
+//	  count sub-headers, back to back:
+//	    apID     uint32
+//	    clientID uint32
+//	    seq      uint32
+//	    tstampUS uint64
+//	    scale    float32
+//	    nAnt     uint16
+//	    nSamp    uint16
+//	    flags    uint8   bit0 = has region, bit1 = priority
+//	    region   5 × float64, present only when bit0 is set
+//	  contiguous payloads, capture order: nAnt × nSamp × (int16 I, int16 Q)
+//
+// The body length, capture count, sub-header dimensions, and payload
+// bytes must be mutually consistent to the byte — a lying count, an
+// oversized sub-header, or a truncated payload fails decode with
+// ErrBadFrame before any sample is touched. Decoding is zero-copy and
+// pooled: ReadBatchInto parses into an IngestWorkspace whose flat
+// sample backing and capture structs are reused frame after frame
+// (grown, never shrunk), and every decoded Capture carries a reference
+// on its workspace that the consumer drops with Release. Samples are
+// quantized and de-quantized with exactly the arithmetic of the v1
+// path, so batch-decoded streams are bit-identical to ReadCapture's.
+
+const (
+	// batchMagic tags a version-3 batch frame.
+	batchMagic = 0x41540003
+	// frameHeadSize is the fixed v3 frame header.
+	frameHeadSize = 12
+	// subHeadSize is the fixed part of one per-capture sub-header.
+	subHeadSize = 29
+	// regionBoxSize is the optional region extension of a sub-header
+	// (five float64 fields; the flags byte lives in the fixed part).
+	regionBoxSize = 5 * 8
+)
+
+// MaxBatchCaptures bounds the captures one frame may carry.
+const MaxBatchCaptures = 1024
+
+// MaxFrameBytes bounds a frame body when decoding untrusted input: a
+// hostile bodyLen can make the reader allocate at most this much.
+const MaxFrameBytes = 8 << 20
+
+// MaxDatagramBytes is the largest batch frame that fits a UDP
+// datagram (65535 minus the UDP/IP headers); UploadDatagrams packs
+// frames below it.
+const MaxDatagramBytes = 65507
+
+// ErrBadFrame means a v3 batch frame's header, sub-headers, and
+// payload do not describe the same bytes.
+var ErrBadFrame = fmt.Errorf("server: malformed batch frame")
+
+// batchMeta is per-capture decode scratch carried between the
+// sub-header pass and the sample pass.
+type batchMeta struct {
+	scale       float64
+	nAnt, nSamp int
+}
+
+// IngestWorkspace owns the reusable backing store for pooled decode:
+// one frame read buffer, one flat complex128 sample array sliced per
+// antenna, and the capture structs themselves. Workspaces are
+// refcounted — each decoded Capture holds one reference, dropped by
+// Capture.Release — and return to the package pool when the last
+// capture of a frame is released, so steady-state ingest recycles the
+// same few workspaces with no per-capture allocation. Buffers grow to
+// the largest frame seen and never shrink.
+type IngestWorkspace struct {
+	head     [frameHeadSize]byte
+	frame    []byte
+	samples  []complex128
+	streams  [][]complex128
+	captures []Capture
+	meta     []batchMeta
+	refs     atomic.Int32
+}
+
+var ingestPool = sync.Pool{New: func() any { return new(IngestWorkspace) }}
+
+// dequantLUT maps raw int16 bits to float64(int16)/32767 — each entry
+// is exactly the quotient ReadCapture computes, so pooled decode
+// multiplied by the record scale stays bit-identical to the v1 path
+// while skipping a float division per component (the hottest operation
+// in the batched ingest profile; 512 KiB, built once).
+var dequantLUT [1 << 16]float64
+
+func init() {
+	for u := 0; u < 1<<16; u++ {
+		dequantLUT[u] = float64(int16(u)) / 32767
+	}
+}
+
+// dequantRow fills row from raw big-endian int16 I/Q pairs, two
+// samples per 8-byte load. Bit-identical to the v1 expression
+// complex(float64(i16)/32767*scale, float64(q16)/32767*scale).
+func dequantRow(row []complex128, raw []byte, scale float64) {
+	// Slice-advance so the compiler proves every index in bounds once
+	// per iteration; each 16-byte load covers four samples.
+	for len(row) >= 4 && len(raw) >= 16 {
+		v0 := binary.BigEndian.Uint64(raw)
+		v1 := binary.BigEndian.Uint64(raw[8:])
+		row[0] = complex(dequantLUT[uint16(v0>>48)]*scale, dequantLUT[uint16(v0>>32)]*scale)
+		row[1] = complex(dequantLUT[uint16(v0>>16)]*scale, dequantLUT[uint16(v0)]*scale)
+		row[2] = complex(dequantLUT[uint16(v1>>48)]*scale, dequantLUT[uint16(v1>>32)]*scale)
+		row[3] = complex(dequantLUT[uint16(v1>>16)]*scale, dequantLUT[uint16(v1)]*scale)
+		row = row[4:]
+		raw = raw[16:]
+	}
+	for len(row) >= 1 && len(raw) >= 4 {
+		v := binary.BigEndian.Uint32(raw)
+		row[0] = complex(dequantLUT[uint16(v>>16)]*scale, dequantLUT[uint16(v)]*scale)
+		row = row[1:]
+		raw = raw[4:]
+	}
+}
+
+// GetIngestWorkspace fetches a workspace from the package pool. Pass
+// it to ReadCaptureInto / ReadBatchInto / ReadFrameInto /
+// DecodeDatagramInto; on success the workspace belongs to the decoded
+// captures (drop it by Releasing each of them), on failure hand it
+// back with Discard.
+func GetIngestWorkspace() *IngestWorkspace { return ingestPool.Get().(*IngestWorkspace) }
+
+// Discard returns a workspace no captures were decoded into. Calling
+// it after a successful decode corrupts the pool; use Capture.Release
+// instead.
+func (ws *IngestWorkspace) Discard() { ingestPool.Put(ws) }
+
+func (ws *IngestWorkspace) release() {
+	if ws.refs.Add(-1) == 0 {
+		ingestPool.Put(ws)
+	}
+}
+
+// Release returns the capture's decode buffers to their workspace
+// pool. Captures decoded by the pooled readers borrow their Streams
+// memory from an IngestWorkspace; whoever consumes a capture (the
+// quorum flush's Dispatcher, or the backend itself for stale drops and
+// inline Locate) must call Release exactly once when the samples are
+// no longer needed. Copies of a Capture share the underlying
+// reference, so release each logical capture once, not each copy. On
+// captures from the plain allocating readers it is a no-op.
+func (c *Capture) Release() {
+	if o := c.owner; o != nil {
+		c.owner = nil
+		o.release()
+	}
+}
+
+// ReleaseAll releases every capture in the slice.
+func ReleaseAll(caps []Capture) {
+	for i := range caps {
+		caps[i].Release()
+	}
+}
+
+// parseFrameHead validates the 8 post-magic frame header bytes.
+func parseFrameHead(head []byte) (bodyLen, count int, err error) {
+	bodyLen = int(binary.BigEndian.Uint32(head[4:]))
+	count = int(binary.BigEndian.Uint16(head[8:]))
+	if reserved := binary.BigEndian.Uint16(head[10:]); reserved != 0 {
+		return 0, 0, fmt.Errorf("%w: reserved bits %#x", ErrBadFrame, reserved)
+	}
+	if count == 0 || count > MaxBatchCaptures {
+		return 0, 0, fmt.Errorf("%w: %d captures per frame", ErrTooLarge, count)
+	}
+	if bodyLen > MaxFrameBytes {
+		return 0, 0, fmt.Errorf("%w: %d-byte frame body", ErrTooLarge, bodyLen)
+	}
+	// Every capture needs its fixed sub-header plus at least one
+	// 4-byte sample.
+	if bodyLen < count*(subHeadSize+4) {
+		return 0, 0, fmt.Errorf("%w: %d-byte body cannot hold %d captures", ErrBadFrame, bodyLen, count)
+	}
+	return bodyLen, count, nil
+}
+
+// decodeBatchBody parses a frame body (sub-headers plus contiguous
+// payload) into ws and returns ws's captures. No reference to body is
+// retained — samples are decoded into the workspace's own backing —
+// so body may be a reused read buffer or a UDP datagram.
+func decodeBatchBody(body []byte, count int, ws *IngestWorkspace) ([]Capture, error) {
+	if cap(ws.captures) < count {
+		ws.captures = make([]Capture, count)
+	}
+	if cap(ws.meta) < count {
+		ws.meta = make([]batchMeta, count)
+	}
+	ws.captures = ws.captures[:count]
+	caps := ws.captures
+	meta := ws.meta[:count]
+
+	// Pass 1: sub-headers. Dimensions and regions are validated here,
+	// before any sample work, so a hostile frame costs O(count).
+	off := 0
+	totalSamp, totalAnt := 0, 0
+	for i := 0; i < count; i++ {
+		if len(body)-off < subHeadSize {
+			return nil, fmt.Errorf("%w: truncated sub-header %d", ErrBadFrame, i)
+		}
+		sub := body[off : off+subHeadSize]
+		off += subHeadSize
+		nAnt := int(binary.BigEndian.Uint16(sub[24:]))
+		nSamp := int(binary.BigEndian.Uint16(sub[26:]))
+		if nAnt == 0 || nAnt > MaxAntennas || nSamp == 0 || nSamp > MaxSamples {
+			return nil, fmt.Errorf("%w: capture %d declares %d×%d", ErrTooLarge, i, nAnt, nSamp)
+		}
+		flags := sub[28]
+		if flags&^(flagHasRegion|flagPriority) != 0 {
+			return nil, fmt.Errorf("%w: unknown flags %#x", ErrBadRegion, flags)
+		}
+		caps[i] = Capture{
+			APID:      binary.BigEndian.Uint32(sub[0:]),
+			ClientID:  binary.BigEndian.Uint32(sub[4:]),
+			Seq:       binary.BigEndian.Uint32(sub[8:]),
+			Timestamp: time.UnixMicro(int64(binary.BigEndian.Uint64(sub[12:]))).UTC(),
+			Priority:  flags&flagPriority != 0,
+		}
+		if flags&flagHasRegion != 0 {
+			if len(body)-off < regionBoxSize {
+				return nil, fmt.Errorf("%w: truncated region on capture %d", ErrBadFrame, i)
+			}
+			box := body[off : off+regionBoxSize]
+			off += regionBoxSize
+			region := core.Region{
+				Min:  geom.Pt(math.Float64frombits(binary.BigEndian.Uint64(box[0:])), math.Float64frombits(binary.BigEndian.Uint64(box[8:]))),
+				Max:  geom.Pt(math.Float64frombits(binary.BigEndian.Uint64(box[16:])), math.Float64frombits(binary.BigEndian.Uint64(box[24:]))),
+				Cell: math.Float64frombits(binary.BigEndian.Uint64(box[32:])),
+			}
+			if region.IsZero() {
+				return nil, fmt.Errorf("%w: region flag set on zero box", ErrBadRegion)
+			}
+			if err := region.Validate(); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadRegion, err)
+			}
+			caps[i].Region = region
+		}
+		meta[i] = batchMeta{
+			scale: float64(math.Float32frombits(binary.BigEndian.Uint32(sub[20:]))),
+			nAnt:  nAnt, nSamp: nSamp,
+		}
+		totalSamp += nAnt * nSamp
+		totalAnt += nAnt
+	}
+	payload := body[off:]
+	if len(payload) != totalSamp*4 {
+		return nil, fmt.Errorf("%w: %d payload bytes for %d declared samples", ErrBadFrame, len(payload), totalSamp)
+	}
+
+	// Pass 2: samples, decoded into the workspace's flat backing and
+	// sliced per antenna — the same de-quantization expression as
+	// ReadCapture, so the streams are bit-identical.
+	if cap(ws.samples) < totalSamp {
+		ws.samples = make([]complex128, totalSamp)
+	}
+	if cap(ws.streams) < totalAnt {
+		ws.streams = make([][]complex128, totalAnt)
+	}
+	samples := ws.samples[:totalSamp]
+	streams := ws.streams[:totalAnt]
+	po, so, ao := 0, 0, 0
+	for i := range caps {
+		m := &meta[i]
+		st := streams[ao : ao+m.nAnt : ao+m.nAnt]
+		ao += m.nAnt
+		for a := 0; a < m.nAnt; a++ {
+			row := samples[so : so+m.nSamp : so+m.nSamp]
+			so += m.nSamp
+			dequantRow(row, payload[po:po+4*m.nSamp], m.scale)
+			po += 4 * m.nSamp
+			st[a] = row
+		}
+		caps[i].Streams = st
+		caps[i].owner = ws
+	}
+	ws.refs.Store(int32(count))
+	return caps, nil
+}
+
+// readBatchBody reads and decodes a frame whose magic has already been
+// consumed into ws.head[:4].
+func readBatchBody(r io.Reader, ws *IngestWorkspace) ([]Capture, error) {
+	if _, err := io.ReadFull(r, ws.head[4:frameHeadSize]); err != nil {
+		return nil, fmt.Errorf("server: short frame header: %w", err)
+	}
+	bodyLen, count, err := parseFrameHead(ws.head[:])
+	if err != nil {
+		return nil, err
+	}
+	if cap(ws.frame) < bodyLen {
+		ws.frame = make([]byte, bodyLen)
+	}
+	body := ws.frame[:bodyLen]
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("server: short frame body: %w", err)
+	}
+	return decodeBatchBody(body, count, ws)
+}
+
+// readCaptureBody decodes one v1/v2 record whose magic has already
+// been consumed, into ws (zero-copy pooled variant of ReadCapture).
+func readCaptureBody(r io.Reader, magic uint32, ws *IngestWorkspace) (*Capture, error) {
+	// The fixed header tail, the optional region extension, and the
+	// payload all stage through ws.frame.
+	if cap(ws.frame) < 28+regionExtSize {
+		ws.frame = make([]byte, 28+regionExtSize)
+	}
+	head := ws.frame[:28]
+	if _, err := io.ReadFull(r, head); err != nil {
+		return nil, fmt.Errorf("server: short header: %w", err)
+	}
+	if cap(ws.captures) < 1 {
+		ws.captures = make([]Capture, 1)
+	}
+	ws.captures = ws.captures[:1]
+	c := &ws.captures[0]
+	*c = Capture{
+		APID:      binary.BigEndian.Uint32(head[0:]),
+		ClientID:  binary.BigEndian.Uint32(head[4:]),
+		Seq:       binary.BigEndian.Uint32(head[8:]),
+		Timestamp: time.UnixMicro(int64(binary.BigEndian.Uint64(head[12:]))).UTC(),
+	}
+	scale := float64(math.Float32frombits(binary.BigEndian.Uint32(head[20:])))
+	nAnt := int(binary.BigEndian.Uint16(head[24:]))
+	nSamp := int(binary.BigEndian.Uint16(head[26:]))
+	if nAnt == 0 || nAnt > MaxAntennas || nSamp == 0 || nSamp > MaxSamples {
+		return nil, ErrTooLarge
+	}
+	if magic == protocolMagicV2 {
+		ext := ws.frame[28 : 28+regionExtSize]
+		if _, err := io.ReadFull(r, ext); err != nil {
+			return nil, fmt.Errorf("server: short region extension: %w", err)
+		}
+		flags := ext[0]
+		if flags&^(flagHasRegion|flagPriority) != 0 {
+			return nil, fmt.Errorf("%w: unknown flags %#x", ErrBadRegion, flags)
+		}
+		c.Priority = flags&flagPriority != 0
+		region := core.Region{
+			Min:  geom.Pt(math.Float64frombits(binary.BigEndian.Uint64(ext[1:])), math.Float64frombits(binary.BigEndian.Uint64(ext[9:]))),
+			Max:  geom.Pt(math.Float64frombits(binary.BigEndian.Uint64(ext[17:])), math.Float64frombits(binary.BigEndian.Uint64(ext[25:]))),
+			Cell: math.Float64frombits(binary.BigEndian.Uint64(ext[33:])),
+		}
+		if flags&flagHasRegion != 0 {
+			if region.IsZero() {
+				return nil, fmt.Errorf("%w: region flag set on zero box", ErrBadRegion)
+			}
+			if err := region.Validate(); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadRegion, err)
+			}
+			c.Region = region
+		} else if region != (core.Region{}) {
+			return nil, fmt.Errorf("%w: region bytes without region flag", ErrBadRegion)
+		}
+	}
+	payloadLen := nAnt * nSamp * 4
+	if cap(ws.frame) < payloadLen {
+		ws.frame = make([]byte, payloadLen)
+	}
+	payload := ws.frame[:payloadLen]
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("server: short payload: %w", err)
+	}
+	if cap(ws.samples) < nAnt*nSamp {
+		ws.samples = make([]complex128, nAnt*nSamp)
+	}
+	if cap(ws.streams) < nAnt {
+		ws.streams = make([][]complex128, nAnt)
+	}
+	samples := ws.samples[:nAnt*nSamp]
+	streams := ws.streams[:nAnt:nAnt]
+	for a := 0; a < nAnt; a++ {
+		row := samples[a*nSamp : (a+1)*nSamp : (a+1)*nSamp]
+		dequantRow(row, payload[a*nSamp*4:(a+1)*nSamp*4], scale)
+		streams[a] = row
+	}
+	c.Streams = streams
+	c.owner = ws
+	ws.refs.Store(1)
+	return c, nil
+}
+
+// readMagic consumes the 4-byte version tag, passing a clean EOF
+// through unchanged.
+func readMagic(r io.Reader, ws *IngestWorkspace) (uint32, error) {
+	if _, err := io.ReadFull(r, ws.head[:4]); err != nil {
+		if err == io.EOF {
+			return 0, io.EOF
+		}
+		return 0, fmt.Errorf("server: short header: %w", err)
+	}
+	return binary.BigEndian.Uint32(ws.head[:4]), nil
+}
+
+// ReadCaptureInto decodes one v1/v2 record from r into ws — the
+// pooled, zero-copy variant of ReadCapture (bit-identical streams).
+// On success the returned capture owns ws; drop it with Release. On
+// error (and clean EOF) the caller keeps ws and should Discard it.
+func ReadCaptureInto(r io.Reader, ws *IngestWorkspace) (*Capture, error) {
+	magic, err := readMagic(r, ws)
+	if err != nil {
+		return nil, err
+	}
+	if magic != protocolMagic && magic != protocolMagicV2 {
+		return nil, ErrBadMagic
+	}
+	return readCaptureBody(r, magic, ws)
+}
+
+// ReadBatchInto decodes one v3 batch frame from r into ws. On success
+// the returned captures collectively own ws — Release every one when
+// consumed. On error the caller keeps ws and should Discard it.
+func ReadBatchInto(r io.Reader, ws *IngestWorkspace) ([]Capture, error) {
+	magic, err := readMagic(r, ws)
+	if err != nil {
+		return nil, err
+	}
+	if magic != batchMagic {
+		return nil, ErrBadMagic
+	}
+	return readBatchBody(r, ws)
+}
+
+// ReadFrameInto decodes whatever the stream carries next — a v1/v2
+// single record or a v3 batch frame — into ws. The mixed-version
+// reader behind ServeConn: existing per-record writers and batch
+// writers share one port. Ownership is as in ReadBatchInto.
+func ReadFrameInto(r io.Reader, ws *IngestWorkspace) ([]Capture, error) {
+	magic, err := readMagic(r, ws)
+	if err != nil {
+		return nil, err
+	}
+	switch magic {
+	case protocolMagic, protocolMagicV2:
+		if _, err := readCaptureBody(r, magic, ws); err != nil {
+			return nil, err
+		}
+		return ws.captures[:1], nil
+	case batchMagic:
+		return readBatchBody(r, ws)
+	default:
+		return nil, ErrBadMagic
+	}
+}
+
+// DecodeDatagramInto decodes one UDP datagram holding exactly one v3
+// batch frame. The datagram buffer may be reused immediately after
+// return — samples are copied into ws. Ownership is as in
+// ReadBatchInto.
+func DecodeDatagramInto(data []byte, ws *IngestWorkspace) ([]Capture, error) {
+	if len(data) < frameHeadSize {
+		return nil, fmt.Errorf("%w: %d-byte datagram", ErrBadFrame, len(data))
+	}
+	if binary.BigEndian.Uint32(data[0:]) != batchMagic {
+		return nil, ErrBadMagic
+	}
+	bodyLen, count, err := parseFrameHead(data[:frameHeadSize])
+	if err != nil {
+		return nil, err
+	}
+	// A datagram is self-delimiting: the frame must fill it exactly.
+	if bodyLen != len(data)-frameHeadSize {
+		return nil, fmt.Errorf("%w: bodyLen %d in %d-byte datagram", ErrBadFrame, bodyLen, len(data))
+	}
+	return decodeBatchBody(data[frameHeadSize:], count, ws)
+}
+
+// subSizeOf returns capture c's sub-header size on the wire.
+func subSizeOf(c *Capture) int {
+	if !c.Region.IsZero() {
+		return subHeadSize + regionBoxSize
+	}
+	return subHeadSize
+}
+
+// BatchFrameSize returns the exact on-wire bytes of a v3 frame
+// carrying caps — the planning quantity for datagram packing.
+func BatchFrameSize(caps []Capture) int {
+	size := frameHeadSize
+	for i := range caps {
+		c := &caps[i]
+		size += subSizeOf(c) + len(c.Streams)*len(c.Streams[0])*4
+	}
+	return size
+}
+
+// AppendBatch appends one v3 batch frame carrying caps to dst and
+// returns the extended slice. Callers reusing dst encode with zero
+// per-frame allocations.
+func AppendBatch(dst []byte, caps []Capture) ([]byte, error) {
+	n := len(caps)
+	if n == 0 || n > MaxBatchCaptures {
+		return dst, fmt.Errorf("%w: %d captures per frame", ErrTooLarge, n)
+	}
+	// Size the sub-header block first so payloads can append behind
+	// it; dimensions and regions are validated before a byte lands.
+	subTotal, payloadTotal := 0, 0
+	for i := range caps {
+		c := &caps[i]
+		nAnt := len(c.Streams)
+		if nAnt == 0 || nAnt > MaxAntennas {
+			return dst, fmt.Errorf("%w: %d antennas", ErrTooLarge, nAnt)
+		}
+		nSamp := len(c.Streams[0])
+		if nSamp == 0 || nSamp > MaxSamples {
+			return dst, fmt.Errorf("%w: %d samples", ErrTooLarge, nSamp)
+		}
+		if !c.Region.IsZero() {
+			if err := c.Region.Validate(); err != nil {
+				return dst, fmt.Errorf("%w: %v", ErrBadRegion, err)
+			}
+		}
+		subTotal += subSizeOf(c)
+		payloadTotal += nAnt * nSamp * 4
+	}
+	bodyLen := subTotal + payloadTotal
+	if bodyLen > MaxFrameBytes {
+		return dst, fmt.Errorf("%w: %d-byte frame body", ErrTooLarge, bodyLen)
+	}
+	base := len(dst)
+	dst = growSlice(dst, frameHeadSize+subTotal)
+	binary.BigEndian.PutUint32(dst[base:], batchMagic)
+	binary.BigEndian.PutUint32(dst[base+4:], uint32(bodyLen))
+	binary.BigEndian.PutUint16(dst[base+8:], uint16(n))
+	binary.BigEndian.PutUint16(dst[base+10:], 0)
+	off := base + frameHeadSize
+	for i := range caps {
+		c := &caps[i]
+		nAnt, nSamp, peak, err := captureDims(c)
+		if err != nil {
+			return dst, err
+		}
+		sub := dst[off : off+subHeadSize]
+		binary.BigEndian.PutUint32(sub[0:], c.APID)
+		binary.BigEndian.PutUint32(sub[4:], c.ClientID)
+		binary.BigEndian.PutUint32(sub[8:], c.Seq)
+		binary.BigEndian.PutUint64(sub[12:], uint64(c.Timestamp.UnixMicro()))
+		binary.BigEndian.PutUint32(sub[20:], math.Float32bits(float32(peak)))
+		binary.BigEndian.PutUint16(sub[24:], uint16(nAnt))
+		binary.BigEndian.PutUint16(sub[26:], uint16(nSamp))
+		var flags byte
+		if !c.Region.IsZero() {
+			flags |= flagHasRegion
+		}
+		if c.Priority {
+			flags |= flagPriority
+		}
+		sub[28] = flags
+		off += subHeadSize
+		if flags&flagHasRegion != 0 {
+			box := dst[off : off+regionBoxSize]
+			binary.BigEndian.PutUint64(box[0:], math.Float64bits(c.Region.Min.X))
+			binary.BigEndian.PutUint64(box[8:], math.Float64bits(c.Region.Min.Y))
+			binary.BigEndian.PutUint64(box[16:], math.Float64bits(c.Region.Max.X))
+			binary.BigEndian.PutUint64(box[24:], math.Float64bits(c.Region.Max.Y))
+			binary.BigEndian.PutUint64(box[32:], math.Float64bits(c.Region.Cell))
+			off += regionBoxSize
+		}
+		dst = appendPayload(dst, c, peak, nAnt, nSamp)
+	}
+	return dst, nil
+}
+
+// WriteBatch encodes caps as one v3 batch frame and writes it with a
+// single Write call — one syscall per burst, from a pooled buffer.
+func WriteBatch(w io.Writer, caps []Capture) error {
+	bp := encodeBufPool.Get().(*[]byte)
+	buf, err := AppendBatch((*bp)[:0], caps)
+	if err == nil {
+		_, err = w.Write(buf)
+	}
+	*bp = buf
+	encodeBufPool.Put(bp)
+	return err
+}

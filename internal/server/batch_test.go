@@ -1,0 +1,726 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// batchCapture builds one randomized capture with optional v2
+// metadata for the differential tests.
+func batchCapture(rng *rand.Rand, nAnt, nSamp int, withRegion, priority bool) Capture {
+	c := Capture{
+		APID:      rng.Uint32(),
+		ClientID:  rng.Uint32(),
+		Seq:       rng.Uint32(),
+		Timestamp: time.UnixMicro(1700000000000000 + rng.Int63n(1e9)).UTC(),
+		Priority:  priority,
+		Streams:   make([][]complex128, nAnt),
+	}
+	if withRegion {
+		c.Region = core.Region{Min: geom.Pt(1, 2), Max: geom.Pt(9, 8.5), Cell: 0.25}
+	}
+	for a := range c.Streams {
+		st := make([]complex128, nSamp)
+		for s := range st {
+			st[s] = complex(rng.NormFloat64(), rng.NormFloat64()) * 2e-3
+		}
+		c.Streams[a] = st
+	}
+	return c
+}
+
+// sameBits reports whether two streams carry bit-identical samples.
+func sameBits(a, b [][]complex128) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if math.Float64bits(real(a[i][j])) != math.Float64bits(real(b[i][j])) ||
+				math.Float64bits(imag(a[i][j])) != math.Float64bits(imag(b[i][j])) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestBatchDifferentialBitIdentical pins the batch decoder to the v1
+// path: the same captures shipped per-record through WriteCapture →
+// ReadCapture and as one v3 frame through WriteBatch → ReadBatchInto
+// must decode to bit-identical streams and equal metadata.
+func TestBatchDifferentialBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(6)
+		caps := make([]Capture, n)
+		for i := range caps {
+			caps[i] = batchCapture(rng, 1+rng.Intn(8), 1+rng.Intn(32), rng.Intn(3) == 0, rng.Intn(3) == 0)
+		}
+
+		// Reference: the seed's per-record round trip.
+		var perRecord bytes.Buffer
+		for i := range caps {
+			if err := WriteCapture(&perRecord, &caps[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want := make([]*Capture, n)
+		for i := range want {
+			c, err := ReadCapture(&perRecord)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[i] = c
+		}
+
+		// Batch: one frame, pooled decode.
+		var frame bytes.Buffer
+		if err := WriteBatch(&frame, caps); err != nil {
+			t.Fatal(err)
+		}
+		ws := GetIngestWorkspace()
+		got, err := ReadBatchInto(bytes.NewReader(frame.Bytes()), ws)
+		if err != nil {
+			ws.Discard()
+			t.Fatal(err)
+		}
+		if len(got) != n {
+			t.Fatalf("trial %d: decoded %d captures, want %d", trial, len(got), n)
+		}
+		for i := range got {
+			g, w := &got[i], want[i]
+			if g.APID != w.APID || g.ClientID != w.ClientID || g.Seq != w.Seq ||
+				!g.Timestamp.Equal(w.Timestamp) || g.Region != w.Region || g.Priority != w.Priority {
+				t.Fatalf("trial %d capture %d: metadata mismatch\n got %+v\nwant %+v", trial, i, g, w)
+			}
+			if !sameBits(g.Streams, w.Streams) {
+				t.Fatalf("trial %d capture %d: streams not bit-identical to ReadCapture", trial, i)
+			}
+		}
+		ReleaseAll(got)
+	}
+}
+
+// TestReadCaptureIntoDifferential pins the pooled single-record reader
+// to ReadCapture the same way.
+func TestReadCaptureIntoDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		c := batchCapture(rng, 1+rng.Intn(8), 1+rng.Intn(32), trial%3 == 0, trial%4 == 0)
+		var buf bytes.Buffer
+		if err := WriteCapture(&buf, &c); err != nil {
+			t.Fatal(err)
+		}
+		want, err := ReadCapture(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws := GetIngestWorkspace()
+		got, err := ReadCaptureInto(bytes.NewReader(buf.Bytes()), ws)
+		if err != nil {
+			ws.Discard()
+			t.Fatal(err)
+		}
+		if got.APID != want.APID || got.ClientID != want.ClientID || got.Seq != want.Seq ||
+			!got.Timestamp.Equal(want.Timestamp) || got.Region != want.Region || got.Priority != want.Priority {
+			t.Fatalf("trial %d: metadata mismatch", trial)
+		}
+		if !sameBits(got.Streams, want.Streams) {
+			t.Fatalf("trial %d: streams not bit-identical", trial)
+		}
+		got.Release()
+	}
+}
+
+// TestReadFrameIntoMixedStream drives the version-dispatching reader
+// over a stream mixing v1, v3, and v2 framing — the ServeConn fast
+// path accepting old and new writers on one port.
+func TestReadFrameIntoMixedStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	single := batchCapture(rng, 2, 4, false, false)
+	v2 := batchCapture(rng, 3, 5, true, true)
+	batch := []Capture{
+		batchCapture(rng, 2, 8, false, false),
+		batchCapture(rng, 4, 2, true, false),
+		batchCapture(rng, 1, 16, false, true),
+	}
+	var stream bytes.Buffer
+	if err := WriteCapture(&stream, &single); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBatch(&stream, batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCapture(&stream, &v2); err != nil {
+		t.Fatal(err)
+	}
+	r := bytes.NewReader(stream.Bytes())
+	var decoded []Capture
+	for {
+		ws := GetIngestWorkspace()
+		caps, err := ReadFrameInto(r, ws)
+		if err != nil {
+			ws.Discard()
+			if err == io.EOF {
+				break
+			}
+			t.Fatal(err)
+		}
+		for i := range caps {
+			// Retain past the workspace: deep-copy like a real consumer.
+			cp := caps[i]
+			cp.Streams = append([][]complex128(nil), cp.Streams...)
+			for a := range cp.Streams {
+				cp.Streams[a] = append([]complex128(nil), cp.Streams[a]...)
+			}
+			decoded = append(decoded, cp)
+		}
+		ReleaseAll(caps)
+	}
+	if len(decoded) != 5 {
+		t.Fatalf("decoded %d captures, want 5", len(decoded))
+	}
+	wantOrder := []uint32{single.Seq, batch[0].Seq, batch[1].Seq, batch[2].Seq, v2.Seq}
+	for i, w := range wantOrder {
+		if decoded[i].Seq != w {
+			t.Errorf("capture %d: seq %d, want %d", i, decoded[i].Seq, w)
+		}
+	}
+	if decoded[4].Region.IsZero() || !decoded[4].Priority {
+		t.Error("v2 record lost its region or priority flag")
+	}
+}
+
+// mustFrame encodes caps as one v3 frame.
+func mustFrame(tb testing.TB, caps []Capture) []byte {
+	tb.Helper()
+	out, err := AppendBatch(nil, caps)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return out
+}
+
+// decodeBatch runs the stream batch reader over data with a throwaway
+// workspace, releasing on success.
+func decodeBatch(data []byte) error {
+	ws := GetIngestWorkspace()
+	caps, err := ReadBatchInto(bytes.NewReader(data), ws)
+	if err != nil {
+		ws.Discard()
+		return err
+	}
+	ReleaseAll(caps)
+	return nil
+}
+
+// TestBatchRejects feeds the decoder frames whose header, sub-headers,
+// and payload disagree: every case must error — never panic, never
+// decode.
+func TestBatchRejects(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	valid := mustFrame(t, []Capture{
+		batchCapture(rng, 2, 3, false, false),
+		batchCapture(rng, 2, 3, false, false),
+	})
+	if err := decodeBatch(valid); err != nil {
+		t.Fatalf("valid frame rejected: %v", err)
+	}
+	mut := func(f func(d []byte)) []byte {
+		d := append([]byte(nil), valid...)
+		f(d)
+		return d
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want error // nil: any error accepted
+	}{
+		{"truncated header", valid[:8], nil},
+		{"truncated body", valid[:len(valid)-5], nil},
+		{"reserved bits", mut(func(d []byte) { d[10] = 1 }), ErrBadFrame},
+		{"zero count", mut(func(d []byte) { binary.BigEndian.PutUint16(d[8:], 0) }), ErrTooLarge},
+		{"count over limit", mut(func(d []byte) { binary.BigEndian.PutUint16(d[8:], MaxBatchCaptures+1) }), ErrTooLarge},
+		{"count lies high", mut(func(d []byte) { binary.BigEndian.PutUint16(d[8:], 3) }), nil},
+		{"count lies low", mut(func(d []byte) { binary.BigEndian.PutUint16(d[8:], 1) }), ErrBadFrame},
+		{"oversized antennas", mut(func(d []byte) { binary.BigEndian.PutUint16(d[12+24:], 0xFFFF) }), ErrTooLarge},
+		{"oversized samples", mut(func(d []byte) { binary.BigEndian.PutUint16(d[12+26:], 0xFFFF) }), ErrTooLarge},
+		{"unknown sub flags", mut(func(d []byte) { d[12+28] = 0x80 }), ErrBadRegion},
+		{"payload accounting", mut(func(d []byte) { binary.BigEndian.PutUint16(d[12+26:], 2) }), ErrBadFrame},
+		{"bodyLen over limit", mut(func(d []byte) { binary.BigEndian.PutUint32(d[4:], MaxFrameBytes+1) }), ErrTooLarge},
+		{"bodyLen starves count", mut(func(d []byte) { binary.BigEndian.PutUint32(d[4:], 12) }), ErrBadFrame},
+	}
+	for _, tc := range cases {
+		err := decodeBatch(tc.data)
+		if err == nil {
+			t.Errorf("%s: decoded without error", tc.name)
+			continue
+		}
+		if tc.want != nil && !errors.Is(err, tc.want) {
+			t.Errorf("%s: error %v, want %v", tc.name, err, tc.want)
+		}
+	}
+
+	// A region flag on an all-zero box is hostile input, not "no
+	// region": zero the box of a frame that legitimately carries one.
+	regioned := mustFrame(t, []Capture{batchCapture(rng, 2, 3, true, false)})
+	for i := 12 + subHeadSize; i < 12+subHeadSize+regionBoxSize; i++ {
+		regioned[i] = 0
+	}
+	if err := decodeBatch(regioned); !errors.Is(err, ErrBadRegion) {
+		t.Errorf("zero region box: error %v, want ErrBadRegion", err)
+	}
+
+	// Encoder-side limits.
+	if _, err := AppendBatch(nil, nil); err == nil {
+		t.Error("empty batch should fail to encode")
+	}
+	if _, err := AppendBatch(nil, make([]Capture, MaxBatchCaptures+1)); err == nil {
+		t.Error("oversized batch should fail to encode")
+	}
+	ragged := []Capture{{Streams: [][]complex128{make([]complex128, 3), make([]complex128, 5)}}}
+	if _, err := AppendBatch(nil, ragged); err == nil {
+		t.Error("ragged streams should fail to encode")
+	}
+}
+
+// TestDecodeDatagramExact checks the self-delimiting datagram rule:
+// the frame must fill the datagram to the byte.
+func TestDecodeDatagramExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	frame := mustFrame(t, []Capture{batchCapture(rng, 2, 4, false, false)})
+
+	ws := GetIngestWorkspace()
+	caps, err := DecodeDatagramInto(frame, ws)
+	if err != nil {
+		ws.Discard()
+		t.Fatal(err)
+	}
+	if len(caps) != 1 {
+		t.Fatalf("decoded %d captures, want 1", len(caps))
+	}
+	ReleaseAll(caps)
+
+	bad := func(data []byte) error {
+		ws := GetIngestWorkspace()
+		if caps, err := DecodeDatagramInto(data, ws); err != nil {
+			ws.Discard()
+			return err
+		} else {
+			ReleaseAll(caps)
+			return nil
+		}
+	}
+	if err := bad(append(append([]byte(nil), frame...), 0)); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("trailing byte: error %v, want ErrBadFrame", err)
+	}
+	if err := bad(frame[:len(frame)-1]); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("truncated datagram: error %v, want ErrBadFrame", err)
+	}
+	if err := bad(frame[:6]); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("short datagram: error %v, want ErrBadFrame", err)
+	}
+	wrongMagic := append([]byte(nil), frame...)
+	binary.BigEndian.PutUint32(wrongMagic, protocolMagic)
+	if err := bad(wrongMagic); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("v1 magic in datagram: error %v, want ErrBadMagic", err)
+	}
+}
+
+// TestWorkspaceRefcount exercises the release protocol: one reference
+// per decoded capture, copies share it, double release is a no-op, and
+// captures that own their memory ignore Release.
+func TestWorkspaceRefcount(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	frame := mustFrame(t, []Capture{
+		batchCapture(rng, 2, 2, false, false),
+		batchCapture(rng, 2, 2, false, false),
+		batchCapture(rng, 2, 2, false, false),
+	})
+	ws := GetIngestWorkspace()
+	caps, err := ReadBatchInto(bytes.NewReader(frame), ws)
+	if err != nil {
+		ws.Discard()
+		t.Fatal(err)
+	}
+	if got := ws.refs.Load(); got != 3 {
+		t.Fatalf("refs after decode = %d, want 3", got)
+	}
+	caps[0].Release()
+	caps[0].Release() // second release of the same capture: no-op
+	if got := ws.refs.Load(); got != 2 {
+		t.Fatalf("refs after first release = %d, want 2", got)
+	}
+	cp := caps[1] // a copy shares the underlying reference
+	cp.Release()
+	if got := ws.refs.Load(); got != 1 {
+		t.Fatalf("refs after copy release = %d, want 1", got)
+	}
+	caps[2].Release() // workspace returns to the pool here
+
+	owned := Capture{Streams: [][]complex128{{1, 2}}}
+	owned.Release() // must not panic or touch any pool
+}
+
+// TestBatchDecodeAllocs pins the zero-copy claim: steady-state batch
+// decode through a pooled workspace stays within the issue's ≤2
+// allocations per capture (in practice ~0 once buffers are grown).
+func TestBatchDecodeAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under the race detector")
+	}
+	rng := rand.New(rand.NewSource(29))
+	caps := make([]Capture, 32)
+	for i := range caps {
+		caps[i] = batchCapture(rng, 8, 16, false, false)
+	}
+	frame := mustFrame(t, caps)
+	r := bytes.NewReader(frame)
+	avg := testing.AllocsPerRun(200, func() {
+		r.Reset(frame)
+		ws := GetIngestWorkspace()
+		decoded, err := ReadBatchInto(r, ws)
+		if err != nil {
+			ws.Discard()
+			t.Fatal(err)
+		}
+		ReleaseAll(decoded)
+	})
+	// The bound is per frame of 32 captures — far inside 2/capture.
+	if avg > 2 {
+		t.Errorf("batch decode allocates %.1f/frame (32 captures), want ≤ 2", avg)
+	}
+}
+
+// TestWriteAllocs pins the pooled encoders: WriteCapture and
+// WriteBatch reuse scratch, so steady state writes allocate nothing.
+func TestWriteAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under the race detector")
+	}
+	rng := rand.New(rand.NewSource(31))
+	c := batchCapture(rng, 8, 16, false, false)
+	if avg := testing.AllocsPerRun(200, func() {
+		if err := WriteCapture(io.Discard, &c); err != nil {
+			t.Fatal(err)
+		}
+	}); avg > 1 {
+		t.Errorf("WriteCapture allocates %.1f/record, want ≤ 1", avg)
+	}
+	caps := make([]Capture, 16)
+	for i := range caps {
+		caps[i] = batchCapture(rng, 8, 16, false, false)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		if err := WriteBatch(io.Discard, caps); err != nil {
+			t.Fatal(err)
+		}
+	}); avg > 1 {
+		t.Errorf("WriteBatch allocates %.1f/frame, want ≤ 1", avg)
+	}
+}
+
+// recentReference is the seed's two-scan RecentForClient, kept as the
+// behavioural oracle for the indexed implementation.
+func recentReference(b *CircularBuffer, clientID uint32, window time.Duration) []Capture {
+	snap := b.Snapshot()
+	var newest time.Time
+	for i := range snap {
+		if snap[i].ClientID == clientID && snap[i].Timestamp.After(newest) {
+			newest = snap[i].Timestamp
+		}
+	}
+	if newest.IsZero() {
+		return nil
+	}
+	var out []Capture
+	for i := range snap {
+		c := &snap[i]
+		if c.ClientID == clientID && newest.Sub(c.Timestamp) <= window {
+			out = append(out, *c)
+		}
+	}
+	return out
+}
+
+// TestRecentForClientEquivalence drives random push/pop traffic —
+// including wrap-around eviction, the path that exercises the index's
+// newest-rescan — and checks the indexed RecentForClient against the
+// seed's two-scan oracle after every operation batch.
+func TestRecentForClientEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	b := NewCircularBuffer(32)
+	base := time.UnixMicro(1700000000000000).UTC()
+	seq := uint32(0)
+	clients := []uint32{1, 2, 3, 4, 5}
+	windows := []time.Duration{0, 40 * time.Millisecond, 250 * time.Millisecond, time.Hour}
+	for step := 0; step < 400; step++ {
+		if rng.Intn(4) == 0 {
+			b.Pop()
+		} else {
+			seq++
+			// Jittered, non-monotonic timestamps: evictions regularly
+			// remove the newest entry for a client.
+			ts := base.Add(time.Duration(step)*10*time.Millisecond - time.Duration(rng.Intn(200))*time.Millisecond)
+			b.Push(Capture{ClientID: clients[rng.Intn(len(clients))], Seq: seq, Timestamp: ts})
+		}
+		for _, id := range clients {
+			for _, w := range windows {
+				got := b.RecentForClient(id, w)
+				want := recentReference(b, id, w)
+				if len(got) != len(want) {
+					t.Fatalf("step %d client %d window %v: %d captures, oracle %d", step, id, w, len(got), len(want))
+				}
+				for i := range got {
+					if got[i].Seq != want[i].Seq {
+						t.Fatalf("step %d client %d window %v: capture %d seq %d, oracle %d", step, id, w, i, got[i].Seq, want[i].Seq)
+					}
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkRecentForClient measures the flush-path query at the
+// capacity the issue names; the seed ran two full scans per call.
+func BenchmarkRecentForClient(b *testing.B) {
+	buf := NewCircularBuffer(4096)
+	base := time.UnixMicro(1700000000000000).UTC()
+	for i := 0; i < 8192; i++ {
+		buf.Push(Capture{ClientID: uint32(i % 64), Seq: uint32(i), Timestamp: base.Add(time.Duration(i) * time.Millisecond)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.RecentForClient(uint32(i%64), 100*time.Millisecond)
+	}
+}
+
+// TestBackendUDPIngest covers the datagram path end to end: quorum
+// flush from two APs' datagrams, sequence-gap and reorder accounting,
+// and malformed datagrams counted but non-fatal.
+func TestBackendUDPIngest(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	var flushed []Capture
+	b := NewBackend(2, time.Second, func(clientID uint32, cs []Capture) {
+		flushed = append(flushed, cs...)
+	})
+	ts := time.UnixMicro(1700000000000000).UTC()
+	mk := func(apID, seq uint32) Capture {
+		c := batchCapture(rng, 2, 4, false, false)
+		c.APID, c.ClientID, c.Seq, c.Timestamp = apID, 9, seq, ts
+		return c
+	}
+	if err := b.IngestDatagram(mustFrame(t, []Capture{mk(1, 0), mk(1, 1), mk(1, 2)})); err != nil {
+		t.Fatal(err)
+	}
+	if len(flushed) != 0 {
+		t.Fatal("quorum fired on one AP")
+	}
+	if err := b.IngestDatagram(mustFrame(t, []Capture{mk(2, 0)})); err != nil {
+		t.Fatal(err)
+	}
+	if len(flushed) != 4 {
+		t.Fatalf("flushed %d captures, want 4", len(flushed))
+	}
+	// Seq 3 and 4 from AP 1 never arrive: a two-capture hole.
+	if err := b.IngestDatagram(mustFrame(t, []Capture{mk(1, 5)})); err != nil {
+		t.Fatal(err)
+	}
+	// The same datagram payload again: one reorder/duplicate.
+	if err := b.IngestDatagram(mustFrame(t, []Capture{mk(1, 5)})); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.IngestDatagram([]byte("not a frame at all")); err == nil {
+		t.Fatal("garbage datagram ingested without error")
+	}
+	got := b.UDP()
+	want := UDPStats{Datagrams: 4, Captures: 6, Bad: 1, SeqGaps: 2, SeqReorders: 1}
+	if got != want {
+		t.Errorf("UDP stats = %+v, want %+v", got, want)
+	}
+}
+
+// packetWriter records each Write as one datagram.
+type packetWriter struct{ packets [][]byte }
+
+func (w *packetWriter) Write(p []byte) (int, error) {
+	w.packets = append(w.packets, append([]byte(nil), p...))
+	return len(p), nil
+}
+
+// TestUploadBatchDrains checks the TCP burst uploader: the buffer
+// drains fully, every burst is one Write, and the stream decodes to
+// the recorded captures in order.
+func TestUploadBatchDrains(t *testing.T) {
+	n := NewAPNode(3, 16)
+	ts := time.UnixMicro(1700000000000000).UTC()
+	for i := 0; i < 10; i++ {
+		n.Record(1, ts.Add(time.Duration(i)*time.Millisecond), [][]complex128{{1, 2}, {3, 4}})
+	}
+	var w packetWriter
+	if err := n.UploadBatch(context.Background(), &w, 4); err != nil {
+		t.Fatal(err)
+	}
+	if n.Buffer.Len() != 0 {
+		t.Error("upload should drain the buffer")
+	}
+	if len(w.packets) != 3 { // 4 + 4 + 2
+		t.Fatalf("%d writes, want 3", len(w.packets))
+	}
+	r := bytes.NewReader(bytes.Join(w.packets, nil))
+	var seqs []uint32
+	for {
+		ws := GetIngestWorkspace()
+		caps, err := ReadFrameInto(r, ws)
+		if err != nil {
+			ws.Discard()
+			if err == io.EOF {
+				break
+			}
+			t.Fatal(err)
+		}
+		for i := range caps {
+			seqs = append(seqs, caps[i].Seq)
+		}
+		ReleaseAll(caps)
+	}
+	if len(seqs) != 10 {
+		t.Fatalf("decoded %d captures, want 10", len(seqs))
+	}
+	for i, s := range seqs {
+		if s != uint32(i) {
+			t.Fatalf("capture %d has seq %d", i, s)
+		}
+	}
+}
+
+// TestUploadDatagramsPacking checks the datagram packer: frames stay
+// under the byte budget, nothing is dropped, and a capture that alone
+// exceeds the budget still ships in its own frame.
+func TestUploadDatagramsPacking(t *testing.T) {
+	n := NewAPNode(4, 16)
+	ts := time.UnixMicro(1700000000000000).UTC()
+	streams := [][]complex128{make([]complex128, 8), make([]complex128, 8)}
+	for i := range streams[0] {
+		streams[0][i] = complex(float64(i)*1e-3, 1e-3)
+		streams[1][i] = complex(1e-3, float64(i)*1e-3)
+	}
+	for i := 0; i < 10; i++ {
+		n.Record(1, ts.Add(time.Duration(i)*time.Millisecond), streams)
+	}
+	// One capture is 29 + 64 payload bytes; budget three per frame.
+	budget := frameHeadSize + 3*(subHeadSize+64)
+	var w packetWriter
+	if err := n.UploadDatagrams(context.Background(), &w, budget); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.packets) != 4 { // 3 + 3 + 3 + 1
+		t.Fatalf("%d datagrams, want 4", len(w.packets))
+	}
+	total := 0
+	for i, p := range w.packets {
+		if len(p) > budget {
+			t.Errorf("datagram %d is %d bytes, budget %d", i, len(p), budget)
+		}
+		ws := GetIngestWorkspace()
+		caps, err := DecodeDatagramInto(p, ws)
+		if err != nil {
+			ws.Discard()
+			t.Fatalf("datagram %d: %v", i, err)
+		}
+		total += len(caps)
+		ReleaseAll(caps)
+	}
+	if total != 10 {
+		t.Errorf("decoded %d captures, want 10", total)
+	}
+
+	// A budget below one frame: the oversized capture still ships.
+	n.Record(1, ts, streams)
+	var small packetWriter
+	if err := n.UploadDatagrams(context.Background(), &small, frameHeadSize+subHeadSize); err != nil {
+		t.Fatal(err)
+	}
+	if len(small.packets) != 1 {
+		t.Fatalf("oversized capture: %d datagrams, want 1", len(small.packets))
+	}
+	ws := GetIngestWorkspace()
+	caps, err := DecodeDatagramInto(small.packets[0], ws)
+	if err != nil {
+		ws.Discard()
+		t.Fatal(err)
+	}
+	ReleaseAll(caps)
+}
+
+// TestServeConnBatchQuorum runs the whole ingest pipeline over a mixed
+// stream: a v3 burst from one AP plus a v1 record from another must
+// satisfy the quorum, and the flushed samples must match what the
+// legacy decoder sees (the callback deep-copies per the borrow
+// contract).
+func TestServeConnBatchQuorum(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	ts := time.UnixMicro(1700000000000000).UTC()
+	burst := make([]Capture, 2)
+	for i := range burst {
+		burst[i] = batchCapture(rng, 2, 6, false, false)
+		burst[i].APID, burst[i].ClientID, burst[i].Timestamp = 1, 5, ts
+	}
+	straggler := batchCapture(rng, 2, 6, false, false)
+	straggler.APID, straggler.ClientID, straggler.Timestamp = 2, 5, ts
+
+	var stream bytes.Buffer
+	if err := WriteBatch(&stream, burst); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCapture(&stream, &straggler); err != nil {
+		t.Fatal(err)
+	}
+
+	var flushed []Capture
+	b := NewBackend(2, time.Second, func(clientID uint32, cs []Capture) {
+		for i := range cs {
+			cp := cs[i]
+			cp.Streams = append([][]complex128(nil), cp.Streams...)
+			for a := range cp.Streams {
+				cp.Streams[a] = append([]complex128(nil), cp.Streams[a]...)
+			}
+			flushed = append(flushed, cp)
+		}
+	})
+	if err := b.ServeConn(bytes.NewReader(stream.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if len(flushed) != 3 {
+		t.Fatalf("flushed %d captures, want 3", len(flushed))
+	}
+	// Cross-check against the per-record decode of the same captures.
+	want := append(append([]Capture(nil), burst...), straggler)
+	for i := range flushed {
+		var buf bytes.Buffer
+		if err := WriteCapture(&buf, &want[i]); err != nil {
+			t.Fatal(err)
+		}
+		ref, err := ReadCapture(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if flushed[i].Seq != want[i].Seq || !sameBits(flushed[i].Streams, ref.Streams) {
+			t.Fatalf("flushed capture %d differs from legacy decode", i)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"fmt"
@@ -126,9 +127,92 @@ func (n *APNode) Upload(ctx context.Context, w io.Writer) error {
 	}
 }
 
+// UploadBatch drains the buffer to w in v3 batch frames of up to
+// batch captures each — one Write (one syscall) per burst instead of
+// two per capture. It returns when the buffer is empty or the context
+// is cancelled.
+func (n *APNode) UploadBatch(ctx context.Context, w io.Writer, batch int) error {
+	if batch < 1 {
+		batch = 1
+	}
+	if batch > MaxBatchCaptures {
+		batch = MaxBatchCaptures
+	}
+	caps := make([]Capture, 0, batch)
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+		caps = caps[:0]
+		for len(caps) < batch {
+			c, ok := n.Buffer.Pop()
+			if !ok {
+				break
+			}
+			caps = append(caps, c)
+		}
+		if len(caps) == 0 {
+			return nil
+		}
+		if err := WriteBatch(w, caps); err != nil {
+			return err
+		}
+	}
+}
+
+// UploadDatagrams drains the buffer to w as batch frames no larger
+// than maxBytes each — w is typically a net.Conn dialed to the
+// server's UDP port, so every WriteBatch is one datagram (pass
+// MaxDatagramBytes). A single capture larger than maxBytes is sent in
+// its own frame rather than dropped.
+func (n *APNode) UploadDatagrams(ctx context.Context, w io.Writer, maxBytes int) error {
+	if maxBytes <= 0 || maxBytes > MaxDatagramBytes {
+		maxBytes = MaxDatagramBytes
+	}
+	var caps []Capture
+	var held *Capture
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+		caps = caps[:0]
+		if held != nil {
+			caps = append(caps, *held)
+			held = nil
+		}
+		for len(caps) < MaxBatchCaptures {
+			c, ok := n.Buffer.Pop()
+			if !ok {
+				break
+			}
+			caps = append(caps, c)
+			if len(caps) > 1 && BatchFrameSize(caps) > maxBytes {
+				// The newest capture overflows the datagram: hold it
+				// for the next frame.
+				h := caps[len(caps)-1]
+				caps = caps[:len(caps)-1]
+				held = &h
+				break
+			}
+		}
+		if len(caps) == 0 {
+			return nil
+		}
+		if err := WriteBatch(w, caps); err != nil {
+			return err
+		}
+	}
+}
+
 // LocateFunc is the backend callback invoked once enough APs have
 // reported captures for a client: it receives every grouped capture
-// (possibly several frames per AP).
+// (possibly several frames per AP). The captures — in particular
+// their sample streams, which may borrow pooled ingest memory — are
+// valid only for the duration of the call; copy anything retained.
 type LocateFunc func(clientID uint32, captures []Capture)
 
 // Dispatcher receives a client's grouped captures when a quorum of APs
@@ -136,6 +220,13 @@ type LocateFunc func(clientID uint32, captures []Capture)
 // the ingest path, serializing every location fix behind one lock —
 // a Dispatcher is expected to enqueue the work (e.g. onto the
 // localization engine's worker pool) and return promptly.
+//
+// The dispatcher takes ownership of the flushed captures: their
+// stream buffers may be borrowed from a pooled ingest workspace, and
+// each capture must be Released exactly once after its samples are
+// consumed (engine.CaptureSink does this when the localization job
+// completes). Legacy inline Locate callbacks do not release — the
+// backend releases the flush itself after Locate returns.
 type Dispatcher interface {
 	Dispatch(clientID uint32, captures []Capture)
 }
@@ -146,9 +237,121 @@ type Dispatcher interface {
 // clients hash to the same shard.
 const pendingShards = 64
 
+// pendingGroup is one client's partially grouped captures. Groups are
+// recycled through the shard's freelist so the flush→regroup cycle
+// reuses the same backing array instead of growing a fresh slice
+// capture by capture — the dominant allocation of the batched ingest
+// path once decode itself is pooled.
+type pendingGroup struct {
+	caps []Capture
+	// Incremental bounds and distinct-AP set so the hot path never
+	// rescans the group: a sweep is only needed when newest-oldest
+	// exceeds the window (something may actually be stale) or the AP
+	// set outgrew its inline array.
+	newest  time.Time
+	oldest  time.Time
+	aps     [32]uint32
+	apsN    int
+	apsFull bool
+}
+
+// note records one appended capture in the group's running metadata.
+func (g *pendingGroup) note(c *Capture) {
+	if len(g.caps) == 1 {
+		g.newest, g.oldest = c.Timestamp, c.Timestamp
+	} else {
+		if c.Timestamp.After(g.newest) {
+			g.newest = c.Timestamp
+		}
+		if g.oldest.After(c.Timestamp) {
+			g.oldest = c.Timestamp
+		}
+	}
+	if g.apsFull {
+		return
+	}
+	for _, id := range g.aps[:g.apsN] {
+		if id == c.APID {
+			return
+		}
+	}
+	if g.apsN < len(g.aps) {
+		g.aps[g.apsN] = c.APID
+		g.apsN++
+		return
+	}
+	g.apsFull = true
+}
+
+// compact drops entries stale relative to the newest timestamp,
+// releases their pooled buffers, and rebuilds the running metadata.
+// It returns the distinct-AP count of the survivors. The distinct
+// pass checks each entry against the IDs found so far — O(entries ×
+// distinct), never the seed's per-ingest map allocation.
+func (g *pendingGroup) compact(window time.Duration) int {
+	list := g.caps
+	fresh := list[:0]
+	for i := range list {
+		e := list[i]
+		if g.newest.Sub(e.Timestamp) <= window {
+			fresh = append(fresh, e)
+		} else {
+			// A dropped capture never reaches a dispatcher; its pooled
+			// buffers go back now.
+			e.Release()
+		}
+	}
+	// Zero stale ghosts past the compaction point so the retained
+	// backing does not pin released stream buffers.
+	for i := len(fresh); i < len(list); i++ {
+		list[i] = Capture{}
+	}
+	g.caps = fresh
+	g.oldest = g.newest
+	seen := g.aps[:0]
+	for i := range fresh {
+		if g.oldest.After(fresh[i].Timestamp) {
+			g.oldest = fresh[i].Timestamp
+		}
+		id := fresh[i].APID
+		dup := false
+		for _, s := range seen {
+			if s == id {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			seen = append(seen, id)
+		}
+	}
+	distinct := len(seen)
+	if distinct <= len(g.aps) {
+		// seen aliases g.aps unless append spilled to the heap.
+		copy(g.aps[:], seen)
+		g.apsN, g.apsFull = distinct, false
+	} else {
+		g.apsN, g.apsFull = 0, true
+	}
+	return distinct
+}
+
 type backendShard struct {
 	mu      sync.Mutex
-	pending map[uint32][]Capture // keyed by client
+	pending map[uint32]*pendingGroup // keyed by client
+}
+
+// group returns the client's pending group, creating it on first
+// sight. Groups stay in the map across flushes (reset in place, not
+// reallocated), so a client's steady-state ingest touches the map
+// read-only. Caller holds the shard lock.
+func (sh *backendShard) group(clientID uint32) *pendingGroup {
+	g := sh.pending[clientID]
+	if g == nil {
+		g = &pendingGroup{}
+		sh.pending[clientID] = g
+	}
+	return g
 }
 
 // Backend is the central ArrayTrack server: it ingests capture records
@@ -172,6 +375,98 @@ type Backend struct {
 	Dispatcher Dispatcher
 
 	shards [pendingShards]backendShard
+
+	// UDP datagram-mode health. Fire-and-forget feeds have no
+	// retransmit, so losses surface as counters instead: per-AP
+	// capture sequence numbers are tracked and every hole counted.
+	udpMu    sync.Mutex
+	udpLast  map[uint32]uint32 // per-AP last capture seq seen
+	udpStats UDPStats
+}
+
+// UDPStats counts the datagram ingest path's health.
+type UDPStats struct {
+	// Datagrams is the number of well-formed batch-frame datagrams
+	// ingested; Captures the captures they carried.
+	Datagrams, Captures uint64
+	// Bad is the number of datagrams dropped as undecodable (short or
+	// malformed frames, hostile dimensions, bad regions).
+	Bad uint64
+	// SeqGaps is the total number of missing per-AP capture sequence
+	// numbers — the fire-and-forget substitute for retransmit
+	// accounting. SeqReorders counts captures that arrived with a
+	// sequence number at or below the AP's newest (late or duplicate
+	// datagrams).
+	SeqGaps, SeqReorders uint64
+}
+
+// UDP returns a snapshot of the datagram ingest counters.
+func (b *Backend) UDP() UDPStats {
+	b.udpMu.Lock()
+	defer b.udpMu.Unlock()
+	return b.udpStats
+}
+
+// IngestDatagram decodes one UDP datagram (exactly one v3 batch
+// frame), updates the sequence-gap accounting, and ingests every
+// capture. Undecodable datagrams are counted and returned as errors;
+// the caller decides whether to keep serving (ServeUDP does). The
+// data buffer may be reused immediately after return.
+func (b *Backend) IngestDatagram(data []byte) error {
+	ws := GetIngestWorkspace()
+	caps, err := DecodeDatagramInto(data, ws)
+	if err != nil {
+		ws.Discard()
+		b.udpMu.Lock()
+		b.udpStats.Bad++
+		b.udpMu.Unlock()
+		return err
+	}
+	b.udpMu.Lock()
+	b.udpStats.Datagrams++
+	b.udpStats.Captures += uint64(len(caps))
+	if b.udpLast == nil {
+		b.udpLast = make(map[uint32]uint32)
+	}
+	for i := range caps {
+		c := &caps[i]
+		last, seen := b.udpLast[c.APID]
+		switch {
+		case !seen:
+			b.udpLast[c.APID] = c.Seq
+		case c.Seq > last:
+			b.udpStats.SeqGaps += uint64(c.Seq - last - 1)
+			b.udpLast[c.APID] = c.Seq
+		default:
+			b.udpStats.SeqReorders++
+		}
+	}
+	b.udpMu.Unlock()
+	b.IngestBatch(caps)
+	return nil
+}
+
+// ServeUDP ingests batch-frame datagrams from conn until the context
+// is cancelled — the fire-and-forget sample feed for APs that prefer
+// datagrams over a TCP stream. Malformed datagrams are counted (see
+// UDP) and dropped, never fatal: one hostile packet must not take the
+// feed down.
+func (b *Backend) ServeUDP(ctx context.Context, conn net.PacketConn) error {
+	go func() {
+		<-ctx.Done()
+		conn.Close()
+	}()
+	buf := make([]byte, 1<<16)
+	for {
+		n, _, err := conn.ReadFrom(buf)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return fmt.Errorf("server: udp read: %w", err)
+		}
+		_ = b.IngestDatagram(buf[:n])
+	}
 }
 
 // NewBackend returns a backend that runs locate inline on each quorum
@@ -192,7 +487,7 @@ func NewBackendDispatcher(quorum int, window time.Duration, d Dispatcher) *Backe
 
 func (b *Backend) initShards() {
 	for i := range b.shards {
-		b.shards[i].pending = make(map[uint32][]Capture)
+		b.shards[i].pending = make(map[uint32]*pendingGroup)
 	}
 }
 
@@ -210,36 +505,109 @@ func (b *Backend) shard(clientID uint32) *backendShard {
 func (b *Backend) Ingest(c *Capture) {
 	sh := b.shard(c.ClientID)
 	sh.mu.Lock()
-	list := append(sh.pending[c.ClientID], *c)
-	// Evict stale entries relative to the newest timestamp.
-	newest := list[0].Timestamp
-	for _, e := range list {
-		if e.Timestamp.After(newest) {
-			newest = e.Timestamp
-		}
+	g := sh.group(c.ClientID)
+	flush := b.ingestLocked(g, c)
+	sh.mu.Unlock()
+	if flush != nil {
+		b.dispatch(c.ClientID, flush)
 	}
-	fresh := list[:0]
-	for _, e := range list {
-		if newest.Sub(e.Timestamp) <= b.Window {
-			fresh = append(fresh, e)
-		}
+}
+
+// ingestLocked appends one capture to its client's group and, when a
+// quorum of distinct APs is present, returns the flush slice (nil
+// otherwise). The group is reset in place for the client's next
+// round. Caller holds the shard lock.
+func (b *Backend) ingestLocked(g *pendingGroup, c *Capture) []Capture {
+	g.caps = append(g.caps, *c)
+	g.note(c)
+	// Stale eviction is only possible when the group's span exceeds
+	// the window; inside it, yesterday's full sweep was a no-op by
+	// definition, so the hot path is append + O(distinct) bookkeeping.
+	distinct := g.apsN
+	if g.newest.Sub(g.oldest) > b.Window || g.apsFull {
+		distinct = g.compact(b.Window)
 	}
-	aps := make(map[uint32]bool)
-	for _, e := range fresh {
-		aps[e.APID] = true
+	if distinct < b.Quorum {
+		return nil
 	}
-	if len(aps) >= b.Quorum {
-		delete(sh.pending, c.ClientID)
-		sh.mu.Unlock()
-		if b.Dispatcher != nil {
-			b.Dispatcher.Dispatch(c.ClientID, fresh)
-		} else {
-			b.Locate(c.ClientID, fresh)
-		}
+	// The flush slice leaves the backend (the dispatcher may hold it
+	// past this call), so it gets its own exactly-sized backing; the
+	// group keeps its array but drops its capture copies (the flush
+	// slice owns the releases, so the retained backing must not pin
+	// pooled stream buffers).
+	flush := make([]Capture, len(g.caps))
+	copy(flush, g.caps)
+	for i := range g.caps {
+		g.caps[i] = Capture{}
+	}
+	g.caps = g.caps[:0]
+	g.newest, g.oldest = time.Time{}, time.Time{}
+	g.apsN, g.apsFull = 0, false
+	return flush
+}
+
+func (b *Backend) dispatch(clientID uint32, flush []Capture) {
+	if b.Dispatcher != nil {
+		b.Dispatcher.Dispatch(clientID, flush)
+	} else {
+		b.Locate(clientID, flush)
+		ReleaseAll(flush)
+	}
+}
+
+// IngestBatch ingests a decoded burst, taking each client's shard
+// lock once for all of that client's captures instead of once per
+// capture. Per-client capture order and flush contents are identical
+// to per-capture Ingest; only the interleaving of different clients'
+// flushes may differ, which nothing downstream orders on.
+func (b *Backend) IngestBatch(caps []Capture) {
+	if len(caps) == 1 {
+		b.Ingest(&caps[0])
 		return
 	}
-	sh.pending[c.ClientID] = append([]Capture(nil), fresh...)
-	sh.mu.Unlock()
+	// Distinct clients in burst order, via the same stack-resident
+	// scan the AP sets use. Bursts with more distinct clients than the
+	// inline array fall back to per-capture ingest.
+	var clientBuf [32]uint32
+	clients := clientBuf[:0]
+	for i := range caps {
+		id := caps[i].ClientID
+		dup := false
+		for _, s := range clients {
+			if s == id {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			if len(clients) == len(clientBuf) {
+				for j := range caps {
+					b.Ingest(&caps[j])
+				}
+				return
+			}
+			clients = append(clients, id)
+		}
+	}
+	var flushBuf [8][]Capture
+	for _, id := range clients {
+		flushes := flushBuf[:0]
+		sh := b.shard(id)
+		sh.mu.Lock()
+		g := sh.group(id)
+		for i := range caps {
+			if caps[i].ClientID != id {
+				continue
+			}
+			if f := b.ingestLocked(g, &caps[i]); f != nil {
+				flushes = append(flushes, f)
+			}
+		}
+		sh.mu.Unlock()
+		for _, f := range flushes {
+			b.dispatch(id, f)
+		}
+	}
 }
 
 // PendingClients returns the number of clients with partially grouped
@@ -249,24 +617,39 @@ func (b *Backend) PendingClients() int {
 	for i := range b.shards {
 		sh := &b.shards[i]
 		sh.mu.Lock()
-		n += len(sh.pending)
+		for _, g := range sh.pending {
+			if len(g.caps) > 0 {
+				n++
+			}
+		}
 		sh.mu.Unlock()
 	}
 	return n
 }
 
-// ServeConn reads capture records from r until EOF or error, ingesting
-// each. A clean EOF returns nil.
+// ServeConn reads frames from r until EOF or error, ingesting every
+// capture. It accepts all wire versions on one stream — v1/v2
+// per-record writers and v3 batch writers share a port — and decodes
+// through the pooled zero-copy workspaces, so steady-state ingest
+// performs no per-capture allocation. The stream is read through a
+// 64 KiB buffer: the feed is one-directional, so read-ahead is always
+// safe and the per-frame reads (magic, header, body) coalesce into
+// large socket reads. A clean EOF returns nil.
 func (b *Backend) ServeConn(r io.Reader) error {
+	if _, ok := r.(*bufio.Reader); !ok {
+		r = bufio.NewReaderSize(r, 256<<10)
+	}
 	for {
-		c, err := ReadCapture(r)
+		ws := GetIngestWorkspace()
+		caps, err := ReadFrameInto(r, ws)
 		if err != nil {
+			ws.Discard()
 			if errors.Is(err, io.EOF) {
 				return nil
 			}
 			return err
 		}
-		b.Ingest(c)
+		b.IngestBatch(caps)
 	}
 }
 

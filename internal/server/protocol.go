@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -73,21 +74,21 @@ var (
 	ErrBadRegion = errors.New("server: bad search region")
 )
 
-// WriteCapture encodes c to w in wire format.
-func WriteCapture(w io.Writer, c *Capture) error {
-	nAnt := len(c.Streams)
+// captureDims validates a capture's stream geometry and returns its
+// dimensions along with the quantization peak (the largest |I| or |Q|
+// over the record; 1 for an all-zero record).
+func captureDims(c *Capture) (nAnt, nSamp int, peak float64, err error) {
+	nAnt = len(c.Streams)
 	if nAnt == 0 || nAnt > MaxAntennas {
-		return fmt.Errorf("%w: %d antennas", ErrTooLarge, nAnt)
+		return 0, 0, 0, fmt.Errorf("%w: %d antennas", ErrTooLarge, nAnt)
 	}
-	nSamp := len(c.Streams[0])
+	nSamp = len(c.Streams[0])
 	if nSamp == 0 || nSamp > MaxSamples {
-		return fmt.Errorf("%w: %d samples", ErrTooLarge, nSamp)
+		return 0, 0, 0, fmt.Errorf("%w: %d samples", ErrTooLarge, nSamp)
 	}
-	// Full-scale value: the largest |I| or |Q| over the record.
-	var peak float64
 	for _, st := range c.Streams {
 		if len(st) != nSamp {
-			return errors.New("server: ragged antenna streams")
+			return 0, 0, 0, errors.New("server: ragged antenna streams")
 		}
 		for _, v := range st {
 			if a := math.Abs(real(v)); a > peak {
@@ -101,16 +102,58 @@ func WriteCapture(w io.Writer, c *Capture) error {
 	if peak == 0 {
 		peak = 1
 	}
+	return nAnt, nSamp, peak, nil
+}
 
+// growSlice extends dst by n bytes in place, reallocating only when
+// the capacity runs out, and returns the extended slice.
+func growSlice(dst []byte, n int) []byte {
+	l := len(dst)
+	if cap(dst)-l >= n {
+		return dst[:l+n]
+	}
+	nd := make([]byte, l+n, 2*(l+n))
+	copy(nd, dst)
+	return nd
+}
+
+// appendPayload appends the int16 I/Q quantization of c's streams.
+func appendPayload(dst []byte, c *Capture, peak float64, nAnt, nSamp int) []byte {
+	off := len(dst)
+	dst = growSlice(dst, nAnt*nSamp*4)
+	for _, st := range c.Streams {
+		for _, v := range st {
+			i16 := int16(math.Round(real(v) / peak * 32767))
+			q16 := int16(math.Round(imag(v) / peak * 32767))
+			binary.BigEndian.PutUint16(dst[off:], uint16(i16))
+			binary.BigEndian.PutUint16(dst[off+2:], uint16(q16))
+			off += 4
+		}
+	}
+	return dst
+}
+
+// AppendCapture appends c's wire encoding (a v1 record, or v2 when a
+// region or priority flag is set) to dst and returns the extended
+// slice. It is the allocation-free building block behind WriteCapture:
+// callers that reuse dst across records encode with zero per-record
+// allocations.
+func AppendCapture(dst []byte, c *Capture) ([]byte, error) {
+	nAnt, nSamp, peak, err := captureDims(c)
+	if err != nil {
+		return dst, err
+	}
 	v2 := !c.Region.IsZero() || c.Priority
 	size := 32
 	if v2 {
 		size += regionExtSize
 		if err := c.Region.Validate(); err != nil {
-			return fmt.Errorf("%w: %v", ErrBadRegion, err)
+			return dst, fmt.Errorf("%w: %v", ErrBadRegion, err)
 		}
 	}
-	head := make([]byte, size)
+	base := len(dst)
+	dst = growSlice(dst, size)
+	head := dst[base:]
 	magic := uint32(protocolMagic)
 	if v2 {
 		magic = protocolMagicV2
@@ -138,22 +181,25 @@ func WriteCapture(w io.Writer, c *Capture) error {
 		binary.BigEndian.PutUint64(head[57:], math.Float64bits(c.Region.Max.Y))
 		binary.BigEndian.PutUint64(head[65:], math.Float64bits(c.Region.Cell))
 	}
-	if _, err := w.Write(head); err != nil {
-		return err
-	}
+	return appendPayload(dst, c, peak, nAnt, nSamp), nil
+}
 
-	payload := make([]byte, nAnt*nSamp*4)
-	off := 0
-	for _, st := range c.Streams {
-		for _, v := range st {
-			i16 := int16(math.Round(real(v) / peak * 32767))
-			q16 := int16(math.Round(imag(v) / peak * 32767))
-			binary.BigEndian.PutUint16(payload[off:], uint16(i16))
-			binary.BigEndian.PutUint16(payload[off+2:], uint16(q16))
-			off += 4
-		}
+// encodeBufPool recycles encoder scratch across WriteCapture and
+// WriteBatch calls: the seed writer allocated a fresh head and payload
+// buffer per record, which dominated the AP-side upload profile.
+var encodeBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// WriteCapture encodes c to w in wire format — one Write call per
+// record, from a pooled buffer (no per-record allocations steady
+// state).
+func WriteCapture(w io.Writer, c *Capture) error {
+	bp := encodeBufPool.Get().(*[]byte)
+	buf, err := AppendCapture((*bp)[:0], c)
+	if err == nil {
+		_, err = w.Write(buf)
 	}
-	_, err := w.Write(payload)
+	*bp = buf
+	encodeBufPool.Put(bp)
 	return err
 }
 

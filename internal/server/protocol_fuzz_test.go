@@ -121,7 +121,7 @@ func FuzzReadCapture(f *testing.F) {
 	binary.BigEndian.PutUint32(v2Magic[0:], 0x41540002) // v2 magic on a v1 body
 	f.Add(v2Magic)
 	v3Magic := append([]byte(nil), validV2...)
-	binary.BigEndian.PutUint32(v3Magic[0:], 0x41540003) // unknown future version
+	binary.BigEndian.PutUint32(v3Magic[0:], 0x41540003) // batch magic on a v2 body
 	f.Add(v3Magic)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -143,9 +143,132 @@ func FuzzReadCapture(f *testing.F) {
 				t.Fatalf("decoded capture failed to re-encode: %v", err)
 			}
 		}
+		// The pooled single-record reader must agree with ReadCapture
+		// byte for byte: same accept/reject decision, bit-identical
+		// streams on accept.
+		ws := GetIngestWorkspace()
+		pc, perr := ReadCaptureInto(bytes.NewReader(data), ws)
+		if (err == nil) != (perr == nil) {
+			t.Fatalf("ReadCapture err %v but ReadCaptureInto err %v", err, perr)
+		}
+		if perr == nil {
+			identical := len(pc.Streams) == len(c.Streams)
+			for a := 0; identical && a < len(c.Streams); a++ {
+				identical = len(pc.Streams[a]) == len(c.Streams[a])
+				for s := 0; identical && s < len(c.Streams[a]); s++ {
+					identical = math.Float64bits(real(pc.Streams[a][s])) == math.Float64bits(real(c.Streams[a][s])) &&
+						math.Float64bits(imag(pc.Streams[a][s])) == math.Float64bits(imag(c.Streams[a][s]))
+				}
+			}
+			if !identical {
+				t.Fatal("pooled decode diverges from ReadCapture")
+			}
+			pc.Release()
+		} else {
+			ws.Discard()
+		}
 		// The ingest path must swallow the same bytes without
 		// panicking, whatever the error outcome.
 		b := NewBackend(1000, time.Second, func(uint32, []Capture) {})
 		_ = b.ServeConn(bytes.NewReader(data))
+	})
+}
+
+// validBatchFrame encodes one well-formed v3 frame to seed the batch
+// corpus.
+func validBatchFrame(tb testing.TB) []byte {
+	tb.Helper()
+	caps := []Capture{
+		{
+			APID: 3, ClientID: 7, Seq: 1,
+			Timestamp: time.UnixMicro(1700000000000000).UTC(),
+			Streams: [][]complex128{
+				{complex(0.5, -0.25), complex(-1, 0.125)},
+				{complex(0.75, 0.5), complex(0.25, -0.75)},
+			},
+		},
+		{
+			APID: 2, ClientID: 9, Seq: 4,
+			Timestamp: time.UnixMicro(1700000000000001).UTC(),
+			Region:    core.Region{Min: geom.Pt(3, 2), Max: geom.Pt(11.5, 9.25), Cell: 0.25},
+			Priority:  true,
+			Streams: [][]complex128{
+				{complex(0.5, -0.25), complex(-1, 0.125)},
+			},
+		},
+	}
+	frame, err := AppendBatch(nil, caps)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return frame
+}
+
+// FuzzReadBatch explores the v3 batch decoder and the datagram path:
+// truncated frames, lying counts, oversized sub-headers, and hostile
+// regions must all error — never panic, never allocate past the frame
+// limits, never leave a workspace with a dangling reference.
+func FuzzReadBatch(f *testing.F) {
+	frame := validBatchFrame(f)
+	f.Add(frame)
+	f.Add([]byte{})
+	f.Add(frame[:8])                                   // truncated frame header
+	f.Add(frame[:frameHeadSize])                       // header only, no body
+	f.Add(frame[:len(frame)-3])                        // truncated payload
+	f.Add(append(append([]byte(nil), frame...), 0xAA)) // trailing byte
+
+	lyingCount := append([]byte(nil), frame...)
+	binary.BigEndian.PutUint16(lyingCount[8:], 700) // count >> sub-headers present
+	f.Add(lyingCount)
+	zeroCount := append([]byte(nil), frame...)
+	binary.BigEndian.PutUint16(zeroCount[8:], 0)
+	f.Add(zeroCount)
+	reserved := append([]byte(nil), frame...)
+	reserved[10] = 0x80
+	f.Add(reserved)
+	hugeBody := append([]byte(nil), frame...)
+	binary.BigEndian.PutUint32(hugeBody[4:], 0xFFFFFFFF) // bodyLen over MaxFrameBytes
+	f.Add(hugeBody)
+	hostileSub := append([]byte(nil), frame...)
+	binary.BigEndian.PutUint16(hostileSub[frameHeadSize+24:], 0xFFFF) // nAnt over MaxAntennas
+	f.Add(hostileSub)
+	badFlags := append([]byte(nil), frame...)
+	badFlags[frameHeadSize+28] = 0xFF
+	f.Add(badFlags)
+	v1Magic := append([]byte(nil), frame...)
+	binary.BigEndian.PutUint32(v1Magic[0:], 0x41540001) // v1 magic on a batch body
+	f.Add(v1Magic)
+	f.Add(validRecord(f))       // v1 record through the frame reader
+	f.Add(validRegionRecord(f)) // v2 record through the frame reader
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Stream framing (the ServeConn path, mixed versions).
+		ws := GetIngestWorkspace()
+		caps, err := ReadFrameInto(bytes.NewReader(data), ws)
+		if err != nil {
+			ws.Discard()
+		} else {
+			if len(caps) == 0 || len(caps) > MaxBatchCaptures {
+				t.Fatalf("decoded %d captures from one frame", len(caps))
+			}
+			for i := range caps {
+				c := &caps[i]
+				if len(c.Streams) == 0 || len(c.Streams) > MaxAntennas || len(c.Streams[0]) > MaxSamples {
+					t.Fatalf("capture %d violates protocol limits", i)
+				}
+				if err := c.Region.Validate(); err != nil {
+					t.Fatalf("capture %d carries invalid region: %v", i, err)
+				}
+			}
+			// Anything that decodes must re-encode as a batch.
+			if _, err := AppendBatch(nil, caps); err != nil {
+				t.Fatalf("decoded batch failed to re-encode: %v", err)
+			}
+			ReleaseAll(caps)
+		}
+		// Datagram framing (exact-fit rule) and the backend's counter
+		// path must swallow the same bytes without panicking.
+		b := NewBackend(1000, time.Second, func(uint32, []Capture) {})
+		_ = b.IngestDatagram(data)
 	})
 }

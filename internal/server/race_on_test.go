@@ -1,0 +1,8 @@
+//go:build race
+
+package server
+
+// raceEnabled: allocation-count assertions skip under the race
+// detector (sync.Pool deliberately drops items there, so pooled paths
+// allocate on purpose).
+const raceEnabled = true

@@ -1,0 +1,74 @@
+package testbed
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRunIngestMeetsTargets is the ingest acceptance gate: batched v3
+// ingest must clear 5x the seed per-record path's captures/sec/core
+// at the paper's 8-antenna, 16-sample records, with at most 2
+// steady-state allocations per capture, and an absolute throughput
+// floor so the speedup cannot be met by regressing both paths.
+//
+// The speedup is a capability claim measured on loopback sockets of a
+// shared, often single-core CI host, so the gate takes the best of a
+// few full runs: external noise only ever subtracts throughput, and a
+// regression in the batch path fails every attempt.
+func TestRunIngestMeetsTargets(t *testing.T) {
+	if raceEnabled {
+		t.Skip("flood timing is not meaningful under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("flood gate skipped in -short mode")
+	}
+	tb := New()
+	opt := DefaultIngestOptions()
+	// The gate only needs the 8x16 geometry; the full sweep is
+	// atbench's job.
+	opt.Shapes = []IngestShape{{8, 16}}
+	opt.BatchSizes = []int{32}
+	opt.Conns = 4
+	opt.Trials = 7
+
+	const attempts = 3
+	var lastErrs []string
+	for a := 0; a < attempts; a++ {
+		r, err := tb.RunIngest(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range r.Lines {
+			t.Log(l)
+		}
+		get := func(name string) float64 {
+			for _, m := range r.Metrics {
+				if m.Name == name {
+					return m.Value
+				}
+			}
+			t.Fatalf("metric %q missing", name)
+			return 0
+		}
+		lastErrs = nil
+		if s := get("ingest_speedup_8x16"); s < 5.0 {
+			lastErrs = append(lastErrs,
+				fmt.Sprintf("batch32 ingest speedup %.2fx < 5x over the seed per-record path", s))
+		}
+		if al := get("ingest_allocs_batch32_8x16"); al > 2.0 {
+			lastErrs = append(lastErrs,
+				fmt.Sprintf("batch32 steady-state allocs/capture %.2f > 2", al))
+		}
+		if cps := get("ingest_cps_batch32_8x16"); cps < 500_000 {
+			lastErrs = append(lastErrs,
+				fmt.Sprintf("batch32 ingest rate %.0f caps/s/core below the 500k floor", cps))
+		}
+		if len(lastErrs) == 0 {
+			return
+		}
+		t.Logf("attempt %d/%d missed targets: %v", a+1, attempts, lastErrs)
+	}
+	for _, e := range lastErrs {
+		t.Error(e)
+	}
+}
