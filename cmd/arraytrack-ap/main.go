@@ -8,15 +8,24 @@
 //
 // Run several instances with different -id values (1–6) against one
 // arraytrack-server to watch a live multi-AP location fix.
+//
+// With -retries N the upload survives network weather: it reconnects
+// with jittered exponential backoff (first delay -backoff), replays
+// the in-flight batch, and logs one line per attempt. Exit codes then
+// distinguish the failure classes: 0 delivered, 75 (EX_TEMPFAIL) the
+// server never came back within N attempts, 1 a fatal error retrying
+// cannot fix.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"net"
+	"os"
 	"strconv"
 	"strings"
 	"time"
@@ -40,6 +49,9 @@ func main() {
 	priority := flag.Bool("priority", false, "mark captures for the server's latency-priority lane")
 	batch := flag.Int("batch", 0, "upload v3 batch frames of up to this many captures (0 = per-record v1/v2)")
 	udp := flag.Bool("udp", false, "upload batch-frame datagrams over UDP instead of a TCP stream")
+	retries := flag.Int("retries", 0,
+		"reconnect and replay on transient upload errors, up to this many consecutive attempts (0 = fail on the first error; TCP only)")
+	backoff := flag.Duration("backoff", 100*time.Millisecond, "first reconnect delay (doubles per attempt, jittered)")
 	flag.Parse()
 
 	tb := testbed.New()
@@ -115,19 +127,48 @@ func main() {
 	if *udp {
 		network = "udp"
 	}
-	conn, err := net.Dial(network, *addr)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer conn.Close()
 	ctx := context.Background()
-	switch {
-	case *udp:
-		err = node.UploadDatagrams(ctx, conn, server.MaxDatagramBytes)
-	case *batch > 0:
-		err = node.UploadBatch(ctx, conn, *batch)
-	default:
-		err = node.Upload(ctx, conn)
+	var err error
+	if *retries > 0 && !*udp {
+		// Resilient upload: dial our own connections, reconnect with
+		// jittered backoff on network weather, replay the in-flight
+		// batch. Exit codes split the outcomes for supervisors: 0
+		// delivered, 75 (EX_TEMPFAIL) the network never came back, 1
+		// anything that retrying cannot fix.
+		b := *batch
+		if b <= 0 {
+			b = 16
+		}
+		err = node.UploadRetry(ctx, func(ctx context.Context) (net.Conn, error) {
+			return net.Dial(network, *addr)
+		}, server.RetryOptions{
+			Batch:       b,
+			MinBackoff:  *backoff,
+			MaxAttempts: *retries,
+			OnAttempt: func(attempt int, d time.Duration, err error) {
+				log.Printf("AP %d: upload attempt %d/%d failed (%v), reconnecting in %v",
+					*id, attempt, *retries, err, d.Round(time.Millisecond))
+			},
+		})
+		if errors.Is(err, server.ErrRetriesExhausted) {
+			log.Printf("AP %d: giving up: %v", *id, err)
+			os.Exit(75)
+		}
+	} else {
+		var conn net.Conn
+		conn, err = net.Dial(network, *addr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer conn.Close()
+		switch {
+		case *udp:
+			err = node.UploadDatagrams(ctx, conn, server.MaxDatagramBytes)
+		case *batch > 0:
+			err = node.UploadBatch(ctx, conn, *batch)
+		default:
+			err = node.Upload(ctx, conn)
+		}
 	}
 	if err != nil {
 		log.Fatal(err)

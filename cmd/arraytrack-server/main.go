@@ -80,6 +80,10 @@ func logStats(eng *engine.Engine, backend *server.Backend) {
 		log.Printf("udp feed: datagrams=%d captures=%d bad=%d seq_gaps=%d reorders=%d",
 			u.Datagrams, u.Captures, u.Bad, u.SeqGaps, u.SeqReorders)
 	}
+	h := backend.Health()
+	log.Printf("health: conn_errors=%d deadline_reaped=%d quarantines=%d (active=%d, dropped=%d) degraded_flushes=%d stale_dropped=%d shed=%d degraded_fixes=%d leased_workspaces=%d",
+		h.ConnErrors, h.DeadlineReaped, h.Quarantines, h.Quarantined, h.QuarantinedDropped,
+		h.DegradedFlushes, h.StaleDropped, st.Shed, st.DegradedFixes, server.LeasedIngestWorkspaces())
 }
 
 func main() {
@@ -112,6 +116,18 @@ func main() {
 		"JSON knobs file applied at startup and re-applied on SIGHUP (empty disables)")
 	udpAddr := flag.String("udp", "",
 		"also accept batch-frame capture datagrams on this UDP address (empty disables)")
+	degradedQuorum := flag.Int("degraded-quorum", 0,
+		"serve a stuck group once it has this many distinct APs (< quorum) for -degraded-after; fixes are flagged degraded (0 = strict quorum only)")
+	degradedAfter := flag.Duration("degraded-after", server.DefaultDegradedAfter,
+		"stuck-group age that triggers a degraded flush (with -degraded-quorum)")
+	idleTimeout := flag.Duration("idle-timeout", 30*time.Second,
+		"reap an AP connection after this long without a byte (0 disables)")
+	apErrorBudget := flag.Int("ap-error-budget", 0,
+		"connection/decode errors within 10s that quarantine an AP (0 disables quarantine)")
+	quarantineCooldown := flag.Duration("quarantine-cooldown", server.DefaultQuarantineCooldown,
+		"how long a quarantined AP stays isolated before readmission")
+	shedAfter := flag.Duration("shed-after", 0,
+		"fail batch jobs queued longer than this with an overload error instead of serving stale fixes (0 disables)")
 	flag.Parse()
 
 	tb := testbed.New()
@@ -147,6 +163,7 @@ func main() {
 		AgeLimit:     *ageLimit,
 		Predict:      *predict,
 		PredictSigma: *predictSigma,
+		ShedAfter:    *shedAfter,
 	})
 	defer eng.Close()
 
@@ -171,6 +188,9 @@ func main() {
 			if r.Predicted {
 				how = "track-guided"
 			}
+			if r.Degraded {
+				how += ", degraded"
+			}
 			fmt.Printf("client %d located at %v  (%d APs, %s)\n",
 				r.ClientID, r.Pos, len(r.Spectra), how)
 		},
@@ -184,6 +204,11 @@ func main() {
 		},
 	}
 	backend := server.NewBackendDispatcher(*quorum, *window, sink)
+	backend.IdleTimeout = *idleTimeout
+	backend.DegradedQuorum = *degradedQuorum
+	backend.DegradedAfter = *degradedAfter
+	backend.ErrorBudget = *apErrorBudget
+	backend.Cooldown = *quarantineCooldown
 
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -207,11 +232,35 @@ func main() {
 		}()
 	}
 
+	// The degraded-serving janitor: without it, a group stuck below
+	// quorum would only be examined when its client's next capture
+	// arrives — exactly what never happens once an AP dies.
+	if *degradedQuorum > 0 {
+		go func() {
+			t := time.NewTicker(*degradedAfter / 2)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					if flushed, dropped := backend.Sweep(); flushed > 0 || dropped > 0 {
+						log.Printf("sweep: %d degraded flushes, %d stale groups dropped", flushed, dropped)
+					}
+				}
+			}
+		}()
+		log.Printf("degraded serving: quorum %d after %v (sweep every %v)",
+			*degradedQuorum, *degradedAfter, *degradedAfter/2)
+	}
+
 	opsSrv := &ops.Server{
 		Engine:         eng,
 		SynthCache:     cfg.SynthCache,
 		Steering:       cfg.Steering,
 		PendingClients: backend.PendingClients,
+		Backend:        backend,
+		Sink:           sink,
 	}
 	if *knobsPath != "" {
 		applyKnobsFile(opsSrv, *knobsPath)

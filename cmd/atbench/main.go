@@ -172,6 +172,19 @@ var experiments = []experiment{
 		r, _, err := tb.RunOps(opt)
 		return r, err
 	}},
+	{"chaos", "hostile network: AP kill, slow-loris, corrupted frames, overload", func(tb *testbed.Testbed, fast bool) (*testbed.Report, error) {
+		opt := testbed.DefaultChaosOptions()
+		if fast {
+			opt.Steps = 6
+			opt.KillStep = 3
+			opt.Capture.Antennas = 4
+			opt.GridCell = 0.5
+			opt.BurstJobs = 12
+			opt.ShedAfter = time.Millisecond
+		}
+		r, _, err := tb.RunChaos(opt)
+		return r, err
+	}},
 	{"ingest", "flood ingest: v3 batch + pooled decode vs seed per-record path", func(tb *testbed.Testbed, fast bool) (*testbed.Report, error) {
 		opt := testbed.DefaultIngestOptions()
 		if fast {

@@ -1,0 +1,287 @@
+// Package chaos provides deterministic fault injection for the ingest
+// wire. An Injector wraps a net.Conn, an io.Writer, or a
+// datagram-oriented writer and perturbs the byte stream according to a
+// seeded Plan: stalls, partial writes, injected resets, truncated and
+// bit-flipped frames, and dropped/duplicated/reordered datagrams.
+// Every random decision draws from one seeded generator, so a given
+// (Plan, operation sequence) pair replays the exact same fault
+// schedule run after run — the property the testbed's chaos experiment
+// and the regression tests depend on.
+//
+// The injector is the attacker the server's self-defense layer
+// (deadlines, error budgets, quarantine, degraded quorum) is tested
+// against; it has no role in production builds.
+package chaos
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrInjectedReset is the error surfaced by a wrapped writer or
+// connection when the plan fires a reset fault. It satisfies
+// net.Error's Timeout() == false; callers classifying errors see a
+// peer-reset-shaped failure.
+var ErrInjectedReset = errors.New("chaos: injected connection reset")
+
+// Plan describes which faults fire and how often. Probabilities are
+// per operation in [0, 1]; zero values disable the corresponding
+// fault, so the zero Plan is a transparent pass-through.
+type Plan struct {
+	// Seed seeds the injector's random source. Two injectors with the
+	// same Seed and the same operation sequence fire identical faults.
+	Seed int64
+
+	// StallEvery stalls every Nth Write for StallFor before the bytes
+	// move — the slow-loris AP that keeps a connection open without
+	// feeding it. 0 disables.
+	StallEvery int
+	StallFor   time.Duration
+
+	// PartialProb is the chance a Write delivers only a random prefix
+	// of its buffer and then fails with ErrInjectedReset — a connection
+	// dying mid-frame, the case that used to pin a pooled workspace.
+	PartialProb float64
+
+	// FlipProb is the chance a Write has one random bit flipped before
+	// delivery — the corrupted-frame fault the decode validators and
+	// the AP error budget must absorb.
+	FlipProb float64
+
+	// ResetAfterBytes fails every Write with ErrInjectedReset once
+	// this many bytes have been delivered. 0 disables.
+	ResetAfterBytes int64
+
+	// TruncateAfterBytes silently swallows everything past this many
+	// delivered bytes while still reporting success — the half-written
+	// frame a crashing AP leaves on the wire. 0 disables.
+	TruncateAfterBytes int64
+
+	// DropProb, DupProb and ReorderProb apply to datagram writers
+	// (PacketWriter): each datagram may be dropped, sent twice, or
+	// held back one slot so the following datagram overtakes it.
+	DropProb    float64
+	DupProb     float64
+	ReorderProb float64
+}
+
+// Stats counts the faults an injector actually fired.
+type Stats struct {
+	Stalls        uint64
+	PartialWrites uint64
+	BitFlips      uint64
+	Resets        uint64
+	Truncations   uint64
+	Dropped       uint64
+	Duplicated    uint64
+	Reordered     uint64
+}
+
+// Injector owns the seeded random source and fault counters shared by
+// every wrapper it hands out. Safe for concurrent use; concurrent
+// writers serialize on the injector's lock (fault order across
+// goroutines is then scheduling-dependent, but single-writer use —
+// the deterministic-harness case — replays exactly).
+type Injector struct {
+	plan Plan
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	stats     Stats
+	delivered int64 // bytes actually passed to the underlying writer
+	writes    int   // Write calls observed (stall schedule)
+	scratch   []byte
+	pocket    []byte // reorder hold slot (datagram writers)
+}
+
+// NewInjector returns an injector executing the given plan.
+func NewInjector(plan Plan) *Injector {
+	return &Injector{plan: plan, rng: rand.New(rand.NewSource(plan.Seed))}
+}
+
+// Stats returns a snapshot of the fired-fault counters.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// chance draws one uniform variate under the injector lock.
+func (in *Injector) chance(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	return in.rng.Float64() < p
+}
+
+// write runs one stream write through the fault schedule. Caller does
+// NOT hold the lock.
+func (in *Injector) write(w io.Writer, p []byte) (int, error) {
+	in.mu.Lock()
+	in.writes++
+	stall := time.Duration(0)
+	if in.plan.StallEvery > 0 && in.writes%in.plan.StallEvery == 0 && in.plan.StallFor > 0 {
+		stall = in.plan.StallFor
+		in.stats.Stalls++
+	}
+	if in.plan.ResetAfterBytes > 0 && in.delivered >= in.plan.ResetAfterBytes {
+		in.stats.Resets++
+		in.mu.Unlock()
+		return 0, ErrInjectedReset
+	}
+	if in.plan.TruncateAfterBytes > 0 && in.delivered >= in.plan.TruncateAfterBytes {
+		in.stats.Truncations++
+		in.mu.Unlock()
+		return len(p), nil // swallowed, reported as delivered
+	}
+	buf := p
+	if in.chance(in.plan.FlipProb) && len(p) > 0 {
+		if cap(in.scratch) < len(p) {
+			in.scratch = make([]byte, len(p))
+		}
+		buf = in.scratch[:len(p)]
+		copy(buf, p)
+		bit := in.rng.Intn(len(buf) * 8)
+		buf[bit/8] ^= 1 << (bit % 8)
+		in.stats.BitFlips++
+	}
+	partial := -1
+	if in.chance(in.plan.PartialProb) && len(buf) > 1 {
+		partial = 1 + in.rng.Intn(len(buf)-1)
+		in.stats.PartialWrites++
+	}
+	in.mu.Unlock()
+
+	// The stall and the underlying write run outside the lock so a
+	// stalled connection cannot freeze an injector shared with others.
+	if stall > 0 {
+		time.Sleep(stall)
+	}
+	if partial >= 0 {
+		n, err := w.Write(buf[:partial])
+		in.account(n)
+		if err != nil {
+			return n, err
+		}
+		return n, ErrInjectedReset
+	}
+	n, err := w.Write(buf)
+	in.account(n)
+	return n, err
+}
+
+func (in *Injector) account(n int) {
+	if n <= 0 {
+		return
+	}
+	in.mu.Lock()
+	in.delivered += int64(n)
+	in.mu.Unlock()
+}
+
+// faultWriter applies the injector's stream-fault schedule to Writes.
+type faultWriter struct {
+	in *Injector
+	w  io.Writer
+}
+
+func (f *faultWriter) Write(p []byte) (int, error) { return f.in.write(f.w, p) }
+
+// Writer wraps a stream writer (typically the AP side of a TCP
+// connection) with the plan's stream faults.
+func (in *Injector) Writer(w io.Writer) io.Writer { return &faultWriter{in: in, w: w} }
+
+// faultConn is a net.Conn whose writes run through the fault schedule
+// and whose reads may be chopped into 1-byte slivers (partial reads).
+type faultConn struct {
+	net.Conn
+	in *Injector
+}
+
+func (c *faultConn) Write(p []byte) (int, error) { return c.in.write(c.Conn, p) }
+
+func (c *faultConn) Read(p []byte) (int, error) {
+	c.in.mu.Lock()
+	sliver := c.in.chance(c.in.plan.PartialProb) && len(p) > 1
+	c.in.mu.Unlock()
+	if sliver {
+		return c.Conn.Read(p[:1])
+	}
+	return c.Conn.Read(p)
+}
+
+// Conn wraps a connection with the plan's faults: writes get the
+// stream schedule (stalls, flips, partial writes, resets,
+// truncation), reads get PartialProb-driven 1-byte slivers.
+func (in *Injector) Conn(c net.Conn) net.Conn { return &faultConn{Conn: c, in: in} }
+
+// packetWriter applies datagram faults: each Write is one datagram.
+type packetWriter struct {
+	in *Injector
+	w  io.Writer
+}
+
+func (pw *packetWriter) Write(p []byte) (int, error) {
+	in := pw.in
+	in.mu.Lock()
+	switch {
+	case in.chance(in.plan.DropProb):
+		in.stats.Dropped++
+		in.mu.Unlock()
+		return len(p), nil
+	case in.chance(in.plan.DupProb):
+		in.stats.Duplicated++
+		in.mu.Unlock()
+		if _, err := pw.w.Write(p); err != nil {
+			return 0, err
+		}
+		return pw.w.Write(p)
+	case in.chance(in.plan.ReorderProb) && in.pocket == nil:
+		// Hold this datagram; the next one overtakes it.
+		in.stats.Reordered++
+		in.pocket = append([]byte(nil), p...)
+		in.mu.Unlock()
+		return len(p), nil
+	}
+	held := in.pocket
+	in.pocket = nil
+	in.mu.Unlock()
+	n, err := pw.w.Write(p)
+	if err != nil {
+		return n, err
+	}
+	if held != nil {
+		if _, err := pw.w.Write(held); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// Flush releases a datagram held for reordering, if any.
+func (pw *packetWriter) Flush() error {
+	pw.in.mu.Lock()
+	held := pw.in.pocket
+	pw.in.pocket = nil
+	pw.in.mu.Unlock()
+	if held == nil {
+		return nil
+	}
+	_, err := pw.w.Write(held)
+	return err
+}
+
+// PacketWriter wraps a datagram writer (each Write is one datagram,
+// e.g. a UDP net.Conn) with the plan's drop/duplicate/reorder faults.
+// Call Flush at end of stream to release a datagram held back for
+// reordering.
+func (in *Injector) PacketWriter(w io.Writer) *PacketConn {
+	return &PacketConn{packetWriter{in: in, w: w}}
+}
+
+// PacketConn is the concrete datagram wrapper PacketWriter returns.
+type PacketConn struct{ packetWriter }

@@ -1,0 +1,215 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// run pushes a fixed write sequence through a fresh injector and
+// returns what landed plus the fired-fault stats.
+func run(t *testing.T, plan Plan, writes int, size int) ([]byte, Stats) {
+	t.Helper()
+	var sink bytes.Buffer
+	in := NewInjector(plan)
+	w := in.Writer(&sink)
+	payload := make([]byte, size)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	for i := 0; i < writes; i++ {
+		if _, err := w.Write(payload); err != nil && !errors.Is(err, ErrInjectedReset) {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	return sink.Bytes(), in.Stats()
+}
+
+func TestZeroPlanIsTransparent(t *testing.T) {
+	got, st := run(t, Plan{Seed: 1}, 10, 100)
+	if len(got) != 1000 {
+		t.Fatalf("delivered %d bytes, want 1000", len(got))
+	}
+	if st != (Stats{}) {
+		t.Fatalf("zero plan fired faults: %+v", st)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	plan := Plan{Seed: 42, FlipProb: 0.3, PartialProb: 0.2}
+	a, sa := run(t, plan, 50, 64)
+	b, sb := run(t, plan, 50, 64)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed produced different byte streams (%d vs %d bytes)", len(a), len(b))
+	}
+	if sa != sb {
+		t.Fatalf("same seed produced different stats: %+v vs %+v", sa, sb)
+	}
+	if sa.BitFlips == 0 || sa.PartialWrites == 0 {
+		t.Fatalf("expected flips and partials to fire over 50 writes: %+v", sa)
+	}
+	c, _ := run(t, Plan{Seed: 43, FlipProb: 0.3, PartialProb: 0.2}, 50, 64)
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical fault schedules")
+	}
+}
+
+func TestBitFlipCorruptsExactlyOneBit(t *testing.T) {
+	got, st := run(t, Plan{Seed: 7, FlipProb: 1}, 1, 32)
+	if st.BitFlips != 1 {
+		t.Fatalf("BitFlips = %d, want 1", st.BitFlips)
+	}
+	clean := make([]byte, 32)
+	for i := range clean {
+		clean[i] = byte(i)
+	}
+	diff := 0
+	for i := range clean {
+		x := clean[i] ^ got[i]
+		for ; x != 0; x &= x - 1 {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("flipped %d bits, want exactly 1", diff)
+	}
+}
+
+func TestResetAfterBytes(t *testing.T) {
+	var sink bytes.Buffer
+	in := NewInjector(Plan{Seed: 1, ResetAfterBytes: 150})
+	w := in.Writer(&sink)
+	buf := make([]byte, 100)
+	if _, err := w.Write(buf); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	if _, err := w.Write(buf); err != nil {
+		t.Fatalf("second write (crosses threshold mid-write, delivered): %v", err)
+	}
+	if _, err := w.Write(buf); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("third write err = %v, want ErrInjectedReset", err)
+	}
+	if st := in.Stats(); st.Resets != 1 {
+		t.Fatalf("Resets = %d, want 1", st.Resets)
+	}
+}
+
+func TestTruncateAfterBytesSwallowsSilently(t *testing.T) {
+	var sink bytes.Buffer
+	in := NewInjector(Plan{Seed: 1, TruncateAfterBytes: 100})
+	w := in.Writer(&sink)
+	buf := make([]byte, 100)
+	for i := 0; i < 3; i++ {
+		n, err := w.Write(buf)
+		if err != nil || n != 100 {
+			t.Fatalf("write %d: n=%d err=%v, want silent success", i, n, err)
+		}
+	}
+	if sink.Len() != 100 {
+		t.Fatalf("delivered %d bytes, want 100 (rest truncated)", sink.Len())
+	}
+	if st := in.Stats(); st.Truncations != 2 {
+		t.Fatalf("Truncations = %d, want 2", st.Truncations)
+	}
+}
+
+func TestStallSchedule(t *testing.T) {
+	var sink bytes.Buffer
+	in := NewInjector(Plan{Seed: 1, StallEvery: 2, StallFor: 10 * time.Millisecond})
+	w := in.Writer(&sink)
+	start := time.Now()
+	for i := 0; i < 4; i++ {
+		if _, err := w.Write([]byte{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if el := time.Since(start); el < 20*time.Millisecond {
+		t.Fatalf("4 writes with StallEvery=2 took %v, want ≥ 20ms", el)
+	}
+	if st := in.Stats(); st.Stalls != 2 {
+		t.Fatalf("Stalls = %d, want 2", st.Stalls)
+	}
+}
+
+// datagramSink records each Write as one datagram.
+type datagramSink struct{ grams [][]byte }
+
+func (d *datagramSink) Write(p []byte) (int, error) {
+	d.grams = append(d.grams, append([]byte(nil), p...))
+	return len(p), nil
+}
+
+func TestPacketWriterDropDupReorder(t *testing.T) {
+	mk := func(plan Plan, n int) [][]byte {
+		var sink datagramSink
+		in := NewInjector(plan)
+		pw := in.PacketWriter(&sink)
+		for i := 0; i < n; i++ {
+			if _, err := pw.Write([]byte{byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := pw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return sink.grams
+	}
+	if got := mk(Plan{Seed: 3, DropProb: 1}, 5); len(got) != 0 {
+		t.Fatalf("DropProb=1 delivered %d datagrams, want 0", len(got))
+	}
+	if got := mk(Plan{Seed: 3, DupProb: 1}, 5); len(got) != 10 {
+		t.Fatalf("DupProb=1 delivered %d datagrams, want 10", len(got))
+	}
+	got := mk(Plan{Seed: 3, ReorderProb: 1}, 3)
+	if len(got) != 3 {
+		t.Fatalf("reorder delivered %d datagrams, want 3", len(got))
+	}
+	// With ReorderProb=1 and a single hold slot: gram 0 is pocketed,
+	// gram 1 finds the pocket occupied and goes straight out followed
+	// by gram 0, gram 2 is pocketed and flushed at the end.
+	want := []byte{1, 0, 2}
+	for i, g := range got {
+		if g[0] != want[i] {
+			t.Fatalf("delivery order %v, want %v", flatten(got), want)
+		}
+	}
+}
+
+func flatten(grams [][]byte) []byte {
+	var out []byte
+	for _, g := range grams {
+		out = append(out, g...)
+	}
+	return out
+}
+
+func TestConnPartialReadSlivers(t *testing.T) {
+	in := NewInjector(Plan{Seed: 9, PartialProb: 1})
+	r, w := io.Pipe()
+	defer w.Close()
+	go w.Write(bytes.Repeat([]byte{7}, 16))
+	wrapped := in.Conn(pipeConn{r})
+	buf := make([]byte, 16)
+	n, err := wrapped.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("partial read returned %d bytes, want 1-byte sliver", n)
+	}
+}
+
+// pipeConn adapts an io.Reader into the minimal net.Conn the wrapper
+// needs for read-side tests.
+type pipeConn struct{ io.Reader }
+
+func (pipeConn) Write(p []byte) (int, error)      { return len(p), nil }
+func (pipeConn) Close() error                     { return nil }
+func (pipeConn) LocalAddr() net.Addr              { return nil }
+func (pipeConn) RemoteAddr() net.Addr             { return nil }
+func (pipeConn) SetDeadline(time.Time) error      { return nil }
+func (pipeConn) SetReadDeadline(time.Time) error  { return nil }
+func (pipeConn) SetWriteDeadline(time.Time) error { return nil }

@@ -33,6 +33,14 @@ import (
 // ErrClosed is returned by Submit-family calls after Close.
 var ErrClosed = errors.New("engine: closed")
 
+// ErrOverloaded fails a batch job the engine shed instead of running:
+// the job sat queued longer than Options.ShedAfter, so its captures
+// describe where the client *was* — localizing them now would burn a
+// worker on a stale answer while fresher jobs queue up behind. The
+// done callback still runs (with this error), so submitters always
+// hear back.
+var ErrOverloaded = errors.New("engine: overloaded, job shed")
+
 // ErrQuota is returned by Submit when the client already holds its
 // full scheduler quota of admitted-but-uncompleted jobs (see
 // Options.ClientQuota). The submission was refused, not queued.
@@ -77,6 +85,10 @@ type Request struct {
 	// Time is the capture timestamp, used by the tracker to advance
 	// the client's Kalman state. Zero means the tracker's clock.
 	Time time.Time
+	// Degraded marks a job built from a degraded-quorum capture group
+	// (see server.Capture.Degraded): the fix is flagged end-to-end and
+	// the tracker widens its outlier gate for it.
+	Degraded bool
 }
 
 // Result is one location fix (or failure) for a client.
@@ -92,6 +104,10 @@ type Result struct {
 	// Track is the smoothed track update for this fix when the engine
 	// has a Tracker; nil otherwise (and on failures).
 	Track *TrackUpdate
+	// Degraded mirrors the request's degraded-quorum flag so consumers
+	// of the fix stream can tell full-quorum fixes from best-effort
+	// ones.
+	Degraded bool
 }
 
 // Options configures an Engine.
@@ -145,6 +161,13 @@ type Options struct {
 	// PredictMinFixes overrides how many accepted fixes a track needs
 	// before predictions are trusted (0 means DefaultPredictMinFixes).
 	PredictMinFixes int
+	// ShedAfter enables overload shedding when positive: a batch job
+	// that waited in the queue longer than this is failed with
+	// ErrOverloaded instead of localized — under sustained overload
+	// the engine serves the freshest work at full speed rather than
+	// everything at unbounded latency. Priority jobs are never shed.
+	// 0 disables shedding. Hot-reloadable via SetShedAfter.
+	ShedAfter time.Duration
 	// NoPreempt disables the cooperative yield-steal: batch fixes run
 	// their synthesis to completion and priority jobs wait for the
 	// next free worker, as before the scheduler subsystem. Kept as an
@@ -167,6 +190,13 @@ type Stats struct {
 	Rejected uint64
 	// QuotaRejected is the subset of Rejected refused with ErrQuota.
 	QuotaRejected uint64
+	// Shed is the number of batch jobs failed with ErrOverloaded
+	// because they aged past ShedAfter before a worker got to them
+	// (included in Failures and Completed).
+	Shed uint64
+	// DegradedFixes is the number of successful fixes produced from
+	// degraded-quorum capture groups (included in Fixes).
+	DegradedFixes uint64
 	// TrackedClients is the number of live client tracks (0 without a
 	// tracker).
 	TrackedClients int
@@ -235,6 +265,9 @@ type Stats struct {
 type job struct {
 	req  Request
 	done func(Result)
+	// enq is the submission instant, stamped only while shedding is
+	// enabled (the batch path pays no clock read otherwise).
+	enq time.Time
 }
 
 // Engine runs localization jobs on a fixed worker pool scheduled by
@@ -265,6 +298,10 @@ type Engine struct {
 	predBorder    atomic.Uint64
 	predGate      atomic.Uint64
 	predRegionErr atomic.Uint64
+
+	shedAfter atomic.Int64 // nanoseconds; 0 = shedding off; hot-reloaded by SetShedAfter
+	shed      atomic.Uint64
+	degFixes  atomic.Uint64
 }
 
 // New starts an engine with opt.Workers workers. Close it when done.
@@ -312,6 +349,9 @@ func New(opt Options) *Engine {
 	if opt.Predict && opt.Tracker != nil {
 		e.SetPredictSigma(opt.PredictSigma)
 	}
+	if opt.ShedAfter > 0 {
+		e.shedAfter.Store(int64(opt.ShedAfter))
+	}
 	// Batch jobs yield between synthesis chunks: a waiting priority
 	// job is stolen and run inline, preempting the batch surface by
 	// microseconds instead of a whole in-flight fix.
@@ -340,6 +380,19 @@ func (e *Engine) worker() {
 // quota token.
 func (e *Engine) execute(it sched.Item) {
 	j := it.Payload.(job)
+	// Overload shedding: a batch job that aged past ShedAfter in the
+	// queue is failed, not localized — its captures are stale and
+	// fresher work is waiting. Counted in Failures so the
+	// Completed == Fixes + Failures invariant (and Drain accounting)
+	// holds.
+	if shed := e.shedAfter.Load(); shed > 0 && !j.req.Priority && !j.enq.IsZero() &&
+		time.Since(j.enq) > time.Duration(shed) {
+		e.shed.Add(1)
+		e.failures.Add(1)
+		e.q.Done(it.Client)
+		j.done(Result{ClientID: j.req.ClientID, Err: ErrOverloaded, Degraded: j.req.Degraded})
+		return
+	}
 	r := e.run(j.req)
 	e.q.Done(it.Client)
 	j.done(r)
@@ -383,8 +436,12 @@ func (e *Engine) run(req Request) Result {
 		}
 	}
 	e.fixes.Add(1)
+	r.Degraded = req.Degraded
+	if req.Degraded {
+		e.degFixes.Add(1)
+	}
 	if e.tracker != nil {
-		upd := e.tracker.Observe(req.ClientID, r.Pos, req.Time)
+		upd := e.tracker.ObserveFix(req.ClientID, r.Pos, req.Time, req.Degraded)
 		r.Track = &upd
 	}
 	return r
@@ -463,10 +520,14 @@ func (e *Engine) Submit(req Request, done func(Result)) error {
 	if req.Priority {
 		e.prioSub.Add(1)
 	}
+	j := job{req: req, done: done}
+	if e.shedAfter.Load() > 0 {
+		j.enq = time.Now()
+	}
 	err := e.q.Push(sched.Item{
 		Client:   req.ClientID,
 		Priority: req.Priority,
-		Payload:  job{req: req, done: done},
+		Payload:  j,
 	})
 	if err != nil {
 		e.submitted.Add(^uint64(0))
@@ -513,6 +574,23 @@ func (e *Engine) SetPredictSigma(sigma float64) {
 		sigma = g // the region must cover everything the gate accepts
 	}
 	e.predSigma.Store(math.Float64bits(sigma))
+}
+
+// ShedAfter returns the live overload-shedding age bound (0 =
+// shedding is off).
+func (e *Engine) ShedAfter() time.Duration {
+	return time.Duration(e.shedAfter.Load())
+}
+
+// SetShedAfter hot-reloads the overload-shedding age bound: positive
+// sheds batch jobs older than d at execution time, zero or negative
+// disables shedding. Takes effect on jobs submitted after the call
+// (already-queued jobs keep their enqueue stamps).
+func (e *Engine) SetShedAfter(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	e.shedAfter.Store(int64(d))
 }
 
 // SetClientQuota hot-reloads the scheduler's per-client token budget
@@ -571,6 +649,8 @@ func (e *Engine) Stats() Stats {
 		Failures:               failures,
 		Rejected:               e.rejected.Load(),
 		QuotaRejected:          e.quotaRej.Load(),
+		Shed:                   e.shed.Load(),
+		DegradedFixes:          e.degFixes.Load(),
 		Predicted:              e.predicted.Load(),
 		PredictFallbackNoTrack: e.predNoTrack.Load(),
 		PredictFallbackBorder:  e.predBorder.Load(),

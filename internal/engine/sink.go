@@ -3,6 +3,7 @@ package engine
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -45,10 +46,25 @@ type CaptureSink struct {
 	// downgraded to the batch lane. 0 means DefaultPriorityInterval;
 	// negative disables the throttle (trusted feeds only).
 	PriorityInterval time.Duration
+	// MaxClockSkew guards the track clock against AP clock skew: a
+	// capture timestamp more than this far in the server's future is
+	// ignored for the job's time selection (newest-capture, region
+	// recency) and counted, so one AP with a broken clock cannot steer
+	// the Kalman dt or win every region race. The frames themselves
+	// still localize. 0 means 10 s; negative disables the guard.
+	MaxClockSkew time.Duration
+	// Now overrides the skew-guard clock (tests); nil means time.Now.
+	Now func() time.Time
 
 	mu       sync.Mutex
 	lastPrio map[uint32]time.Time
+
+	skewIgnored atomic.Uint64
 }
+
+// SkewIgnored returns how many capture timestamps the clock-skew
+// guard has excluded from time selection.
+func (s *CaptureSink) SkewIgnored() uint64 { return s.skewIgnored.Load() }
 
 // priorityTableCap bounds the per-client grant table. Client IDs
 // arrive from the wire, so without a hard cap a flood of unique IDs
@@ -123,7 +139,21 @@ func (s *CaptureSink) Dispatch(clientID uint32, captures []server.Capture) {
 	resolved := make(map[uint32]*core.AP)
 	var region core.Region
 	var regionAt time.Time
-	var priority bool
+	var priority, degraded bool
+	// Clock-skew guard: compute the admissible-future horizon once per
+	// flush. Captures stamped beyond it still localize, but their
+	// timestamps are ignored for newest/region selection.
+	var horizon time.Time
+	if skew := s.MaxClockSkew; skew >= 0 {
+		if skew == 0 {
+			skew = 10 * time.Second
+		}
+		now := time.Now
+		if s.Now != nil {
+			now = s.Now
+		}
+		horizon = now().Add(skew)
+	}
 	for _, c := range captures {
 		ap, seen := resolved[c.APID]
 		if !seen {
@@ -137,13 +167,18 @@ func (s *CaptureSink) Dispatch(clientID uint32, captures []server.Capture) {
 			order = append(order, c.APID)
 		}
 		byAP[c.APID] = append(byAP[c.APID], core.FrameCapture{Streams: c.Streams})
+		priority = priority || c.Priority
+		degraded = degraded || c.Degraded
+		if !horizon.IsZero() && c.Timestamp.After(horizon) {
+			s.skewIgnored.Add(1)
+			continue // skewed stamp: the frames count, the clock does not
+		}
 		if c.Timestamp.After(newest[c.APID]) {
 			newest[c.APID] = c.Timestamp
 		}
 		if !c.Region.IsZero() && (regionAt.IsZero() || c.Timestamp.After(regionAt)) {
 			region, regionAt = c.Region, c.Timestamp
 		}
-		priority = priority || c.Priority
 	}
 	aps := make([]*core.AP, 0, len(order))
 	frames := make([][]core.FrameCapture, 0, len(order))
@@ -181,7 +216,7 @@ func (s *CaptureSink) Dispatch(clientID uint32, captures []server.Capture) {
 	req := Request{
 		ClientID: clientID, APs: aps, Captures: frames,
 		Min: s.Min, Max: s.Max, Time: at,
-		Region: region, Priority: priority,
+		Region: region, Priority: priority, Degraded: degraded,
 	}
 	if err := s.Engine.Submit(req, finish); err != nil {
 		finish(Result{ClientID: clientID, Err: err})

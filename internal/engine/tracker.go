@@ -33,6 +33,17 @@ type TrackerOptions struct {
 	// TTL evicts a client whose last fix is older than this (0 means
 	// 30 s; negative disables eviction).
 	TTL time.Duration
+	// MaxClockSkew is the clock-skew guard: a fix stamped more than
+	// this far in the tracker's future is treated as stamped "now"
+	// (counted in SkewClamped) instead of letting one AP with a broken
+	// clock fast-forward the Kalman dt and poison the velocity
+	// estimate. 0 means 10 s; negative disables the guard.
+	MaxClockSkew time.Duration
+	// DegradedGateScale widens the Mahalanobis gate for fixes flagged
+	// Degraded (localized from fewer APs, so noisier): the gate radius
+	// is multiplied by this for that one update. 0 means 1.5; values
+	// below 1 are treated as 1 (never narrow the gate).
+	DegradedGateScale float64
 	// Now overrides the clock, for tests and simulations. nil means
 	// time.Now.
 	Now func() time.Time
@@ -52,6 +63,18 @@ func (o TrackerOptions) withDefaults() TrackerOptions {
 	}
 	if o.TTL == 0 {
 		o.TTL = 30 * time.Second
+	}
+	if o.MaxClockSkew == 0 {
+		o.MaxClockSkew = 10 * time.Second
+	} else if o.MaxClockSkew < 0 {
+		o.MaxClockSkew = 0
+	}
+	if o.DegradedGateScale < 1 {
+		if o.DegradedGateScale == 0 {
+			o.DegradedGateScale = 1.5
+		} else {
+			o.DegradedGateScale = 1
+		}
 	}
 	if o.Now == nil {
 		o.Now = time.Now
@@ -75,6 +98,9 @@ type TrackUpdate struct {
 	Vel geom.Vec
 	// Accepted reports whether the fix passed the outlier gate.
 	Accepted bool
+	// Degraded marks an update produced from a degraded-quorum fix
+	// (fewer APs than the full quorum; see server.Capture.Degraded).
+	Degraded bool
 }
 
 // TrackerStats is a snapshot of tracker counters.
@@ -88,6 +114,19 @@ type TrackerStats struct {
 	GateRejects uint64
 	// Evicted is the cumulative number of stale clients removed.
 	Evicted uint64
+	// SkewClamped is the cumulative number of fixes whose timestamp sat
+	// beyond MaxClockSkew in the future and was clamped to the
+	// tracker's clock.
+	SkewClamped uint64
+	// NonMonotonic is the cumulative number of fixes that arrived with
+	// a timestamp behind their track's last fix (folded in with dt = 0,
+	// never rejected — capture grouping can legitimately reorder
+	// flushes slightly, but a persistent count flags a skewed AP
+	// clock).
+	NonMonotonic uint64
+	// DegradedObserved is the cumulative number of degraded-quorum
+	// fixes folded in.
+	DegradedObserved uint64
 }
 
 type clientTrack struct {
@@ -116,9 +155,12 @@ type Tracker struct {
 	subs      map[int]chan TrackUpdate
 	nextSub   int
 
-	observed    uint64
-	gateRejects uint64
-	evicted     uint64
+	observed     uint64
+	gateRejects  uint64
+	evicted      uint64
+	skewClamped  uint64
+	nonMonotonic uint64
+	degradedObs  uint64
 }
 
 // NewTracker returns a tracker with the given options.
@@ -155,8 +197,27 @@ func (t *Tracker) SetTTL(d time.Duration) {
 // long gap would predict a position (and gate) with no relation to
 // where the client reappears.
 func (t *Tracker) Observe(clientID uint32, fix geom.Point, at time.Time) TrackUpdate {
+	return t.ObserveFix(clientID, fix, at, false)
+}
+
+// ObserveFix is Observe with the fix's degraded-quorum flag: a
+// degraded fix (localized from fewer APs, so noisier) is folded in
+// through a Mahalanobis gate widened by DegradedGateScale, so a
+// genuine-but-noisier fix keeps updating the track while the regular
+// gate still rejects wild outliers. The clock-skew guard applies
+// either way: timestamps beyond MaxClockSkew in the tracker's future
+// are clamped to now (a broken AP clock must not fast-forward the
+// Kalman dt), and fixes behind the track's last timestamp are folded
+// in at dt = 0 and counted (NonMonotonic).
+func (t *Tracker) ObserveFix(clientID uint32, fix geom.Point, at time.Time, degraded bool) TrackUpdate {
+	skewed := false
 	if at.IsZero() {
 		at = t.opt.Now()
+	} else if skew := t.opt.MaxClockSkew; skew > 0 {
+		if now := t.opt.Now(); at.Sub(now) > skew {
+			at = now
+			skewed = true
+		}
 	}
 
 	ttl := t.TTL()
@@ -184,16 +245,24 @@ func (t *Tracker) Observe(clientID uint32, fix geom.Point, at time.Time) TrackUp
 	t.mu.Unlock()
 
 	dt := 0.0
+	backwards := false
 	if !ct.last.IsZero() {
-		if d := at.Sub(ct.last).Seconds(); d > 0 {
+		switch d := at.Sub(ct.last).Seconds(); {
+		case d > 0:
 			dt = d
+		case d < 0:
+			backwards = true
 		}
 	}
-	accepted, err := ct.filter.Update(fix, dt)
+	gateScale := 1.0
+	if degraded {
+		gateScale = t.opt.DegradedGateScale
+	}
+	accepted, err := ct.filter.UpdateScaled(fix, dt, gateScale)
 	if err != nil {
 		// Degenerate covariance: restart the track at the fix.
 		ct.filter = track.NewFilter(t.opt.ProcessNoise, t.opt.MeasSigma, t.opt.Gate)
-		accepted, _ = ct.filter.Update(fix, 0)
+		accepted, _ = ct.filter.UpdateScaled(fix, 0, gateScale)
 	}
 	if at.After(ct.last) {
 		ct.last = at
@@ -207,6 +276,15 @@ func (t *Tracker) Observe(clientID uint32, fix geom.Point, at time.Time) TrackUp
 	if !accepted {
 		t.gateRejects++
 	}
+	if skewed {
+		t.skewClamped++
+	}
+	if backwards {
+		t.nonMonotonic++
+	}
+	if degraded {
+		t.degradedObs++
+	}
 	upd := TrackUpdate{
 		ClientID: clientID,
 		Time:     at,
@@ -214,6 +292,7 @@ func (t *Tracker) Observe(clientID uint32, fix geom.Point, at time.Time) TrackUp
 		Smoothed: pos,
 		Vel:      vel,
 		Accepted: accepted,
+		Degraded: degraded,
 	}
 	for _, ch := range t.subs {
 		select {
@@ -438,9 +517,12 @@ func (t *Tracker) Stats() TrackerStats {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return TrackerStats{
-		Clients:     len(t.clients),
-		Observed:    t.observed,
-		GateRejects: t.gateRejects,
-		Evicted:     t.evicted,
+		Clients:          len(t.clients),
+		Observed:         t.observed,
+		GateRejects:      t.gateRejects,
+		Evicted:          t.evicted,
+		SkewClamped:      t.skewClamped,
+		NonMonotonic:     t.nonMonotonic,
+		DegradedObserved: t.degradedObs,
 	}
 }

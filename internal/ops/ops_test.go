@@ -14,6 +14,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/music"
 	"repro/internal/ops"
+	"repro/internal/server"
 )
 
 // walkTracker builds a tracker with a few matured client tracks on a
@@ -97,9 +98,14 @@ func opsServer(t *testing.T) (*ops.Server, *engine.Engine, *engine.Tracker) {
 	})
 	t.Cleanup(eng.Close)
 	pending := 3
+	backend := server.NewBackend(2, 100*time.Millisecond, func(uint32, []server.Capture) {})
+	backend.ErrorBudget = 2
+	backend.NoteAPError(5)
+	backend.NoteAPError(5) // quarantine AP 5 so the gauge is non-zero
 	return &ops.Server{
 		Engine: eng, SynthCache: synth, Steering: steer,
 		PendingClients: func() int { return pending },
+		Backend:        backend,
 	}, eng, tr
 }
 
@@ -133,6 +139,21 @@ func TestMetricsEndpoint(t *testing.T) {
 		"arraytrack_predict_sigma 4",
 		"arraytrack_client_quota 16",
 		"arraytrack_track_observed_total 16",
+		"arraytrack_shed_total 0",
+		"arraytrack_degraded_fixes_total 0",
+		"arraytrack_track_skew_clamped_total 0",
+		"arraytrack_track_nonmonotonic_total 0",
+		"arraytrack_ap_quarantines_total 1",
+		"arraytrack_quarantined_aps 1",
+		"arraytrack_quarantine_dropped_total 0",
+		"arraytrack_degraded_flushes_total 0",
+		"arraytrack_stale_dropped_total 0",
+		"arraytrack_conn_errors_total 0",
+		"arraytrack_deadline_reaped_total 0",
+		"# TYPE arraytrack_udp_seq_gaps_total counter",
+		"# TYPE arraytrack_udp_datagrams_total counter",
+		"# TYPE arraytrack_leased_ingest_workspaces gauge",
+		"arraytrack_shed_after_ms 0",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("metrics exposition missing %q", want)
@@ -192,7 +213,7 @@ func TestKnobsApplyAndReadback(t *testing.T) {
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
-	doc := `{"synth_cache_budget": 1048576, "client_quota": 4, "predict_sigma": 6, "track_ttl_ms": 5000}`
+	doc := `{"synth_cache_budget": 1048576, "client_quota": 4, "predict_sigma": 6, "track_ttl_ms": 5000, "shed_after_ms": 250}`
 	resp, err := ts.Client().Post(ts.URL+"/knobs", "application/json", strings.NewReader(doc))
 	if err != nil {
 		t.Fatal(err)
@@ -204,8 +225,8 @@ func TestKnobsApplyAndReadback(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if len(applied.Applied) != 4 {
-		t.Fatalf("applied = %v, want 4 knobs", applied.Applied)
+	if len(applied.Applied) != 5 {
+		t.Fatalf("applied = %v, want 5 knobs", applied.Applied)
 	}
 	if b := srv.SynthCache.Budget(); b != 1<<20 {
 		t.Fatalf("synth budget = %d, want %d", b, 1<<20)
@@ -218,6 +239,9 @@ func TestKnobsApplyAndReadback(t *testing.T) {
 	}
 	if ttl := tr.TTL(); ttl != 5*time.Second {
 		t.Fatalf("track TTL = %v, want 5s", ttl)
+	}
+	if shed := eng.ShedAfter(); shed != 250*time.Millisecond {
+		t.Fatalf("shed after = %v, want 250ms", shed)
 	}
 
 	// Unnamed knobs stay put (partial update), and readback agrees.

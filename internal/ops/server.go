@@ -13,6 +13,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/geom"
 	"repro/internal/music"
+	"repro/internal/server"
 )
 
 // Server exposes a running engine's metrics, per-client track
@@ -31,6 +32,13 @@ type Server struct {
 	// PendingClients, when non-nil, reports the backend's count of
 	// clients buffered below quorum (exported as a gauge).
 	PendingClients func() int
+	// Backend, when non-nil, exports the ingest self-defense counters
+	// (connection errors, idle reaps, AP quarantine, degraded flushes)
+	// and the UDP datagram-mode health counters.
+	Backend *server.Backend
+	// Sink, when non-nil, exports the capture sink's clock-skew guard
+	// counter.
+	Sink *engine.CaptureSink
 }
 
 // Handler returns the ops mux:
@@ -118,6 +126,35 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		p.gauge("arraytrack_pending_clients", "Clients buffered below capture quorum.", int64(s.PendingClients()))
 	}
 
+	p.counter("arraytrack_shed_total", "Batch jobs failed with ErrOverloaded after ageing past the shed bound.", st.Shed)
+	p.counter("arraytrack_degraded_fixes_total", "Fixes produced from degraded-quorum capture groups.", st.DegradedFixes)
+	if tr := s.Engine.Tracker(); tr != nil {
+		ts := tr.Stats()
+		p.counter("arraytrack_track_skew_clamped_total", "Fix timestamps clamped by the tracker's clock-skew guard.", ts.SkewClamped)
+		p.counter("arraytrack_track_nonmonotonic_total", "Fixes that arrived behind their track (folded in at dt=0).", ts.NonMonotonic)
+		p.counter("arraytrack_track_degraded_observed_total", "Degraded-quorum fixes folded into tracks.", ts.DegradedObserved)
+	}
+	if s.Sink != nil {
+		p.counter("arraytrack_sink_skew_ignored_total", "Capture timestamps the sink's clock-skew guard excluded from time selection.", s.Sink.SkewIgnored())
+	}
+	if s.Backend != nil {
+		h := s.Backend.Health()
+		p.counter("arraytrack_conn_errors_total", "Ingest connections terminated on a read or decode error.", h.ConnErrors)
+		p.counter("arraytrack_deadline_reaped_total", "Ingest connections reaped by the idle deadline.", h.DeadlineReaped)
+		p.counter("arraytrack_ap_quarantines_total", "Times an AP entered quarantine after exhausting its error budget.", h.Quarantines)
+		p.counter("arraytrack_quarantine_dropped_total", "Captures dropped because their AP was quarantined.", h.QuarantinedDropped)
+		p.counter("arraytrack_degraded_flushes_total", "Capture groups flushed below full quorum.", h.DegradedFlushes)
+		p.counter("arraytrack_stale_dropped_total", "Stuck groups released as undispatchable by the sweep.", h.StaleDropped)
+		p.gauge("arraytrack_quarantined_aps", "APs currently quarantined.", int64(h.Quarantined))
+		u := s.Backend.UDP()
+		p.counter("arraytrack_udp_datagrams_total", "Well-formed batch-frame datagrams ingested.", u.Datagrams)
+		p.counter("arraytrack_udp_captures_total", "Captures carried by ingested datagrams.", u.Captures)
+		p.counter("arraytrack_udp_bad_total", "Datagrams dropped as undecodable.", u.Bad)
+		p.counter("arraytrack_udp_seq_gaps_total", "Missing per-AP capture sequence numbers (datagram loss).", u.SeqGaps)
+		p.counter("arraytrack_udp_seq_reorders_total", "Captures that arrived at or below their AP's newest sequence number.", u.SeqReorders)
+		p.gauge("arraytrack_leased_ingest_workspaces", "Pooled ingest workspaces currently leased (leaks show as a plateau).", server.LeasedIngestWorkspaces())
+	}
+
 	p.gauge("arraytrack_synth_cache_entries", "Bearing LUTs held by the synthesis cache.", int64(st.SynthLUTs))
 	p.gauge("arraytrack_synth_cache_bytes", "Accounted synthesis cache size.", st.SynthBytes)
 	p.gauge("arraytrack_synth_cache_budget_bytes", "Synthesis cache byte budget (0 = unbounded).", st.SynthBudget)
@@ -139,6 +176,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	if tr := s.Engine.Tracker(); tr != nil {
 		p.gauge("arraytrack_track_ttl_seconds", "Track eviction TTL in seconds (0 = disabled).", int64(tr.TTL()/time.Second))
 	}
+	p.gauge("arraytrack_shed_after_ms", "Overload-shedding age bound in milliseconds (0 = shedding off).", int64(s.Engine.ShedAfter()/time.Millisecond))
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	fmt.Fprint(w, p.b.String())

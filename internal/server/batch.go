@@ -104,6 +104,20 @@ type IngestWorkspace struct {
 
 var ingestPool = sync.Pool{New: func() any { return new(IngestWorkspace) }}
 
+// leasedWorkspaces counts workspaces currently out of the pool —
+// fetched by GetIngestWorkspace and not yet returned via Discard or
+// the final capture Release. It is the pool-leak invariant the fault
+// tests assert: once every in-flight flush has completed, the gauge
+// must be back at zero, whatever connections died or groups went
+// stale along the way.
+var leasedWorkspaces atomic.Int64
+
+// LeasedIngestWorkspaces returns the number of ingest workspaces
+// currently leased from the pool. Zero in a quiescent process; a
+// steady positive residue after drain means some path dropped a flush
+// without releasing its captures.
+func LeasedIngestWorkspaces() int64 { return leasedWorkspaces.Load() }
+
 // dequantLUT maps raw int16 bits to float64(int16)/32767 — each entry
 // is exactly the quotient ReadCapture computes, so pooled decode
 // multiplied by the record scale stays bit-identical to the v1 path
@@ -146,16 +160,28 @@ func dequantRow(row []complex128, raw []byte, scale float64) {
 // DecodeDatagramInto; on success the workspace belongs to the decoded
 // captures (drop it by Releasing each of them), on failure hand it
 // back with Discard.
-func GetIngestWorkspace() *IngestWorkspace { return ingestPool.Get().(*IngestWorkspace) }
+func GetIngestWorkspace() *IngestWorkspace {
+	leasedWorkspaces.Add(1)
+	return ingestPool.Get().(*IngestWorkspace)
+}
 
 // Discard returns a workspace no captures were decoded into. Calling
 // it after a successful decode corrupts the pool; use Capture.Release
 // instead.
-func (ws *IngestWorkspace) Discard() { ingestPool.Put(ws) }
+func (ws *IngestWorkspace) Discard() {
+	leasedWorkspaces.Add(-1)
+	ingestPool.Put(ws)
+}
 
 func (ws *IngestWorkspace) release() {
-	if ws.refs.Add(-1) == 0 {
+	switch n := ws.refs.Add(-1); {
+	case n == 0:
+		leasedWorkspaces.Add(-1)
 		ingestPool.Put(ws)
+	case n < 0:
+		// A double release corrupts the pool silently (two goroutines
+		// decoding into one workspace); fail loudly instead.
+		panic("server: ingest workspace over-released")
 	}
 }
 

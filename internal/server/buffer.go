@@ -32,6 +32,13 @@ type Capture struct {
 	// Priority asks the backend to run the resulting fix through the
 	// engine's latency lane.
 	Priority bool
+	// Degraded marks a capture flushed by the backend's degraded-quorum
+	// path: its group reached only DegradedQuorum ≤ distinct < Quorum
+	// APs after sitting stuck for DegradedAfter. It is set by the
+	// backend at flush time — never carried on the wire — and rides the
+	// capture so the engine can flag the resulting fix end-to-end
+	// (Capture → Request → Result → TrackUpdate).
+	Degraded bool
 	// Streams holds the per-antenna baseband samples of the captured
 	// preamble section. For captures decoded by the pooled readers
 	// (ReadCaptureInto, ReadBatchInto, DecodeDatagramInto) the memory

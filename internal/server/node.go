@@ -7,7 +7,9 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -253,6 +255,33 @@ type pendingGroup struct {
 	aps     [32]uint32
 	apsN    int
 	apsFull bool
+	// firstAt is the wall-clock instant the group went empty→nonempty,
+	// the degraded-quorum age reference. Only stamped when degraded
+	// serving is enabled (the hot path pays no clock read otherwise).
+	firstAt time.Time
+}
+
+// reset clears the group's running metadata for its next round. The
+// caps slice must already have been taken or released.
+func (g *pendingGroup) reset() {
+	for i := range g.caps {
+		g.caps[i] = Capture{}
+	}
+	g.caps = g.caps[:0]
+	g.newest, g.oldest, g.firstAt = time.Time{}, time.Time{}, time.Time{}
+	g.apsN, g.apsFull = 0, false
+}
+
+// take removes the group's captures as an exactly-sized flush slice —
+// it leaves the backend, so the dispatcher may hold it past this call
+// — and resets the group in place, keeping its backing array for the
+// client's next round (the retained backing must not pin pooled
+// stream buffers, hence the zeroing in reset).
+func (g *pendingGroup) take() []Capture {
+	flush := make([]Capture, len(g.caps))
+	copy(flush, g.caps)
+	g.reset()
+	return flush
 }
 
 // note records one appended capture in the group's running metadata.
@@ -374,7 +403,56 @@ type Backend struct {
 	// Locate — the engine handoff path.
 	Dispatcher Dispatcher
 
+	// IdleTimeout, when positive, bounds how long ServeConn waits for
+	// the next byte from a connection before reaping it (counted in
+	// Health). A stalled AP link then costs one connection for one
+	// timeout instead of a parked goroutine and its read buffer
+	// forever.
+	IdleTimeout time.Duration
+
+	// DegradedQuorum enables degraded serving when set in
+	// 0 < DegradedQuorum < Quorum: a pending group stuck for at least
+	// DegradedAfter with DegradedQuorum ≤ distinct APs < Quorum is
+	// flushed anyway, every capture flagged Degraded. 0 (the default)
+	// keeps strict quorum-only serving. Groups below DegradedQuorum
+	// are dropped by Sweep after the same age so a dead AP cannot pin
+	// pooled captures forever.
+	DegradedQuorum int
+	// DegradedAfter is the stuck-group age that triggers degraded
+	// serving; 0 means DefaultDegradedAfter.
+	DegradedAfter time.Duration
+
+	// ErrorBudget is the number of connection/decode errors within
+	// ErrorWindow that quarantines an AP: its captures are dropped (and
+	// counted) until Cooldown passes, then it is automatically
+	// readmitted. 0 disables quarantine.
+	ErrorBudget int
+	// ErrorWindow bounds how old an error may be and still count
+	// against the budget; 0 means DefaultErrorWindow.
+	ErrorWindow time.Duration
+	// Cooldown is how long a quarantined AP stays quarantined; 0 means
+	// DefaultQuarantineCooldown.
+	Cooldown time.Duration
+
+	// Now overrides the clock for grouping-age and quarantine
+	// arithmetic (tests and simulations); nil means time.Now. Read
+	// deadlines always use the real clock — they arm the kernel timer.
+	Now func() time.Time
+
 	shards [pendingShards]backendShard
+
+	// Per-AP error budget and quarantine state. quarActive gates the
+	// ingest hot path: with nothing quarantined it is one atomic load.
+	healthMu   sync.Mutex
+	apHealth   map[uint32]*apHealthState
+	quarActive atomic.Int32
+
+	connErrors      atomic.Uint64
+	deadlineReaped  atomic.Uint64
+	quarantines     atomic.Uint64
+	quarDropped     atomic.Uint64
+	degradedFlushes atomic.Uint64
+	staleDropped    atomic.Uint64
 
 	// UDP datagram-mode health. Fire-and-forget feeds have no
 	// retransmit, so losses surface as counters instead: per-AP
@@ -405,6 +483,144 @@ func (b *Backend) UDP() UDPStats {
 	b.udpMu.Lock()
 	defer b.udpMu.Unlock()
 	return b.udpStats
+}
+
+// Fault-tolerance defaults. DegradedAfter trades fix latency against
+// the chance the missing AP is merely late: half a second is several
+// grouping windows, long enough that the quorum is genuinely short.
+const (
+	DefaultDegradedAfter      = 500 * time.Millisecond
+	DefaultErrorWindow        = 10 * time.Second
+	DefaultQuarantineCooldown = 30 * time.Second
+)
+
+// apHealthState is one AP's error budget: recent error times while
+// healthy, the release instant while quarantined.
+type apHealthState struct {
+	errAt []time.Time
+	until time.Time // non-zero while quarantined
+}
+
+// HealthStats is a snapshot of the backend's fault counters.
+type HealthStats struct {
+	// ConnErrors counts connections ServeConn terminated on a
+	// read/decode error (clean EOFs and idle reaps excluded).
+	ConnErrors uint64
+	// DeadlineReaped counts connections reaped by the idle deadline.
+	DeadlineReaped uint64
+	// Quarantines counts times an AP entered quarantine;
+	// QuarantinedDropped the captures dropped while their AP was in
+	// it.
+	Quarantines        uint64
+	QuarantinedDropped uint64
+	// DegradedFlushes counts groups flushed below full quorum;
+	// StaleDropped counts stuck groups Sweep released as
+	// undispatchable (below even the degraded quorum).
+	DegradedFlushes uint64
+	StaleDropped    uint64
+	// Quarantined is the number of currently quarantined APs (gauge).
+	Quarantined int
+}
+
+// Health returns a snapshot of the backend's fault counters.
+func (b *Backend) Health() HealthStats {
+	return HealthStats{
+		ConnErrors:         b.connErrors.Load(),
+		DeadlineReaped:     b.deadlineReaped.Load(),
+		Quarantines:        b.quarantines.Load(),
+		QuarantinedDropped: b.quarDropped.Load(),
+		DegradedFlushes:    b.degradedFlushes.Load(),
+		StaleDropped:       b.staleDropped.Load(),
+		Quarantined:        int(b.quarActive.Load()),
+	}
+}
+
+func (b *Backend) now() time.Time {
+	if b.Now != nil {
+		return b.Now()
+	}
+	return time.Now()
+}
+
+func (b *Backend) degradedAfter() time.Duration {
+	if b.DegradedAfter > 0 {
+		return b.DegradedAfter
+	}
+	return DefaultDegradedAfter
+}
+
+// NoteAPError charges one error against an AP's budget; when the
+// budget is exhausted within ErrorWindow the AP is quarantined for
+// Cooldown. ServeConn calls it for decode errors and idle reaps,
+// attributing the connection to the last AP that successfully decoded
+// on it; external supervisors may call it too. A no-op when
+// ErrorBudget is unset.
+func (b *Backend) NoteAPError(apID uint32) {
+	if b.ErrorBudget <= 0 {
+		return
+	}
+	now := b.now()
+	window := b.ErrorWindow
+	if window <= 0 {
+		window = DefaultErrorWindow
+	}
+	b.healthMu.Lock()
+	defer b.healthMu.Unlock()
+	if b.apHealth == nil {
+		b.apHealth = make(map[uint32]*apHealthState)
+	}
+	st := b.apHealth[apID]
+	if st == nil {
+		st = &apHealthState{}
+		b.apHealth[apID] = st
+	}
+	if !st.until.IsZero() {
+		return // already quarantined; errors while isolated don't extend it
+	}
+	keep := st.errAt[:0]
+	for _, at := range st.errAt {
+		if now.Sub(at) <= window {
+			keep = append(keep, at)
+		}
+	}
+	st.errAt = append(keep, now)
+	if len(st.errAt) >= b.ErrorBudget {
+		cd := b.Cooldown
+		if cd <= 0 {
+			cd = DefaultQuarantineCooldown
+		}
+		st.until = now.Add(cd)
+		st.errAt = st.errAt[:0]
+		b.quarantines.Add(1)
+		b.quarActive.Add(1)
+	}
+}
+
+// dropIfQuarantined releases and counts c when its AP is quarantined,
+// reporting whether the capture was consumed. Cooldown expiry is
+// checked lazily here, so a quarantined AP readmits itself the moment
+// it next delivers a capture past the release time.
+func (b *Backend) dropIfQuarantined(c *Capture) bool {
+	if b.quarActive.Load() == 0 {
+		return false
+	}
+	now := b.now()
+	b.healthMu.Lock()
+	st := b.apHealth[c.APID]
+	if st == nil || st.until.IsZero() {
+		b.healthMu.Unlock()
+		return false
+	}
+	if now.Before(st.until) {
+		b.healthMu.Unlock()
+		b.quarDropped.Add(1)
+		c.Release()
+		return true
+	}
+	st.until = time.Time{}
+	b.quarActive.Add(-1)
+	b.healthMu.Unlock()
+	return false
 }
 
 // IngestDatagram decodes one UDP datagram (exactly one v3 batch
@@ -503,10 +719,17 @@ func (b *Backend) shard(clientID uint32) *backendShard {
 // the newest are dropped. Only the client's shard is locked, and the
 // flush itself runs outside the lock.
 func (b *Backend) Ingest(c *Capture) {
+	if b.dropIfQuarantined(c) {
+		return
+	}
+	var now time.Time
+	if b.DegradedQuorum > 0 {
+		now = b.now()
+	}
 	sh := b.shard(c.ClientID)
 	sh.mu.Lock()
 	g := sh.group(c.ClientID)
-	flush := b.ingestLocked(g, c)
+	flush := b.ingestLocked(g, c, now)
 	sh.mu.Unlock()
 	if flush != nil {
 		b.dispatch(c.ClientID, flush)
@@ -514,12 +737,17 @@ func (b *Backend) Ingest(c *Capture) {
 }
 
 // ingestLocked appends one capture to its client's group and, when a
-// quorum of distinct APs is present, returns the flush slice (nil
+// quorum of distinct APs is present — or the group has been stuck at
+// degraded quorum past DegradedAfter — returns the flush slice (nil
 // otherwise). The group is reset in place for the client's next
-// round. Caller holds the shard lock.
-func (b *Backend) ingestLocked(g *pendingGroup, c *Capture) []Capture {
+// round. now is the degraded-age clock, zero when degraded serving is
+// off. Caller holds the shard lock.
+func (b *Backend) ingestLocked(g *pendingGroup, c *Capture, now time.Time) []Capture {
 	g.caps = append(g.caps, *c)
 	g.note(c)
+	if len(g.caps) == 1 {
+		g.firstAt = now // zero when degraded serving is off
+	}
 	// Stale eviction is only possible when the group's span exceeds
 	// the window; inside it, yesterday's full sweep was a no-op by
 	// definition, so the hot path is append + O(distinct) bookkeeping.
@@ -527,22 +755,28 @@ func (b *Backend) ingestLocked(g *pendingGroup, c *Capture) []Capture {
 	if g.newest.Sub(g.oldest) > b.Window || g.apsFull {
 		distinct = g.compact(b.Window)
 	}
-	if distinct < b.Quorum {
-		return nil
+	if distinct >= b.Quorum {
+		// The flush slice leaves the backend (the dispatcher may hold
+		// it past this call), so take() gives it its own exactly-sized
+		// backing and drops the group's capture copies — the flush
+		// slice owns the releases.
+		return g.take()
 	}
-	// The flush slice leaves the backend (the dispatcher may hold it
-	// past this call), so it gets its own exactly-sized backing; the
-	// group keeps its array but drops its capture copies (the flush
-	// slice owns the releases, so the retained backing must not pin
-	// pooled stream buffers).
-	flush := make([]Capture, len(g.caps))
-	copy(flush, g.caps)
-	for i := range g.caps {
-		g.caps[i] = Capture{}
+	if b.DegradedQuorum > 0 && distinct >= b.DegradedQuorum &&
+		!g.firstAt.IsZero() && now.Sub(g.firstAt) >= b.degradedAfter() {
+		return b.takeDegraded(g)
 	}
-	g.caps = g.caps[:0]
-	g.newest, g.oldest = time.Time{}, time.Time{}
-	g.apsN, g.apsFull = 0, false
+	return nil
+}
+
+// takeDegraded flushes a short-of-quorum group, flagging every capture
+// Degraded. Caller holds the shard lock.
+func (b *Backend) takeDegraded(g *pendingGroup) []Capture {
+	flush := g.take()
+	for i := range flush {
+		flush[i].Degraded = true
+	}
+	b.degradedFlushes.Add(1)
 	return flush
 }
 
@@ -561,9 +795,29 @@ func (b *Backend) dispatch(clientID uint32, flush []Capture) {
 // to per-capture Ingest; only the interleaving of different clients'
 // flushes may differ, which nothing downstream orders on.
 func (b *Backend) IngestBatch(caps []Capture) {
+	if b.quarActive.Load() != 0 {
+		// Rare path (an AP is quarantined): filter its captures out up
+		// front — released and counted — so the batched grouping below
+		// only sees admissible ones. In-place, no allocation.
+		kept := caps[:0]
+		for i := range caps {
+			if b.dropIfQuarantined(&caps[i]) {
+				continue
+			}
+			kept = append(kept, caps[i])
+		}
+		if len(kept) == 0 {
+			return
+		}
+		caps = kept
+	}
 	if len(caps) == 1 {
 		b.Ingest(&caps[0])
 		return
+	}
+	var now time.Time
+	if b.DegradedQuorum > 0 {
+		now = b.now()
 	}
 	// Distinct clients in burst order, via the same stack-resident
 	// scan the AP sets use. Bursts with more distinct clients than the
@@ -599,7 +853,7 @@ func (b *Backend) IngestBatch(caps []Capture) {
 			if caps[i].ClientID != id {
 				continue
 			}
-			if f := b.ingestLocked(g, &caps[i]); f != nil {
+			if f := b.ingestLocked(g, &caps[i], now); f != nil {
 				flushes = append(flushes, f)
 			}
 		}
@@ -608,6 +862,64 @@ func (b *Backend) IngestBatch(caps []Capture) {
 			b.dispatch(id, f)
 		}
 	}
+}
+
+// Sweep walks every pending group looking for the ones ingest-time
+// checks can never save: a group whose APs went silent receives no
+// further captures, so without a sweep its pooled stream buffers stay
+// pinned forever and its client goes dark even when a degraded quorum
+// is sitting right there. Groups stuck ≥ DegradedAfter flush degraded
+// when they hold at least DegradedQuorum distinct APs; the rest are
+// released and counted (StaleDropped). Run it periodically (the
+// server command's janitor goroutine uses DegradedAfter/2); it
+// returns the number of groups flushed and dropped. A no-op unless
+// DegradedQuorum is set.
+func (b *Backend) Sweep() (flushed, dropped int) {
+	if b.DegradedQuorum <= 0 {
+		return 0, 0
+	}
+	now := b.now()
+	after := b.degradedAfter()
+	type pendingFlush struct {
+		client uint32
+		caps   []Capture
+	}
+	var flushes []pendingFlush
+	for i := range b.shards {
+		sh := &b.shards[i]
+		flushes = flushes[:0]
+		sh.mu.Lock()
+		for id, g := range sh.pending {
+			if len(g.caps) == 0 || g.firstAt.IsZero() || now.Sub(g.firstAt) < after {
+				continue
+			}
+			// Evict in-window staleness first so the degraded flush
+			// carries only captures the quorum rule would have.
+			distinct := g.compact(b.Window)
+			if distinct >= b.DegradedQuorum {
+				// distinct < Quorum always holds here: a full quorum
+				// would have flushed at ingest time.
+				flushes = append(flushes, pendingFlush{id, b.takeDegraded(g)})
+				flushed++
+				continue
+			}
+			// Below even the degraded quorum: nothing downstream can use
+			// these captures, and their APs may never come back —
+			// release them so a dead AP cannot pin the pool.
+			for j := range g.caps {
+				g.caps[j].Release()
+			}
+			g.reset()
+			b.staleDropped.Add(1)
+			dropped++
+		}
+		sh.mu.Unlock()
+		// Dispatch outside the shard lock, like the ingest path.
+		for _, f := range flushes {
+			b.dispatch(f.client, f.caps)
+		}
+	}
+	return flushed, dropped
 }
 
 // PendingClients returns the number of clients with partially grouped
@@ -635,20 +947,52 @@ func (b *Backend) PendingClients() int {
 // 64 KiB buffer: the feed is one-directional, so read-ahead is always
 // safe and the per-frame reads (magic, header, body) coalesce into
 // large socket reads. A clean EOF returns nil.
+//
+// Self-defense: when IdleTimeout is set and r can carry a read
+// deadline (a net.Conn), a connection that goes quiet mid- or
+// between-frames is reaped after one timeout instead of parking this
+// goroutine forever. Decode errors and reaps charge the connection's
+// last successfully decoded AP via NoteAPError, feeding the
+// quarantine budget. On every exit path the in-flight workspace goes
+// straight back to the pool — a connection dying mid-frame leaks
+// nothing (the workspace holds no capture references until its frame
+// fully decodes).
 func (b *Backend) ServeConn(r io.Reader) error {
-	if _, ok := r.(*bufio.Reader); !ok {
-		r = bufio.NewReaderSize(r, 256<<10)
+	var dl interface{ SetReadDeadline(time.Time) error }
+	if b.IdleTimeout > 0 {
+		dl, _ = r.(interface{ SetReadDeadline(time.Time) error })
 	}
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReaderSize(r, 256<<10)
+	}
+	var lastAP uint32
+	haveAP := false
 	for {
+		if dl != nil {
+			_ = dl.SetReadDeadline(time.Now().Add(b.IdleTimeout))
+		}
 		ws := GetIngestWorkspace()
-		caps, err := ReadFrameInto(r, ws)
+		caps, err := ReadFrameInto(br, ws)
 		if err != nil {
 			ws.Discard()
 			if errors.Is(err, io.EOF) {
 				return nil
 			}
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				b.deadlineReaped.Add(1)
+				if haveAP {
+					b.NoteAPError(lastAP)
+				}
+				return fmt.Errorf("server: connection idle past %v: %w", b.IdleTimeout, err)
+			}
+			b.connErrors.Add(1)
+			if haveAP {
+				b.NoteAPError(lastAP)
+			}
 			return err
 		}
+		lastAP, haveAP = caps[0].APID, true
 		b.IngestBatch(caps)
 	}
 }

@@ -1,0 +1,216 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"syscall"
+	"time"
+)
+
+// ErrRetriesExhausted wraps the last transient error once UploadRetry
+// gives up after RetryOptions.MaxAttempts consecutive failures. It is
+// the exit-code boundary for AP-side tooling: errors.Is(err,
+// ErrRetriesExhausted) means "the network never came back", while any
+// other error from UploadRetry is fatal (a bug or a refused frame,
+// not weather).
+var ErrRetriesExhausted = errors.New("server: upload retries exhausted")
+
+// IsTransientNetError reports whether err looks like network weather
+// — a timeout, refused/reset/aborted connection, or unreachable host
+// — rather than a protocol or programming error. UploadRetry retries
+// exactly these; everything else fails fast.
+func IsTransientNetError(err error) bool {
+	if err == nil {
+		return false
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	for _, target := range []error{
+		syscall.ECONNREFUSED, syscall.ECONNRESET, syscall.ECONNABORTED,
+		syscall.EPIPE, syscall.ETIMEDOUT, syscall.EHOSTUNREACH,
+		syscall.ENETUNREACH, syscall.ENETRESET,
+	} {
+		if errors.Is(err, target) {
+			return true
+		}
+	}
+	// Test harnesses (net.Pipe, chaos injectors) surface peer death as
+	// closed pipes and unexpected EOFs; a real peer reset can too.
+	return errors.Is(err, io.ErrClosedPipe) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed)
+}
+
+// RetryOptions configures APNode.UploadRetry. The zero value retries
+// with 100 ms..5 s jittered exponential backoff for up to 8
+// consecutive failures, shipping v3 frames of up to 16 captures.
+type RetryOptions struct {
+	// Batch is the captures per v3 frame (≤0 means 16, capped at
+	// MaxBatchCaptures).
+	Batch int
+	// MinBackoff is the first reconnect delay (0 means 100 ms);
+	// MaxBackoff caps the doubling (0 means 5 s).
+	MinBackoff time.Duration
+	MaxBackoff time.Duration
+	// Jitter randomizes each delay by ±Jitter fraction so a fleet of
+	// APs reconnecting after an outage does not stampede the server in
+	// lockstep (0 means 0.2; negative disables).
+	Jitter float64
+	// MaxAttempts is the number of consecutive failed attempts (dials
+	// or writes, without an intervening successful write) before
+	// giving up with ErrRetriesExhausted (0 means 8).
+	MaxAttempts int
+	// OnAttempt, when non-nil, observes every failed attempt before
+	// its backoff sleep — the "log one line per reconnect" hook.
+	OnAttempt func(attempt int, backoff time.Duration, err error)
+	// Rand supplies jitter variates (deterministic tests); nil uses
+	// the global source.
+	Rand *rand.Rand
+}
+
+func (o RetryOptions) withDefaults() RetryOptions {
+	if o.Batch <= 0 {
+		o.Batch = 16
+	}
+	if o.Batch > MaxBatchCaptures {
+		o.Batch = MaxBatchCaptures
+	}
+	if o.MinBackoff <= 0 {
+		o.MinBackoff = 100 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 5 * time.Second
+	}
+	if o.Jitter == 0 {
+		o.Jitter = 0.2
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 8
+	}
+	return o
+}
+
+// backoff returns the attempt'th jittered exponential delay.
+func (o RetryOptions) backoff(attempt int) time.Duration {
+	d := o.MinBackoff
+	for i := 1; i < attempt && d < o.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > o.MaxBackoff {
+		d = o.MaxBackoff
+	}
+	if o.Jitter > 0 {
+		var u float64
+		if o.Rand != nil {
+			u = o.Rand.Float64()
+		} else {
+			u = rand.Float64()
+		}
+		d = time.Duration(float64(d) * (1 + o.Jitter*(2*u-1)))
+	}
+	return d
+}
+
+// sleep waits for d or the context, whichever ends first.
+func sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// UploadRetry drains the buffer like UploadBatch but survives the
+// network: it dials its own connections, reconnects with jittered
+// exponential backoff when a dial or write fails transiently, and
+// replays the in-flight batch on the new connection — bounded replay:
+// at most one batch (the captures already popped from the
+// CircularBuffer when the wire died) is ever held for redelivery, so
+// an outage costs one frame of potential duplication, never unbounded
+// buffering on top of the ring. Delivery is therefore at-least-once;
+// the backend's per-AP sequence numbers absorb duplicates.
+//
+// It returns nil once the buffer is empty and everything held has
+// been delivered, the context error on cancellation, a wrapped
+// ErrRetriesExhausted after MaxAttempts consecutive transient
+// failures, and the underlying error immediately for non-transient
+// failures (see IsTransientNetError).
+func (n *APNode) UploadRetry(ctx context.Context, dial func(context.Context) (net.Conn, error), opt RetryOptions) error {
+	opt = opt.withDefaults()
+	var conn net.Conn
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	caps := make([]Capture, 0, opt.Batch)
+	attempt := 0
+	replay := false
+	fail := func(err error) error {
+		attempt++
+		if attempt >= opt.MaxAttempts {
+			return fmt.Errorf("%w: %d consecutive attempts, last error: %v", ErrRetriesExhausted, attempt, err)
+		}
+		d := opt.backoff(attempt)
+		if opt.OnAttempt != nil {
+			opt.OnAttempt(attempt, d, err)
+		}
+		return sleep(ctx, d)
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if conn == nil {
+			c, err := dial(ctx)
+			if err != nil {
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				if !IsTransientNetError(err) {
+					return fmt.Errorf("server: dial: %w", err)
+				}
+				if err := fail(err); err != nil {
+					return err
+				}
+				continue
+			}
+			conn = c
+		}
+		if !replay {
+			caps = caps[:0]
+			for len(caps) < opt.Batch {
+				c, ok := n.Buffer.Pop()
+				if !ok {
+					break
+				}
+				caps = append(caps, c)
+			}
+			if len(caps) == 0 {
+				return nil
+			}
+		}
+		if err := WriteBatch(conn, caps); err != nil {
+			conn.Close()
+			conn = nil
+			if !IsTransientNetError(err) {
+				return fmt.Errorf("server: upload: %w", err)
+			}
+			replay = true // the popped batch is held; resend on reconnect
+			if err := fail(err); err != nil {
+				return err
+			}
+			continue
+		}
+		replay = false
+		attempt = 0 // a delivered frame resets the consecutive-failure count
+	}
+}

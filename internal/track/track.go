@@ -118,6 +118,25 @@ func (f *Filter) predict(dt float64) {
 // reports whether the fix was accepted (false means the gate rejected
 // it and only the prediction advanced).
 func (f *Filter) Update(fix geom.Point, dt float64) (accepted bool, err error) {
+	return f.update(fix, dt, f.gate)
+}
+
+// UpdateScaled is Update with the Mahalanobis gate widened by scale
+// for this one fix (scale ≤ 1 applies the configured gate unchanged).
+// Degraded fixes — localized from fewer APs than the full quorum —
+// carry more error than the gate's σ budget assumes; widening the gate
+// for exactly those fixes lets an outage-degraded fix sustain a track
+// the normal gate would starve, without loosening it for healthy
+// traffic.
+func (f *Filter) UpdateScaled(fix geom.Point, dt, scale float64) (accepted bool, err error) {
+	gate := f.gate
+	if scale > 1 && gate > 0 {
+		gate *= scale
+	}
+	return f.update(fix, dt, gate)
+}
+
+func (f *Filter) update(fix geom.Point, dt, gate float64) (accepted bool, err error) {
 	if !f.initialized {
 		f.x = [4]float64{fix.X, fix.Y, 0, 0}
 		// Generous initial uncertainty: position at measurement noise,
@@ -153,7 +172,7 @@ func (f *Filter) Update(fix geom.Point, dt float64) (accepted bool, err error) {
 	// Mahalanobis gate.
 	inv00, inv01, inv10, inv11 := s11/det, -s01/det, -s10/det, s00/det
 	d2 := iy0*(inv00*iy0+inv01*iy1) + iy1*(inv10*iy0+inv11*iy1)
-	if f.gate > 0 && d2 > f.gate*f.gate {
+	if gate > 0 && d2 > gate*gate {
 		f.rejects++
 		return false, nil
 	}

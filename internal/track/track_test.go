@@ -357,3 +357,46 @@ func TestFilterStateValidation(t *testing.T) {
 		}
 	}
 }
+
+func TestUpdateScaledWidensGate(t *testing.T) {
+	// Two filters fed the same settled track; a fix chosen between the
+	// base gate and the widened gate is rejected by Update but accepted
+	// by UpdateScaled.
+	mk := func() *Filter {
+		f := NewFilter(0.5, 0.3, 4)
+		for i := 0; i < 20; i++ {
+			if _, err := f.Update(geom.Pt(float64(i)*0.3, 2), 0.5); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return f
+	}
+	base, wide := mk(), mk()
+	// Find an offset whose Mahalanobis distance lands in (gate, 1.5×gate).
+	pred, ok := base.PredictState(0.5)
+	if !ok {
+		t.Fatal("no prediction")
+	}
+	var fix geom.Point
+	found := false
+	for dy := 0.1; dy < 20; dy += 0.05 {
+		p := geom.Pt(pred.Pos.X, pred.Pos.Y+dy)
+		d2 := pred.MahalanobisSq(p)
+		if d2 > 4*4 && d2 < 6*6 {
+			fix, found = p, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no fix between gate and 1.5×gate found")
+	}
+	if ok, err := base.Update(fix, 0.5); err != nil || ok {
+		t.Fatalf("base gate: accepted=%v err=%v, want rejection", ok, err)
+	}
+	if ok, err := wide.UpdateScaled(fix, 0.5, 1.5); err != nil || !ok {
+		t.Fatalf("widened gate: accepted=%v err=%v, want acceptance", ok, err)
+	}
+	if ok, err := mk().UpdateScaled(fix, 0.5, 1.0); err != nil || ok {
+		t.Fatalf("scale 1: accepted=%v err=%v, want base-gate rejection", ok, err)
+	}
+}
