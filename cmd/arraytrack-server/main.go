@@ -17,6 +17,18 @@
 //
 //	arraytrack-server -listen :7100 -quorum 3
 //
+// The same binary scales out: each shard runs a normal backend (on a
+// TCP or unix:/path socket, tagged with -shard i/N), and one -router
+// process fans AP traffic out to the shards by hashed client ID,
+// migrating tracks losslessly when the map grows:
+//
+//	arraytrack-server -shard 0/2 -listen unix:/run/at/s0.sock -http :9100 ...
+//	arraytrack-server -shard 1/2 -listen unix:/run/at/s1.sock -http :9101 ...
+//	arraytrack-server -router -listen :7100 -http :9099 \
+//	    -shards unix:/run/at/s0.sock,unix:/run/at/s1.sock \
+//	    -shard-ops http://127.0.0.1:9100,http://127.0.0.1:9101 -map-shards 1
+//	curl -X POST localhost:9099/cluster/rebalance -d '{"version":2,"shards":2}'
+//
 // The server runs like a service: SIGINT/SIGTERM triggers a graceful
 // drain (stop accepting, flush every in-flight job, write the -snapshot
 // tracker image, exit 0) and -restore resumes those tracks
@@ -87,8 +99,13 @@ func logStats(eng *engine.Engine, backend *server.Backend) {
 }
 
 func main() {
-	listen := flag.String("listen", ":7100", "TCP listen address")
+	listen := flag.String("listen", ":7100", "listen address (host:port TCP, or unix:/path/to.sock)")
 	quorum := flag.Int("quorum", 3, "distinct APs required before localizing")
+	shardFlag := flag.String("shard", "",
+		"serve as shard i of an N-shard cluster, e.g. -shard 0/4 (informational: sharding is enforced by the router)")
+	routerMode := flag.Bool("router", false,
+		"run as the cluster router instead of a backend: fan AP traffic out to -shards by client ID")
+	rf := registerRouterFlags()
 	window := flag.Duration("window", time.Second, "capture grouping window")
 	workers := flag.Int("workers", 0, "localization worker pool size (0 = GOMAXPROCS)")
 	estimator := flag.String("estimator", "music", "AoA estimator: music, bartlett, or baseline")
@@ -129,6 +146,22 @@ func main() {
 	shedAfter := flag.Duration("shed-after", 0,
 		"fail batch jobs queued longer than this with an overload error instead of serving stale fixes (0 disables)")
 	flag.Parse()
+
+	if *routerMode {
+		ctx, stop := signal.NotifyContext(context.Background(), shutdownSignals()...)
+		defer stop()
+		if err := runRouter(ctx, *listen, *httpAddr, rf); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	shardIdx, shardN := 0, 1
+	if *shardFlag != "" {
+		var err error
+		if shardIdx, shardN, err = parseShardFlag(*shardFlag); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	tb := testbed.New()
 	capOpt := testbed.DefaultCaptureOptions()
@@ -210,11 +243,16 @@ func main() {
 	backend.ErrorBudget = *apErrorBudget
 	backend.Cooldown = *quarantineCooldown
 
-	l, err := net.Listen("tcp", *listen)
+	l, err := listenOn(*listen)
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("ArrayTrack server listening on %s (quorum %d, estimator %s)", l.Addr(), *quorum, est.Name())
+	if shardN > 1 {
+		log.Printf("ArrayTrack shard %d/%d listening on %s (quorum %d, estimator %s)",
+			shardIdx, shardN, l.Addr(), *quorum, est.Name())
+	} else {
+		log.Printf("ArrayTrack server listening on %s (quorum %d, estimator %s)", l.Addr(), *quorum, est.Name())
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), shutdownSignals()...)
 	defer stop()

@@ -185,6 +185,18 @@ var experiments = []experiment{
 		r, _, err := tb.RunChaos(opt)
 		return r, err
 	}},
+	{"cluster", "sharded cluster: bit-identical fan-in, zero-loss mid-walk migration, scaling", func(tb *testbed.Testbed, fast bool) (*testbed.Report, error) {
+		opt := testbed.DefaultClusterOptions()
+		if fast {
+			opt.Steps = 8
+			opt.MigrateStep = 4
+			opt.Sites = []int{0, 1, 3, 5}
+			opt.ThroughputClients = 8
+			opt.ThroughputFixes = 2
+		}
+		r, _, err := tb.RunCluster(opt)
+		return r, err
+	}},
 	{"ingest", "flood ingest: v3 batch + pooled decode vs seed per-record path", func(tb *testbed.Testbed, fast bool) (*testbed.Report, error) {
 		opt := testbed.DefaultIngestOptions()
 		if fast {

@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"repro/internal/engine"
+)
+
+// HTTPShard implements Control against a shard process's ops endpoint
+// (the /cluster/* surface in internal/ops) — the multi-process
+// counterpart of LocalShard: the router keeps the shard's data socket
+// for captures and drives migrations over its ops HTTP listener.
+type HTTPShard struct {
+	// Base is the shard's ops address, e.g. "http://127.0.0.1:9090".
+	Base string
+	// Client overrides the HTTP client; nil means http.DefaultClient.
+	Client *http.Client
+}
+
+func (h *HTTPShard) client() *http.Client {
+	if h.Client != nil {
+		return h.Client
+	}
+	return http.DefaultClient
+}
+
+// do runs one request and decodes a JSON response into out (when
+// non-nil). Non-2xx responses become errors carrying the body.
+func (h *HTTPShard) do(method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, h.Base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := h.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("cluster: shard %s %s: %s: %s", method, path, resp.Status, bytes.TrimSpace(msg))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+type clientsBody struct {
+	Clients []uint32 `json:"clients"`
+}
+
+// Clients returns every client with state on the shard.
+func (h *HTTPShard) Clients() ([]uint32, error) {
+	var out clientsBody
+	if err := h.do(http.MethodGet, "/cluster/clients", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Clients, nil
+}
+
+// Ingested returns the shard's settled-capture counter.
+func (h *HTTPShard) Ingested() (uint64, error) {
+	var out struct {
+		Ingested uint64 `json:"ingested"`
+	}
+	if err := h.do(http.MethodGet, "/cluster/ingested", nil, &out); err != nil {
+		return 0, err
+	}
+	return out.Ingested, nil
+}
+
+// InFlight sums the clients' admitted-but-uncompleted engine jobs.
+func (h *HTTPShard) InFlight(ids []uint32) (int, error) {
+	var out struct {
+		InFlight int `json:"inflight"`
+	}
+	if err := h.do(http.MethodPost, "/cluster/inflight", clientsBody{ids}, &out); err != nil {
+		return 0, err
+	}
+	return out.InFlight, nil
+}
+
+// ExtractPending removes the clients' pending groups, returning them
+// as v3 frames ready to forward verbatim.
+func (h *HTTPShard) ExtractPending(ids []uint32) ([]byte, int, error) {
+	buf, err := json.Marshal(clientsBody{ids})
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := h.client().Post(h.Base+"/cluster/extract", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, 0, fmt.Errorf("cluster: shard extract: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	n, err := strconv.Atoi(resp.Header.Get("X-Capture-Count"))
+	if err != nil {
+		return nil, 0, fmt.Errorf("cluster: shard extract: bad X-Capture-Count %q", resp.Header.Get("X-Capture-Count"))
+	}
+	frames, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, err
+	}
+	return frames, n, nil
+}
+
+type tracksBody struct {
+	Tracks []engine.ClientSnapshot `json:"tracks"`
+}
+
+// SnapshotTracks returns the clients' Kalman tracks.
+func (h *HTTPShard) SnapshotTracks(ids []uint32) ([]engine.ClientSnapshot, error) {
+	var out tracksBody
+	if err := h.do(http.MethodPost, "/cluster/snapshot", clientsBody{ids}, &out); err != nil {
+		return nil, err
+	}
+	return out.Tracks, nil
+}
+
+// RestoreTracks installs the snapshots.
+func (h *HTTPShard) RestoreTracks(snaps []engine.ClientSnapshot) (int, error) {
+	var out struct {
+		Restored int `json:"restored"`
+	}
+	if err := h.do(http.MethodPost, "/cluster/restore", tracksBody{snaps}, &out); err != nil {
+		return 0, err
+	}
+	return out.Restored, nil
+}
+
+// RemoveTracks drops the clients' tracks.
+func (h *HTTPShard) RemoveTracks(ids []uint32) (int, error) {
+	var out struct {
+		Removed int `json:"removed"`
+	}
+	if err := h.do(http.MethodPost, "/cluster/remove", clientsBody{ids}, &out); err != nil {
+		return 0, err
+	}
+	return out.Removed, nil
+}

@@ -1,0 +1,110 @@
+// Package cluster scales the ArrayTrack backend past one engine: a
+// versioned shard map assigns every client to one of N backend
+// processes by consistent hashing, and a Router in front of the AP
+// fleet decodes each v3 batch burst, fans its captures out to the
+// owning shards over the existing batch protocol, and — when the map
+// changes — migrates every affected client with zero loss: buffered
+// captures are re-routed, in-flight jobs drained, and the Kalman track
+// moved bit-identically, so a mid-walk shard migration is invisible in
+// the fix stream.
+//
+// Localization state is purely per-client (pending capture groups,
+// scheduler tokens, the Kalman track), so client identity is the
+// natural shard key: any interleaving of different clients' flushes is
+// already unordered, and a shard owning a client owns everything about
+// it.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultVnodes is the number of ring points per shard. 64 keeps the
+// per-shard load imbalance within a few percent for realistic client
+// counts while the whole ring stays small enough to search in a dozen
+// nanoseconds.
+const DefaultVnodes = 64
+
+// ShardMap is a versioned consistent-hash assignment of client IDs to
+// shard indices [0, Shards). Maps are immutable once built; the router
+// swaps whole maps atomically, and Version orders the swaps.
+//
+// Consistent hashing is what makes growth cheap: going from N to N+1
+// shards moves only ~1/(N+1) of the clients, so a rebalance migrates a
+// sliver of the fleet instead of reshuffling everyone.
+type ShardMap struct {
+	// Version orders maps; Rebalance refuses a map that does not
+	// advance it.
+	Version uint64
+	// Shards is the number of shard indices the ring covers.
+	Shards int
+
+	ring []ringEntry // sorted by point
+}
+
+type ringEntry struct {
+	point uint64
+	shard int
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator — a cheap,
+// well-mixed 64-bit hash with no dependencies.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// NewShardMap builds a map over the given shard count. vnodes ≤ 0
+// means DefaultVnodes. Ring points depend only on (shard, vnode), so a
+// map over N+1 shards shares every point with the map over N — the
+// property that bounds how many clients a growth step moves.
+func NewShardMap(version uint64, shards, vnodes int) (*ShardMap, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("cluster: shard map needs at least 1 shard, got %d", shards)
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	m := &ShardMap{Version: version, Shards: shards, ring: make([]ringEntry, 0, shards*vnodes)}
+	for s := 0; s < shards; s++ {
+		for v := 0; v < vnodes; v++ {
+			m.ring = append(m.ring, ringEntry{
+				point: splitmix64(uint64(s)<<32 | uint64(v)),
+				shard: s,
+			})
+		}
+	}
+	sort.Slice(m.ring, func(i, j int) bool { return m.ring[i].point < m.ring[j].point })
+	return m, nil
+}
+
+// Owner returns the shard index owning the client: the first ring
+// point at or after the client's hash, wrapping at the top.
+func (m *ShardMap) Owner(clientID uint32) int {
+	h := splitmix64(uint64(clientID))
+	i := sort.Search(len(m.ring), func(i int) bool { return m.ring[i].point >= h })
+	if i == len(m.ring) {
+		i = 0
+	}
+	return m.ring[i].shard
+}
+
+// Moved returns the clients among ids whose owner differs between m
+// and next, mapped to their {from, to} shard pair. Duplicate ids
+// collapse.
+func (m *ShardMap) Moved(ids []uint32, next *ShardMap) map[uint32][2]int {
+	moved := make(map[uint32][2]int)
+	for _, id := range ids {
+		if _, seen := moved[id]; seen {
+			continue
+		}
+		from, to := m.Owner(id), next.Owner(id)
+		if from != to {
+			moved[id] = [2]int{from, to}
+		}
+	}
+	return moved
+}

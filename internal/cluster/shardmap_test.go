@@ -1,0 +1,99 @@
+package cluster
+
+import "testing"
+
+// TestShardMapOwnerStable: same map, same client, same owner — and
+// every owner is in range.
+func TestShardMapOwnerStable(t *testing.T) {
+	m, err := NewShardMap(1, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := uint32(0); id < 1000; id++ {
+		o := m.Owner(id)
+		if o < 0 || o >= 4 {
+			t.Fatalf("client %d owned by shard %d, want [0,4)", id, o)
+		}
+		if o2 := m.Owner(id); o2 != o {
+			t.Fatalf("client %d owner changed %d -> %d on re-lookup", id, o, o2)
+		}
+	}
+}
+
+// TestShardMapBalance: with the default vnode count, no shard owns a
+// wildly disproportionate share of a large client population.
+func TestShardMapBalance(t *testing.T) {
+	const shards, clients = 4, 40000
+	m, err := NewShardMap(1, shards, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, shards)
+	for id := uint32(0); id < clients; id++ {
+		counts[m.Owner(id)]++
+	}
+	ideal := clients / shards
+	for s, n := range counts {
+		if n < ideal/2 || n > ideal*2 {
+			t.Fatalf("shard %d owns %d of %d clients (ideal %d): vnode ring badly skewed", s, n, clients, ideal)
+		}
+	}
+}
+
+// TestShardMapGrowthMovesMinority: growing N -> N+1 shards must move
+// roughly 1/(N+1) of the clients and never move a client between two
+// pre-existing shards — the consistent-hashing property the rebalance
+// cost story rests on.
+func TestShardMapGrowthMovesMinority(t *testing.T) {
+	const clients = 20000
+	ids := make([]uint32, clients)
+	for i := range ids {
+		ids[i] = uint32(i)
+	}
+	for n := 1; n <= 4; n++ {
+		cur, err := NewShardMap(uint64(n), n, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		next, err := NewShardMap(uint64(n+1), n+1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := cur.Moved(ids, next)
+		frac := float64(len(moved)) / clients
+		want := 1.0 / float64(n+1)
+		if frac > want*1.6 {
+			t.Fatalf("growing %d->%d shards moved %.1f%% of clients, want about %.1f%%",
+				n, n+1, frac*100, want*100)
+		}
+		for id, ft := range moved {
+			if ft[1] != n {
+				t.Fatalf("growing %d->%d shards moved client %d from shard %d to pre-existing shard %d",
+					n, n+1, id, ft[0], ft[1])
+			}
+		}
+	}
+}
+
+// TestShardMapMovedDedups: duplicate ids collapse to one entry.
+func TestShardMapMovedDedups(t *testing.T) {
+	cur, _ := NewShardMap(1, 1, 0)
+	next, _ := NewShardMap(2, 2, 0)
+	var id uint32
+	for id = 1; next.Owner(id) != 1; id++ {
+	}
+	moved := cur.Moved([]uint32{id, id, id}, next)
+	if len(moved) != 1 {
+		t.Fatalf("Moved returned %d entries for one duplicated client", len(moved))
+	}
+	if ft := moved[id]; ft[0] != 0 || ft[1] != 1 {
+		t.Fatalf("client %d moved %v, want {0 1}", id, ft)
+	}
+}
+
+// TestShardMapVersionGate: NewShardMap rejects a zero shard count.
+func TestShardMapVersionGate(t *testing.T) {
+	if _, err := NewShardMap(1, 0, 0); err == nil {
+		t.Fatal("NewShardMap accepted 0 shards")
+	}
+}

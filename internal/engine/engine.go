@@ -547,6 +547,12 @@ func (e *Engine) Submit(req Request, done func(Result)) error {
 // Tracker returns the engine's tracker (nil when tracking is off).
 func (e *Engine) Tracker() *Tracker { return e.tracker }
 
+// InFlight returns one client's admitted-but-not-completed job count.
+// Once a client's feed is paused and InFlight reaches zero, every
+// accepted fix for that client has been folded into the tracker — the
+// quiesce point a shard migration snapshots at.
+func (e *Engine) InFlight(clientID uint32) int { return e.q.InFlight(clientID) }
+
 // PredictSigma returns the live predictive-region sigma (0 = the
 // predictive path is disabled).
 func (e *Engine) PredictSigma() float64 {

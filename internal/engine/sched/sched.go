@@ -298,6 +298,16 @@ func (q *Queue) AgeLimit() time.Duration {
 	return q.opt.AgeLimit
 }
 
+// InFlight returns one client's admitted-but-not-completed job count
+// — tokens held since Push and not yet returned with Done. A cluster
+// migration uses it to wait until a moving client's jobs have fully
+// folded into the tracker before snapshotting its state.
+func (q *Queue) InFlight(client uint32) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.tokens[client]
+}
+
 // Done returns a client's token, releasing quota held since Push.
 // Call it exactly once per popped (or stolen) item, after the job
 // completes.

@@ -473,6 +473,45 @@ func (t *Tracker) Restore(snaps []ClientSnapshot) int {
 	return n
 }
 
+// SnapshotClients is SnapshotAll restricted to the given client IDs —
+// the shard-handoff export: the losing shard snapshots exactly the
+// clients moving to another shard. IDs without a live (non-stale)
+// track are silently absent from the result.
+func (t *Tracker) SnapshotClients(ids []uint32) []ClientSnapshot {
+	if len(ids) == 0 {
+		return nil
+	}
+	want := make(map[uint32]bool, len(ids))
+	for _, id := range ids {
+		want[id] = true
+	}
+	all := t.SnapshotAll()
+	out := all[:0]
+	for _, s := range all {
+		if want[s.ClientID] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Remove drops the given clients' tracks, returning how many existed.
+// The shard-handoff release: once the gaining shard has restored a
+// moving client, the losing shard forgets it so a later shard-map
+// change cannot resurrect a stale duplicate.
+func (t *Tracker) Remove(ids []uint32) int {
+	n := 0
+	t.mu.Lock()
+	for _, id := range ids {
+		if _, ok := t.clients[id]; ok {
+			delete(t.clients, id)
+			n++
+		}
+	}
+	t.mu.Unlock()
+	return n
+}
+
 // Clients returns the IDs of all live tracks, sorted (the introspection
 // endpoint's index).
 func (t *Tracker) Clients() []uint32 {

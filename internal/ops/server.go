@@ -49,6 +49,7 @@ type Server struct {
 //	GET  /clients/{id}  one client's smoothed track state
 //	GET  /knobs         current values of the hot-reloadable knobs
 //	POST /knobs         apply a Knobs JSON document (partial updates)
+//	     /cluster/*     shard-handoff control surface (see cluster.go)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -60,6 +61,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /clients/{id}", s.handleClient)
 	mux.HandleFunc("GET /knobs", s.handleKnobsGet)
 	mux.HandleFunc("POST /knobs", s.handleKnobsPost)
+	s.registerCluster(mux)
 	return mux
 }
 

@@ -24,19 +24,28 @@ import (
 //	  magic    uint32  'A''T' + version 3
 //	  bodyLen  uint32  bytes that follow the header
 //	  count    uint16  captures in the frame (1..MaxBatchCaptures)
-//	  reserved uint16  must be zero
+//	  fflags   uint16  frame flags: bit0 = delta timestamps; others must be zero
 //	body (bodyLen bytes):
+//	  baseUS   uint64  per-frame base timestamp (µs) — present only with fflags bit0
 //	  count sub-headers, back to back:
 //	    apID     uint32
 //	    clientID uint32
 //	    seq      uint32
-//	    tstampUS uint64
+//	    tstampUS uint64  absolute µs — or deltaUS uint32 (µs past baseUS) with fflags bit0
 //	    scale    float32
 //	    nAnt     uint16
 //	    nSamp    uint16
 //	    flags    uint8   bit0 = has region, bit1 = priority
 //	    region   5 × float64, present only when bit0 is set
 //	  contiguous payloads, capture order: nAnt × nSamp × (int16 I, int16 Q)
+//
+// The delta form spends 4 bytes per capture on the timestamp plus 8
+// per frame instead of 8 per capture — about half the fixed sub-header
+// timestamp overhead for the small 4×16 records — and decodes
+// bit-identical to the absolute form whenever every timestamp in the
+// frame lies within 2³²−1 µs (~71 min) of the earliest one.
+// AppendBatchDelta falls back to the absolute form otherwise, and
+// every reader accepts both.
 //
 // The body length, capture count, sub-header dimensions, and payload
 // bytes must be mutually consistent to the byte — a lying count, an
@@ -56,9 +65,18 @@ const (
 	frameHeadSize = 12
 	// subHeadSize is the fixed part of one per-capture sub-header.
 	subHeadSize = 29
+	// subHeadSizeDelta is the fixed sub-header with a uint32 timestamp
+	// delta in place of the absolute uint64 (frame flag bit0).
+	subHeadSizeDelta = 25
+	// baseTSSize is the per-frame base timestamp prefix of a delta
+	// frame's body.
+	baseTSSize = 8
 	// regionBoxSize is the optional region extension of a sub-header
 	// (five float64 fields; the flags byte lives in the fixed part).
 	regionBoxSize = 5 * 8
+	// frameFlagDeltaTS marks a frame whose body carries a base
+	// timestamp and per-capture uint32 deltas.
+	frameFlagDeltaTS = 1 << 0
 )
 
 // MaxBatchCaptures bounds the captures one frame may carry.
@@ -208,31 +226,37 @@ func ReleaseAll(caps []Capture) {
 }
 
 // parseFrameHead validates the 8 post-magic frame header bytes.
-func parseFrameHead(head []byte) (bodyLen, count int, err error) {
+func parseFrameHead(head []byte) (bodyLen, count int, deltaTS bool, err error) {
 	bodyLen = int(binary.BigEndian.Uint32(head[4:]))
 	count = int(binary.BigEndian.Uint16(head[8:]))
-	if reserved := binary.BigEndian.Uint16(head[10:]); reserved != 0 {
-		return 0, 0, fmt.Errorf("%w: reserved bits %#x", ErrBadFrame, reserved)
+	fflags := binary.BigEndian.Uint16(head[10:])
+	if fflags&^uint16(frameFlagDeltaTS) != 0 {
+		return 0, 0, false, fmt.Errorf("%w: reserved frame-flag bits %#x", ErrBadFrame, fflags)
 	}
+	deltaTS = fflags&frameFlagDeltaTS != 0
 	if count == 0 || count > MaxBatchCaptures {
-		return 0, 0, fmt.Errorf("%w: %d captures per frame", ErrTooLarge, count)
+		return 0, 0, false, fmt.Errorf("%w: %d captures per frame", ErrTooLarge, count)
 	}
 	if bodyLen > MaxFrameBytes {
-		return 0, 0, fmt.Errorf("%w: %d-byte frame body", ErrTooLarge, bodyLen)
+		return 0, 0, false, fmt.Errorf("%w: %d-byte frame body", ErrTooLarge, bodyLen)
 	}
 	// Every capture needs its fixed sub-header plus at least one
-	// 4-byte sample.
-	if bodyLen < count*(subHeadSize+4) {
-		return 0, 0, fmt.Errorf("%w: %d-byte body cannot hold %d captures", ErrBadFrame, bodyLen, count)
+	// 4-byte sample; a delta frame also needs its base timestamp.
+	minBody := count * (subHeadSize + 4)
+	if deltaTS {
+		minBody = baseTSSize + count*(subHeadSizeDelta+4)
 	}
-	return bodyLen, count, nil
+	if bodyLen < minBody {
+		return 0, 0, false, fmt.Errorf("%w: %d-byte body cannot hold %d captures", ErrBadFrame, bodyLen, count)
+	}
+	return bodyLen, count, deltaTS, nil
 }
 
 // decodeBatchBody parses a frame body (sub-headers plus contiguous
 // payload) into ws and returns ws's captures. No reference to body is
 // retained — samples are decoded into the workspace's own backing —
 // so body may be a reused read buffer or a UDP datagram.
-func decodeBatchBody(body []byte, count int, ws *IngestWorkspace) ([]Capture, error) {
+func decodeBatchBody(body []byte, count int, deltaTS bool, ws *IngestWorkspace) ([]Capture, error) {
 	if cap(ws.captures) < count {
 		ws.captures = make([]Capture, count)
 	}
@@ -246,19 +270,38 @@ func decodeBatchBody(body []byte, count int, ws *IngestWorkspace) ([]Capture, er
 	// Pass 1: sub-headers. Dimensions and regions are validated here,
 	// before any sample work, so a hostile frame costs O(count).
 	off := 0
+	var baseUS int64
+	subSize := subHeadSize
+	if deltaTS {
+		// parseFrameHead's minimum-body check guarantees the base
+		// timestamp prefix is present.
+		baseUS = int64(binary.BigEndian.Uint64(body))
+		off = baseTSSize
+		subSize = subHeadSizeDelta
+	}
 	totalSamp, totalAnt := 0, 0
 	for i := 0; i < count; i++ {
-		if len(body)-off < subHeadSize {
+		if len(body)-off < subSize {
 			return nil, fmt.Errorf("%w: truncated sub-header %d", ErrBadFrame, i)
 		}
-		sub := body[off : off+subHeadSize]
-		off += subHeadSize
-		nAnt := int(binary.BigEndian.Uint16(sub[24:]))
-		nSamp := int(binary.BigEndian.Uint16(sub[26:]))
+		sub := body[off : off+subSize]
+		off += subSize
+		// The dimension/scale/flags tail sits right after the timestamp
+		// field, whose width is the only difference between the forms.
+		tail := sub[subHeadSize-9:]
+		var tstamp time.Time
+		if deltaTS {
+			tail = sub[subHeadSizeDelta-9:]
+			tstamp = time.UnixMicro(baseUS + int64(binary.BigEndian.Uint32(sub[12:]))).UTC()
+		} else {
+			tstamp = time.UnixMicro(int64(binary.BigEndian.Uint64(sub[12:]))).UTC()
+		}
+		nAnt := int(binary.BigEndian.Uint16(tail[4:]))
+		nSamp := int(binary.BigEndian.Uint16(tail[6:]))
 		if nAnt == 0 || nAnt > MaxAntennas || nSamp == 0 || nSamp > MaxSamples {
 			return nil, fmt.Errorf("%w: capture %d declares %d×%d", ErrTooLarge, i, nAnt, nSamp)
 		}
-		flags := sub[28]
+		flags := tail[8]
 		if flags&^(flagHasRegion|flagPriority) != 0 {
 			return nil, fmt.Errorf("%w: unknown flags %#x", ErrBadRegion, flags)
 		}
@@ -266,7 +309,7 @@ func decodeBatchBody(body []byte, count int, ws *IngestWorkspace) ([]Capture, er
 			APID:      binary.BigEndian.Uint32(sub[0:]),
 			ClientID:  binary.BigEndian.Uint32(sub[4:]),
 			Seq:       binary.BigEndian.Uint32(sub[8:]),
-			Timestamp: time.UnixMicro(int64(binary.BigEndian.Uint64(sub[12:]))).UTC(),
+			Timestamp: tstamp,
 			Priority:  flags&flagPriority != 0,
 		}
 		if flags&flagHasRegion != 0 {
@@ -289,7 +332,7 @@ func decodeBatchBody(body []byte, count int, ws *IngestWorkspace) ([]Capture, er
 			caps[i].Region = region
 		}
 		meta[i] = batchMeta{
-			scale: float64(math.Float32frombits(binary.BigEndian.Uint32(sub[20:]))),
+			scale: float64(math.Float32frombits(binary.BigEndian.Uint32(tail))),
 			nAnt:  nAnt, nSamp: nSamp,
 		}
 		totalSamp += nAnt * nSamp
@@ -336,7 +379,7 @@ func readBatchBody(r io.Reader, ws *IngestWorkspace) ([]Capture, error) {
 	if _, err := io.ReadFull(r, ws.head[4:frameHeadSize]); err != nil {
 		return nil, fmt.Errorf("server: short frame header: %w", err)
 	}
-	bodyLen, count, err := parseFrameHead(ws.head[:])
+	bodyLen, count, deltaTS, err := parseFrameHead(ws.head[:])
 	if err != nil {
 		return nil, err
 	}
@@ -347,7 +390,7 @@ func readBatchBody(r io.Reader, ws *IngestWorkspace) ([]Capture, error) {
 	if _, err := io.ReadFull(r, body); err != nil {
 		return nil, fmt.Errorf("server: short frame body: %w", err)
 	}
-	return decodeBatchBody(body, count, ws)
+	return decodeBatchBody(body, count, deltaTS, ws)
 }
 
 // readCaptureBody decodes one v1/v2 record whose magic has already
@@ -507,7 +550,7 @@ func DecodeDatagramInto(data []byte, ws *IngestWorkspace) ([]Capture, error) {
 	if binary.BigEndian.Uint32(data[0:]) != batchMagic {
 		return nil, ErrBadMagic
 	}
-	bodyLen, count, err := parseFrameHead(data[:frameHeadSize])
+	bodyLen, count, deltaTS, err := parseFrameHead(data[:frameHeadSize])
 	if err != nil {
 		return nil, err
 	}
@@ -515,7 +558,7 @@ func DecodeDatagramInto(data []byte, ws *IngestWorkspace) ([]Capture, error) {
 	if bodyLen != len(data)-frameHeadSize {
 		return nil, fmt.Errorf("%w: bodyLen %d in %d-byte datagram", ErrBadFrame, bodyLen, len(data))
 	}
-	return decodeBatchBody(data[frameHeadSize:], count, ws)
+	return decodeBatchBody(data[frameHeadSize:], count, deltaTS, ws)
 }
 
 // subSizeOf returns capture c's sub-header size on the wire.
@@ -541,13 +584,50 @@ func BatchFrameSize(caps []Capture) int {
 // returns the extended slice. Callers reusing dst encode with zero
 // per-frame allocations.
 func AppendBatch(dst []byte, caps []Capture) ([]byte, error) {
+	return appendBatch(dst, caps, false, 0)
+}
+
+// AppendBatchDelta is AppendBatch with the compact timestamp form:
+// the frame carries one base timestamp and a uint32 µs delta per
+// capture, saving 4 bytes per sub-header. When the frame's timestamp
+// span cannot be represented (a capture more than 2³²−1 µs past the
+// earliest), it transparently falls back to the absolute form — both
+// decode to bit-identical captures.
+func AppendBatchDelta(dst []byte, caps []Capture) ([]byte, error) {
+	if len(caps) == 0 {
+		return AppendBatch(dst, caps) // same error path
+	}
+	baseUS := caps[0].Timestamp.UnixMicro()
+	for i := 1; i < len(caps); i++ {
+		if us := caps[i].Timestamp.UnixMicro(); us < baseUS {
+			baseUS = us
+		}
+	}
+	for i := range caps {
+		// A negative difference can only mean int64 wraparound on
+		// far-future/far-past extremes — not representable either.
+		if d := caps[i].Timestamp.UnixMicro() - baseUS; d < 0 || d > math.MaxUint32 {
+			return appendBatch(dst, caps, false, 0)
+		}
+	}
+	return appendBatch(dst, caps, true, baseUS)
+}
+
+func appendBatch(dst []byte, caps []Capture, deltaTS bool, baseUS int64) ([]byte, error) {
 	n := len(caps)
 	if n == 0 || n > MaxBatchCaptures {
 		return dst, fmt.Errorf("%w: %d captures per frame", ErrTooLarge, n)
 	}
+	subSize := subHeadSize
+	if deltaTS {
+		subSize = subHeadSizeDelta
+	}
 	// Size the sub-header block first so payloads can append behind
 	// it; dimensions and regions are validated before a byte lands.
 	subTotal, payloadTotal := 0, 0
+	if deltaTS {
+		subTotal = baseTSSize
+	}
 	for i := range caps {
 		c := &caps[i]
 		nAnt := len(c.Streams)
@@ -563,7 +643,10 @@ func AppendBatch(dst []byte, caps []Capture) ([]byte, error) {
 				return dst, fmt.Errorf("%w: %v", ErrBadRegion, err)
 			}
 		}
-		subTotal += subSizeOf(c)
+		subTotal += subSize
+		if !c.Region.IsZero() {
+			subTotal += regionBoxSize
+		}
 		payloadTotal += nAnt * nSamp * 4
 	}
 	bodyLen := subTotal + payloadTotal
@@ -575,22 +658,37 @@ func AppendBatch(dst []byte, caps []Capture) ([]byte, error) {
 	binary.BigEndian.PutUint32(dst[base:], batchMagic)
 	binary.BigEndian.PutUint32(dst[base+4:], uint32(bodyLen))
 	binary.BigEndian.PutUint16(dst[base+8:], uint16(n))
-	binary.BigEndian.PutUint16(dst[base+10:], 0)
+	var fflags uint16
+	if deltaTS {
+		fflags |= frameFlagDeltaTS
+	}
+	binary.BigEndian.PutUint16(dst[base+10:], fflags)
 	off := base + frameHeadSize
+	if deltaTS {
+		binary.BigEndian.PutUint64(dst[off:], uint64(baseUS))
+		off += baseTSSize
+	}
 	for i := range caps {
 		c := &caps[i]
 		nAnt, nSamp, peak, err := captureDims(c)
 		if err != nil {
 			return dst, err
 		}
-		sub := dst[off : off+subHeadSize]
+		sub := dst[off : off+subSize]
 		binary.BigEndian.PutUint32(sub[0:], c.APID)
 		binary.BigEndian.PutUint32(sub[4:], c.ClientID)
 		binary.BigEndian.PutUint32(sub[8:], c.Seq)
-		binary.BigEndian.PutUint64(sub[12:], uint64(c.Timestamp.UnixMicro()))
-		binary.BigEndian.PutUint32(sub[20:], math.Float32bits(float32(peak)))
-		binary.BigEndian.PutUint16(sub[24:], uint16(nAnt))
-		binary.BigEndian.PutUint16(sub[26:], uint16(nSamp))
+		var tail []byte
+		if deltaTS {
+			binary.BigEndian.PutUint32(sub[12:], uint32(c.Timestamp.UnixMicro()-baseUS))
+			tail = sub[16:]
+		} else {
+			binary.BigEndian.PutUint64(sub[12:], uint64(c.Timestamp.UnixMicro()))
+			tail = sub[20:]
+		}
+		binary.BigEndian.PutUint32(tail[0:], math.Float32bits(float32(peak)))
+		binary.BigEndian.PutUint16(tail[4:], uint16(nAnt))
+		binary.BigEndian.PutUint16(tail[6:], uint16(nSamp))
 		var flags byte
 		if !c.Region.IsZero() {
 			flags |= flagHasRegion
@@ -598,8 +696,8 @@ func AppendBatch(dst []byte, caps []Capture) ([]byte, error) {
 		if c.Priority {
 			flags |= flagPriority
 		}
-		sub[28] = flags
-		off += subHeadSize
+		tail[8] = flags
+		off += subSize
 		if flags&flagHasRegion != 0 {
 			box := dst[off : off+regionBoxSize]
 			binary.BigEndian.PutUint64(box[0:], math.Float64bits(c.Region.Min.X))
@@ -617,8 +715,18 @@ func AppendBatch(dst []byte, caps []Capture) ([]byte, error) {
 // WriteBatch encodes caps as one v3 batch frame and writes it with a
 // single Write call — one syscall per burst, from a pooled buffer.
 func WriteBatch(w io.Writer, caps []Capture) error {
+	return writeBatch(w, caps, AppendBatch)
+}
+
+// WriteBatchDelta is WriteBatch with AppendBatchDelta's compact
+// timestamp form (absolute fallback included).
+func WriteBatchDelta(w io.Writer, caps []Capture) error {
+	return writeBatch(w, caps, AppendBatchDelta)
+}
+
+func writeBatch(w io.Writer, caps []Capture, enc func([]byte, []Capture) ([]byte, error)) error {
 	bp := encodeBufPool.Get().(*[]byte)
-	buf, err := AppendBatch((*bp)[:0], caps)
+	buf, err := enc((*bp)[:0], caps)
 	if err == nil {
 		_, err = w.Write(buf)
 	}

@@ -1,0 +1,131 @@
+package server
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// decodeFrame decodes one v3 frame into a pooled workspace; the caller
+// releases.
+func decodeFrame(t *testing.T, frame []byte) []Capture {
+	t.Helper()
+	ws := GetIngestWorkspace()
+	caps, err := ReadBatchInto(bytes.NewReader(frame), ws)
+	if err != nil {
+		ws.Discard()
+		t.Fatal(err)
+	}
+	return caps
+}
+
+// TestBatchDeltaRoundTrip pins the compact timestamp form against the
+// absolute one: same captures, a frame 4 bytes per capture smaller
+// (minus the 8-byte base), and a decode that is bit-identical in every
+// field — timestamps included, which is what "representable" buys.
+func TestBatchDeltaRoundTrip(t *testing.T) {
+	baseline := LeasedIngestWorkspaces()
+	rng := rand.New(rand.NewSource(7))
+	caps := []Capture{
+		batchCapture(rng, 4, 16, false, false),
+		batchCapture(rng, 4, 16, true, true),
+		batchCapture(rng, 2, 8, false, true),
+		batchCapture(rng, 8, 16, true, false),
+	}
+	abs, err := AppendBatch(nil, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, err := AppendBatchDelta(nil, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSaved := 4*len(caps) - baseTSSize
+	if got := len(abs) - len(delta); got != wantSaved {
+		t.Fatalf("delta frame saves %d bytes, want %d", got, wantSaved)
+	}
+	da := decodeFrame(t, abs)
+	dd := decodeFrame(t, delta)
+	if len(da) != len(dd) {
+		t.Fatalf("decode count mismatch: %d vs %d", len(da), len(dd))
+	}
+	for i := range da {
+		a, d := &da[i], &dd[i]
+		if a.APID != d.APID || a.ClientID != d.ClientID || a.Seq != d.Seq ||
+			a.Priority != d.Priority || a.Region != d.Region {
+			t.Errorf("capture %d: metadata differs between forms", i)
+		}
+		if !a.Timestamp.Equal(d.Timestamp) {
+			t.Errorf("capture %d: timestamp %v (absolute) vs %v (delta)", i, a.Timestamp, d.Timestamp)
+		}
+		if !a.Timestamp.Equal(caps[i].Timestamp.Truncate(time.Microsecond)) {
+			t.Errorf("capture %d: decode lost the original timestamp", i)
+		}
+		if !sameBits(a.Streams, d.Streams) {
+			t.Errorf("capture %d: streams differ between forms", i)
+		}
+	}
+	ReleaseAll(da)
+	ReleaseAll(dd)
+	if leaked := LeasedIngestWorkspaces() - baseline; leaked != 0 {
+		t.Fatalf("leaked %d workspaces", leaked)
+	}
+}
+
+// TestBatchDeltaFallsBackOnWideSpan: a burst whose timestamps span more
+// than 2³²−1 µs cannot use deltas; the encoder must emit the absolute
+// form byte-for-byte rather than corrupt timestamps.
+func TestBatchDeltaFallsBackOnWideSpan(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	caps := []Capture{
+		batchCapture(rng, 2, 4, false, false),
+		batchCapture(rng, 2, 4, false, false),
+	}
+	caps[1].Timestamp = caps[0].Timestamp.Add(72 * time.Minute) // > MaxUint32 µs
+	abs, err := AppendBatch(nil, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, err := AppendBatchDelta(nil, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(abs, delta) {
+		t.Fatal("wide-span burst did not fall back to the absolute form")
+	}
+}
+
+// TestBatchDeltaMixedStream: a reader must accept interleaved absolute
+// and delta frames on one connection — the mixed-version contract that
+// lets writers upgrade independently.
+func TestBatchDeltaMixedStream(t *testing.T) {
+	baseline := LeasedIngestWorkspaces()
+	rng := rand.New(rand.NewSource(9))
+	burstA := []Capture{batchCapture(rng, 2, 8, false, false)}
+	burstB := []Capture{batchCapture(rng, 2, 8, true, false)}
+	var stream []byte
+	var err error
+	if stream, err = AppendBatch(stream, burstA); err != nil {
+		t.Fatal(err)
+	}
+	if stream, err = AppendBatchDelta(stream, burstB); err != nil {
+		t.Fatal(err)
+	}
+	r := bytes.NewReader(stream)
+	for frame, want := 0, [][]Capture{burstA, burstB}; frame < 2; frame++ {
+		ws := GetIngestWorkspace()
+		caps, err := ReadFrameInto(r, ws)
+		if err != nil {
+			ws.Discard()
+			t.Fatalf("frame %d: %v", frame, err)
+		}
+		if len(caps) != 1 || !caps[0].Timestamp.Equal(want[frame][0].Timestamp.Truncate(time.Microsecond)) {
+			t.Fatalf("frame %d decoded wrong", frame)
+		}
+		ReleaseAll(caps)
+	}
+	if leaked := LeasedIngestWorkspaces() - baseline; leaked != 0 {
+		t.Fatalf("leaked %d workspaces", leaked)
+	}
+}

@@ -82,6 +82,12 @@ type APNode struct {
 	Region core.Region
 	// Priority marks recorded captures as latency-priority.
 	Priority bool
+	// CompactTimestamps selects the v3 delta-timestamp frame form for
+	// UploadBatch and UploadDatagrams: one base timestamp per frame
+	// plus a uint32 µs delta per capture instead of 8 absolute bytes
+	// each (automatic absolute fallback when a burst spans more than
+	// ~71 minutes).
+	CompactTimestamps bool
 
 	seq uint32
 	mu  sync.Mutex
@@ -158,10 +164,19 @@ func (n *APNode) UploadBatch(ctx context.Context, w io.Writer, batch int) error 
 		if len(caps) == 0 {
 			return nil
 		}
-		if err := WriteBatch(w, caps); err != nil {
+		if err := n.writeBatch(w, caps); err != nil {
 			return err
 		}
 	}
+}
+
+// writeBatch writes one v3 frame in the node's configured timestamp
+// form.
+func (n *APNode) writeBatch(w io.Writer, caps []Capture) error {
+	if n.CompactTimestamps {
+		return WriteBatchDelta(w, caps)
+	}
+	return WriteBatch(w, caps)
 }
 
 // UploadDatagrams drains the buffer to w as batch frames no larger
@@ -204,7 +219,9 @@ func (n *APNode) UploadDatagrams(ctx context.Context, w io.Writer, maxBytes int)
 		if len(caps) == 0 {
 			return nil
 		}
-		if err := WriteBatch(w, caps); err != nil {
+		// BatchFrameSize sizes the absolute form; the delta form is
+		// never larger, so the packing bound holds for both.
+		if err := n.writeBatch(w, caps); err != nil {
 			return err
 		}
 	}
@@ -453,6 +470,7 @@ type Backend struct {
 	quarDropped     atomic.Uint64
 	degradedFlushes atomic.Uint64
 	staleDropped    atomic.Uint64
+	ingested        atomic.Uint64
 
 	// UDP datagram-mode health. Fire-and-forget feeds have no
 	// retransmit, so losses surface as counters instead: per-AP
@@ -533,6 +551,37 @@ func (b *Backend) Health() HealthStats {
 		StaleDropped:       b.staleDropped.Load(),
 		Quarantined:        int(b.quarActive.Load()),
 	}
+}
+
+// IngestedCaptures returns the number of captures accepted into quorum
+// grouping (quarantine drops excluded) and fully settled: counted only
+// once the ingest call that carried them has returned, so each counted
+// capture is either sitting in a pending group, already handed to the
+// Dispatcher (whose Submit has returned, making the job visible to
+// Engine.InFlight), or dropped. A cluster router uses it as a
+// consumption barrier: once a shard's count reaches the number of
+// captures routed to it, none is still in flight on the wire or
+// mid-dispatch.
+func (b *Backend) IngestedCaptures() uint64 { return b.ingested.Load() }
+
+// ExtractPending removes the listed clients' pending (below-quorum)
+// groups and returns their captures in arrival order, concatenated per
+// client. The caller takes ownership: each returned capture must be
+// Released exactly once, or re-ingested somewhere that will. The
+// cluster handoff path uses this to re-route a migrating client's
+// buffered captures to its new shard instead of letting them strand
+// until the sweep.
+func (b *Backend) ExtractPending(clientIDs []uint32) []Capture {
+	var out []Capture
+	for _, id := range clientIDs {
+		sh := b.shard(id)
+		sh.mu.Lock()
+		if g := sh.pending[id]; g != nil && len(g.caps) > 0 {
+			out = append(out, g.take()...)
+		}
+		sh.mu.Unlock()
+	}
+	return out
 }
 
 func (b *Backend) now() time.Time {
@@ -734,6 +783,7 @@ func (b *Backend) Ingest(c *Capture) {
 	if flush != nil {
 		b.dispatch(c.ClientID, flush)
 	}
+	b.ingested.Add(1)
 }
 
 // ingestLocked appends one capture to its client's group and, when a
@@ -791,9 +841,18 @@ func (b *Backend) dispatch(clientID uint32, flush []Capture) {
 
 // IngestBatch ingests a decoded burst, taking each client's shard
 // lock once for all of that client's captures instead of once per
-// capture. Per-client capture order and flush contents are identical
-// to per-capture Ingest; only the interleaving of different clients'
-// flushes may differ, which nothing downstream orders on.
+// capture. Per-client capture order is identical to per-capture
+// Ingest; only the interleaving of different clients' flushes may
+// differ, which nothing downstream orders on.
+//
+// When a flush fires mid-burst, the flushing client's remaining
+// captures in the same burst are absorbed into that flush (order
+// preserved, released exactly-once by the flush owner) instead of
+// seeding a fresh group. Quorum fires on the Nth distinct AP's *first*
+// capture; a multi-frame-per-AP burst would otherwise strand its
+// trailing frames in a group whose missing APs already contributed to
+// the round just flushed, surfacing later as spurious degraded flushes
+// and pinned pool workspaces.
 func (b *Backend) IngestBatch(caps []Capture) {
 	if b.quarActive.Load() != 0 {
 		// Rare path (an AP is quarantined): filter its captures out up
@@ -821,7 +880,9 @@ func (b *Backend) IngestBatch(caps []Capture) {
 	}
 	// Distinct clients in burst order, via the same stack-resident
 	// scan the AP sets use. Bursts with more distinct clients than the
-	// inline array fall back to per-capture ingest.
+	// inline array spill to the heap (rare) rather than falling back to
+	// per-capture ingest, which would lose the burst context the
+	// flush-absorption rule below needs.
 	var clientBuf [32]uint32
 	clients := clientBuf[:0]
 	for i := range caps {
@@ -834,18 +895,12 @@ func (b *Backend) IngestBatch(caps []Capture) {
 			}
 		}
 		if !dup {
-			if len(clients) == len(clientBuf) {
-				for j := range caps {
-					b.Ingest(&caps[j])
-				}
-				return
-			}
 			clients = append(clients, id)
 		}
 	}
-	var flushBuf [8][]Capture
 	for _, id := range clients {
-		flushes := flushBuf[:0]
+		var flush []Capture
+		degraded := false
 		sh := b.shard(id)
 		sh.mu.Lock()
 		g := sh.group(id)
@@ -853,15 +908,29 @@ func (b *Backend) IngestBatch(caps []Capture) {
 			if caps[i].ClientID != id {
 				continue
 			}
+			if flush != nil {
+				// A flush already fired for this client in this burst:
+				// absorb the trailing same-burst captures into it rather
+				// than stranding them in a group that can never complete.
+				c := caps[i]
+				c.Degraded = degraded
+				flush = append(flush, c)
+				continue
+			}
 			if f := b.ingestLocked(g, &caps[i], now); f != nil {
-				flushes = append(flushes, f)
+				flush = f
+				degraded = len(f) > 0 && f[len(f)-1].Degraded
 			}
 		}
 		sh.mu.Unlock()
-		for _, f := range flushes {
-			b.dispatch(id, f)
+		if flush != nil {
+			b.dispatch(id, flush)
 		}
 	}
+	// Settle-time accounting: the whole burst counts only after every
+	// flush it triggered has been dispatched, so a consumption barrier
+	// reading IngestedCaptures never races a mid-flight Submit.
+	b.ingested.Add(uint64(len(caps)))
 }
 
 // Sweep walks every pending group looking for the ones ingest-time
@@ -937,6 +1006,25 @@ func (b *Backend) PendingClients() int {
 		sh.mu.Unlock()
 	}
 	return n
+}
+
+// PendingClientIDs returns the IDs of clients holding partially
+// grouped captures. The cluster handoff path unions it with the
+// tracker's live clients to enumerate every identity with shard-local
+// state.
+func (b *Backend) PendingClientIDs() []uint32 {
+	var ids []uint32
+	for i := range b.shards {
+		sh := &b.shards[i]
+		sh.mu.Lock()
+		for id, g := range sh.pending {
+			if len(g.caps) > 0 {
+				ids = append(ids, id)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return ids
 }
 
 // ServeConn reads frames from r until EOF or error, ingesting every

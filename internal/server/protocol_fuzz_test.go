@@ -204,6 +204,25 @@ func validBatchFrame(tb testing.TB) []byte {
 	return frame
 }
 
+// validDeltaBatchFrame encodes the same captures as validBatchFrame in
+// the compact delta-timestamp form.
+func validDeltaBatchFrame(tb testing.TB) []byte {
+	tb.Helper()
+	abs := validBatchFrame(tb)
+	ws := GetIngestWorkspace()
+	caps, err := ReadBatchInto(bytes.NewReader(abs), ws)
+	if err != nil {
+		ws.Discard()
+		tb.Fatal(err)
+	}
+	frame, err := AppendBatchDelta(nil, caps)
+	ReleaseAll(caps)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return frame
+}
+
 // FuzzReadBatch explores the v3 batch decoder and the datagram path:
 // truncated frames, lying counts, oversized sub-headers, and hostile
 // regions must all error — never panic, never allocate past the frame
@@ -241,6 +260,31 @@ func FuzzReadBatch(f *testing.F) {
 	f.Add(validRecord(f))       // v1 record through the frame reader
 	f.Add(validRegionRecord(f)) // v2 record through the frame reader
 
+	// Delta-timestamp frames (frame flag bit0): a valid one, then the
+	// same hostile mutations against the compact sub-header layout.
+	deltaFrame := validDeltaBatchFrame(f)
+	f.Add(deltaFrame)
+	f.Add(deltaFrame[:frameHeadSize+4])   // truncated base timestamp
+	f.Add(deltaFrame[:len(deltaFrame)-3]) // truncated payload
+	deltaLying := append([]byte(nil), deltaFrame...)
+	binary.BigEndian.PutUint16(deltaLying[8:], 700)
+	f.Add(deltaLying)
+	deltaBadFF := append([]byte(nil), deltaFrame...)
+	deltaBadFF[10] = 0x80 // reserved frame-flag bits beyond bit0
+	f.Add(deltaBadFF)
+	deltaHostileSub := append([]byte(nil), deltaFrame...)
+	binary.BigEndian.PutUint16(deltaHostileSub[frameHeadSize+baseTSSize+20:], 0xFFFF) // nAnt
+	f.Add(deltaHostileSub)
+	deltaBadFlags := append([]byte(nil), deltaFrame...)
+	deltaBadFlags[frameHeadSize+baseTSSize+24] = 0xFF
+	f.Add(deltaBadFlags)
+	// Absolute-form flag flipped on without re-laying-out the body:
+	// the sub-headers no longer parse as the compact form and the
+	// decoder must reject, not misread.
+	flagMismatch := append([]byte(nil), frame...)
+	flagMismatch[11] = 0x01
+	f.Add(flagMismatch)
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Stream framing (the ServeConn path, mixed versions).
 		ws := GetIngestWorkspace()
@@ -260,10 +304,35 @@ func FuzzReadBatch(f *testing.F) {
 					t.Fatalf("capture %d carries invalid region: %v", i, err)
 				}
 			}
-			// Anything that decodes must re-encode as a batch.
+			// Anything that decodes must re-encode as a batch, in both
+			// timestamp forms, and the compact form must decode back to
+			// the same timestamps.
 			if _, err := AppendBatch(nil, caps); err != nil {
 				t.Fatalf("decoded batch failed to re-encode: %v", err)
 			}
+			delta, err := AppendBatchDelta(nil, caps)
+			if err != nil {
+				t.Fatalf("decoded batch failed to re-encode in delta form: %v", err)
+			}
+			ws2 := GetIngestWorkspace()
+			caps2, err := ReadBatchInto(bytes.NewReader(delta), ws2)
+			if err != nil {
+				ws2.Discard()
+				t.Fatalf("delta re-encode does not decode: %v", err)
+			}
+			if len(caps2) != len(caps) {
+				t.Fatalf("delta round trip changed count: %d != %d", len(caps2), len(caps))
+			}
+			for i := range caps {
+				// Compare at wire precision: extreme hostile timestamps
+				// may not round-trip through time.Time exactly, but the
+				// µs value the wire carries must.
+				if caps2[i].Timestamp.UnixMicro() != caps[i].Timestamp.UnixMicro() {
+					t.Fatalf("capture %d: delta round trip moved timestamp %v → %v",
+						i, caps[i].Timestamp, caps2[i].Timestamp)
+				}
+			}
+			ReleaseAll(caps2)
 			ReleaseAll(caps)
 		}
 		// Datagram framing (exact-fit rule) and the backend's counter

@@ -1,0 +1,640 @@
+package testbed
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/geom"
+	"repro/internal/server"
+)
+
+// ClusterOptions sizes the sharded-cluster experiment: bit-identical
+// fan-in versus a single-backend control, a zero-loss mid-walk (and
+// mid-burst) shard migration, and a 1→N shard throughput sweep.
+type ClusterOptions struct {
+	// Steps is the number of fixes along the walk; MigrateStep is the
+	// step during which the cluster grows from 1 to 2 shards — after
+	// half the step's AP frames have been fed, so the migration moves a
+	// below-quorum pending group as well as the live track.
+	Steps, MigrateStep int
+	// Dt is the seconds between fixes, Speed the walk speed in m/s.
+	Dt, Speed float64
+	// Sites indexes the AP sites that hear the clients.
+	Sites []int
+	// Capture configures the simulated radios.
+	Capture CaptureOptions
+	// GridCell is the synthesis pitch.
+	GridCell float64
+	// Tracker configures the Kalman layer (identically everywhere).
+	Tracker engine.TrackerOptions
+	// Seed drives the channel noise.
+	Seed int64
+	// MaxShards bounds the throughput sweep; 0 means
+	// min(4, GOMAXPROCS). The sweep's near-linearity claim only holds
+	// where cores allow, so CI gates it on the multicore flag.
+	MaxShards int
+	// ThroughputClients and ThroughputFixes size the sweep workload:
+	// clients × fixes-per-client localization jobs per shard count.
+	ThroughputClients, ThroughputFixes int
+	// ThroughputTrials is how many times each shard count replays the
+	// workload; the best rate is kept (scaling is a capacity claim, so
+	// a descheduled trial must not masquerade as a scaling failure).
+	// 0 means 3.
+	ThroughputTrials int
+}
+
+// DefaultClusterOptions walks the corridor for 12 fixes, growing the
+// cluster mid-way through step 6.
+func DefaultClusterOptions() ClusterOptions {
+	return ClusterOptions{
+		Steps:             12,
+		MigrateStep:       6,
+		Dt:                1.0,
+		Speed:             1.2,
+		Sites:             []int{0, 1, 2, 3, 4, 5},
+		Capture:           DefaultCaptureOptions(),
+		GridCell:          0.25,
+		Tracker:           engine.TrackerOptions{ProcessNoise: 0.3, MeasSigma: 0.8, Gate: 3},
+		Seed:              71,
+		ThroughputClients: 16,
+		ThroughputFixes:   3,
+	}
+}
+
+// ClusterResult is the machine-readable outcome of the cluster run.
+type ClusterResult struct {
+	// FanInMismatches counts smoothed positions from the static 2-shard
+	// cluster that differ (at all) from the single-backend control.
+	// Must be 0: the router's decode→re-encode is bit-identical.
+	FanInMismatches int
+	// StepMismatches counts positions from the migration run that
+	// differ from the control. Must be 0: the handoff is invisible.
+	StepMismatches int
+	// TracksLost is how many clients lack a live track anywhere in the
+	// cluster after the migration run. Must be 0.
+	TracksLost int
+	// RMSEDeltaCM is |control RMSE − migration-run RMSE| over the
+	// walker's smoothed errors. Must be 0.
+	RMSEDeltaCM float64
+	// SmoothedRMSECM is the migration run's walker RMSE (context).
+	SmoothedRMSECM float64
+	// MovedClients/MovedTracks/MovedPending/HeldFlushed describe the
+	// rebalance: clients that changed owner, Kalman tracks migrated,
+	// buffered below-quorum captures re-routed, captures parked at the
+	// router during the swap.
+	MovedClients, MovedTracks, MovedPending, HeldFlushed int
+	// WalkerMigrated reports the walker's track living on the gaining
+	// shard and only there after the swap.
+	WalkerMigrated bool
+	// FixesPerSec[i] is the throughput with i+1 shards.
+	FixesPerSec []float64
+	// Multicore reports GOMAXPROCS ≥ 2 — the precondition for gating
+	// the scaling numbers.
+	Multicore bool
+	// WorkspaceLeaks is the pooled ingest-workspace gauge delta across
+	// the whole experiment. Must be 0.
+	WorkspaceLeaks int64
+}
+
+// clusterHarness is one router-fronted cluster of in-process shards
+// fed through a single synchronous pipe (sequential frames, so every
+// run sees captures in the same order).
+type clusterHarness struct {
+	shards    []*cluster.LocalShard
+	router    *cluster.Router
+	feed      net.Conn
+	routerErr chan error
+	dir       string
+}
+
+func (tb *Testbed) startCluster(nShards, mapShards, quorum int, eopt engine.Options,
+	trOpt engine.TrackerOptions, resolve func(uint32) *core.AP, onResult func(engine.Result)) (*clusterHarness, error) {
+	dir, err := os.MkdirTemp("", "atcluster")
+	if err != nil {
+		return nil, err
+	}
+	h := &clusterHarness{routerErr: make(chan error, 1), dir: dir}
+	views := make([]cluster.Shard, 0, nShards)
+	for i := 0; i < nShards; i++ {
+		s, err := cluster.NewLocalShard(cluster.LocalShardOptions{
+			SocketPath:     filepath.Join(dir, fmt.Sprintf("s%d.sock", i)),
+			Quorum:         quorum,
+			Window:         time.Second,
+			Engine:         eopt,
+			TrackerOptions: trOpt,
+			Resolve:        resolve,
+			Min:            tb.Plan.Min,
+			Max:            tb.Plan.Max,
+			OnResult:       onResult,
+		})
+		if err != nil {
+			h.close()
+			return nil, err
+		}
+		h.shards = append(h.shards, s)
+		views = append(views, s.Shard())
+	}
+	m, err := cluster.NewShardMap(1, mapShards, 0)
+	if err != nil {
+		h.close()
+		return nil, err
+	}
+	if h.router, err = cluster.NewRouter(m, views); err != nil {
+		h.close()
+		return nil, err
+	}
+	pr, pw := net.Pipe()
+	h.feed = pw
+	go func() { h.routerErr <- h.router.ServeConn(pr) }()
+	return h, nil
+}
+
+func (h *clusterHarness) close() {
+	if h.feed != nil {
+		h.feed.Close()
+		<-h.routerErr
+	}
+	for _, s := range h.shards {
+		s.Close()
+	}
+	os.RemoveAll(h.dir)
+}
+
+// writeFrames feeds pre-encoded v3 frames down a connection with a
+// deadline, so a wedged consumer fails the run instead of hanging it.
+func writeFrames(conn net.Conn, frames ...[]byte) error {
+	for _, f := range frames {
+		conn.SetWriteDeadline(time.Now().Add(30 * time.Second))
+		if _, err := conn.Write(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// collectFixes drains exactly want results, keyed by client. Each step
+// produces one quorum flush per client, so want is deterministic.
+func collectFixes(results chan engine.Result, want int) (map[uint32]engine.Result, error) {
+	out := make(map[uint32]engine.Result, want)
+	deadline := time.NewTimer(60 * time.Second)
+	defer deadline.Stop()
+	for k := 0; k < want; k++ {
+		select {
+		case r := <-results:
+			if r.Err != nil {
+				return nil, fmt.Errorf("testbed: cluster fix for client %d: %w", r.ClientID, r.Err)
+			}
+			out[r.ClientID] = r
+		case <-deadline.C:
+			return nil, fmt.Errorf("testbed: cluster run timed out waiting for fix %d/%d", k+1, want)
+		}
+	}
+	return out, nil
+}
+
+// RunCluster regenerates the sharded-cluster claims against a
+// single-backend control fed the identical serialized frames:
+//
+//   - fan-in bit-identity: a router fanning one AP stream out to two
+//     static shards produces, fix for fix, exactly the control's
+//     smoothed positions (the router's delta re-encode of the
+//     quantized wire samples is lossless);
+//   - zero-loss handoff: growing 1→2 shards mid-walk — and mid-burst,
+//     with a below-quorum pending group buffered — moves the walker's
+//     pending captures and Kalman track to the new shard with no fix
+//     lost and an RMSE delta of exactly zero;
+//   - scaling: fixes/sec from 1→N shards with one localization worker
+//     per shard, near-linear where cores allow.
+func (tb *Testbed) RunCluster(opt ClusterOptions) (*Report, *ClusterResult, error) {
+	rng := rand.New(rand.NewSource(opt.Seed))
+	cfg := core.DefaultConfig(tb.Wavelength)
+	cfg.GridCell = opt.GridCell
+	base := time.Unix(1700000000, 0)
+	wsBaseline := server.LeasedIngestWorkspaces()
+
+	res := &ClusterResult{Multicore: runtime.GOMAXPROCS(0) >= 2}
+	r := &Report{ID: "cluster", Title: "sharded cluster: fan-in bit-identity, zero-loss mid-walk handoff, 1→N scaling"}
+
+	// Pick client IDs by where consistent hashing sends them when the
+	// cluster grows to 2 shards: the walker moves to the new shard, the
+	// stationary client stays — so the migration moves a track that is
+	// actively walking.
+	m2, err := cluster.NewShardMap(2, 2, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	var walkerID, statID uint32
+	for id := uint32(1); walkerID == 0 || statID == 0; id++ {
+		if m2.Owner(id) == 1 && walkerID == 0 {
+			walkerID = id
+		}
+		if m2.Owner(id) == 0 && statID == 0 {
+			statID = id
+		}
+	}
+	clients := []uint32{walkerID, statID}
+	truthAt := func(i int) map[uint32]geom.Point {
+		return map[uint32]geom.Point{
+			walkerID: trackingTruth(TrackingOptions{Dt: opt.Dt, Speed: opt.Speed}, i),
+			statID:   geom.Pt(33, 3),
+		}
+	}
+	stepTime := func(i int) time.Time {
+		return base.Add(time.Duration(float64(i) * opt.Dt * float64(time.Second)))
+	}
+
+	// Serialize every step once — one absolute v3 frame per AP carrying
+	// both clients' captures — so all three runs decode identical
+	// bytes and any divergence is the cluster path's fault.
+	aps := tb.APsFor(opt.Sites, opt.Capture)
+	apByID := make(map[uint32]*core.AP, len(opt.Sites))
+	for si, s := range opt.Sites {
+		apByID[uint32(s+1)] = aps[si]
+	}
+	resolve := func(apID uint32) *core.AP { return apByID[apID] }
+	seqs := map[uint32]uint32{}
+	stepFrames := make([][][]byte, opt.Steps) // [step][site]frame
+	for i := 0; i < opt.Steps; i++ {
+		truth := truthAt(i)
+		frames := make([][]byte, len(opt.Sites))
+		for si, s := range opt.Sites {
+			apID := uint32(s + 1)
+			var caps []server.Capture
+			for _, id := range clients {
+				for _, fc := range tb.CaptureClient(truth[id], tb.Sites[s], opt.Capture, rng) {
+					seqs[apID]++
+					caps = append(caps, server.Capture{
+						APID: apID, ClientID: id, Seq: seqs[apID],
+						Timestamp: stepTime(i), Streams: fc.Streams,
+					})
+				}
+			}
+			f, err := server.AppendBatch(nil, caps)
+			if err != nil {
+				return nil, nil, err
+			}
+			frames[si] = f
+		}
+		stepFrames[i] = frames
+	}
+
+	// All trackers run on the simulated clock (the walk replays
+	// 2023-era timestamps); engine workers read it concurrently, so it
+	// advances atomically.
+	var simNow atomic.Int64
+	simNow.Store(base.UnixNano())
+	trOpt := opt.Tracker
+	trOpt.Now = func() time.Time { return time.Unix(0, simNow.Load()) }
+
+	// A flush needs every AP: quorum counts distinct APs, and the last
+	// AP's burst is absorbed into the flush it completes.
+	quorum := len(opt.Sites)
+	eopt := engine.Options{Config: cfg}
+
+	// runWalk feeds the steps and records each client's smoothed
+	// positions; migrate, when non-nil, runs mid-step MigrateStep after
+	// half the AP frames.
+	runWalk := func(feed net.Conn, results chan engine.Result, migrate func() error) (map[uint32][]geom.Point, []float64, error) {
+		smoothed := map[uint32][]geom.Point{}
+		var walkErrs []float64
+		for i := 0; i < opt.Steps; i++ {
+			simNow.Store(stepTime(i).UnixNano())
+			frames := stepFrames[i]
+			if migrate != nil && i == opt.MigrateStep {
+				if err := writeFrames(feed, frames[:len(frames)/2]...); err != nil {
+					return nil, nil, err
+				}
+				if err := migrate(); err != nil {
+					return nil, nil, err
+				}
+				if err := writeFrames(feed, frames[len(frames)/2:]...); err != nil {
+					return nil, nil, err
+				}
+			} else if err := writeFrames(feed, frames...); err != nil {
+				return nil, nil, err
+			}
+			fixes, err := collectFixes(results, len(clients))
+			if err != nil {
+				return nil, nil, err
+			}
+			for _, id := range clients {
+				out, ok := fixes[id]
+				if !ok || out.Track == nil {
+					return nil, nil, fmt.Errorf("testbed: step %d: no tracked fix for client %d", i, id)
+				}
+				smoothed[id] = append(smoothed[id], out.Track.Smoothed)
+				if id == walkerID {
+					walkErrs = append(walkErrs, out.Track.Smoothed.Dist(truthAt(i)[walkerID])*100)
+				}
+			}
+		}
+		return smoothed, walkErrs, nil
+	}
+
+	// Control: one backend+engine fed directly, no router.
+	var ctrlSmoothed map[uint32][]geom.Point
+	var ctrlErrs []float64
+	{
+		results := make(chan engine.Result, 16)
+		onResult := func(r engine.Result) { results <- r }
+		dir, err := os.MkdirTemp("", "atclusterctl")
+		if err != nil {
+			return nil, nil, err
+		}
+		s, err := cluster.NewLocalShard(cluster.LocalShardOptions{
+			SocketPath: filepath.Join(dir, "ctl.sock"),
+			Quorum:     quorum, Window: time.Second,
+			Engine: eopt, TrackerOptions: trOpt,
+			Resolve: resolve, Min: tb.Plan.Min, Max: tb.Plan.Max,
+			OnResult: onResult,
+		})
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, nil, err
+		}
+		ctrlSmoothed, ctrlErrs, err = runWalk(s.Conn(), results, nil)
+		s.Close()
+		os.RemoveAll(dir)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Static fan-in: two shards from the start, same frames through the
+	// router. Every smoothed position must equal the control's exactly.
+	{
+		results := make(chan engine.Result, 16)
+		h, err := tb.startCluster(2, 2, quorum, eopt, trOpt, resolve,
+			func(r engine.Result) { results <- r })
+		if err != nil {
+			return nil, nil, err
+		}
+		fanSmoothed, _, err := runWalk(h.feed, results, nil)
+		h.close()
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, id := range clients {
+			for i := range fanSmoothed[id] {
+				if fanSmoothed[id][i] != ctrlSmoothed[id][i] {
+					res.FanInMismatches++
+				}
+			}
+		}
+	}
+
+	// Migration: start on 1 shard, grow to 2 mid-step. The walker's
+	// half-fed pending group and live track both move.
+	var migSmoothed map[uint32][]geom.Point
+	var migErrs []float64
+	{
+		results := make(chan engine.Result, 16)
+		h, err := tb.startCluster(2, 1, quorum, eopt, trOpt, resolve,
+			func(r engine.Result) { results <- r })
+		if err != nil {
+			return nil, nil, err
+		}
+		capsPerStep := len(clients) * opt.Capture.Frames * len(opt.Sites)
+		halfCaps := len(clients) * opt.Capture.Frames * (len(opt.Sites) / 2)
+		migrate := func() error {
+			// Let the half-step settle on shard 0 so the rebalance
+			// deterministically finds the walker's pending group.
+			wantIngested := uint64(opt.MigrateStep*capsPerStep + halfCaps)
+			deadline := time.Now().Add(30 * time.Second)
+			for {
+				n, err := h.shards[0].Ingested()
+				if err != nil {
+					return err
+				}
+				if n >= wantIngested {
+					break
+				}
+				if time.Now().After(deadline) {
+					return fmt.Errorf("testbed: shard 0 ingested %d of %d before migration", n, wantIngested)
+				}
+				time.Sleep(100 * time.Microsecond)
+			}
+			st, err := h.router.Rebalance(m2)
+			if err != nil {
+				return err
+			}
+			res.MovedClients = st.MovedClients
+			res.MovedTracks = st.MovedTracks
+			res.MovedPending = st.MovedPending
+			res.HeldFlushed = st.HeldFlushed
+			return nil
+		}
+		migSmoothed, migErrs, err = runWalk(h.feed, results, migrate)
+		if err != nil {
+			h.close()
+			return nil, nil, err
+		}
+		// The walker's track must live on the gaining shard and only
+		// there; cluster-wide, no client may have lost its track.
+		_, onNew := h.shards[1].Tracker.Snapshot(walkerID)
+		_, onOld := h.shards[0].Tracker.Snapshot(walkerID)
+		res.WalkerMigrated = onNew && !onOld
+		for _, id := range clients {
+			found := false
+			for _, s := range h.shards {
+				if _, ok := s.Tracker.Snapshot(id); ok {
+					found = true
+				}
+			}
+			if !found {
+				res.TracksLost++
+			}
+		}
+		h.close()
+	}
+
+	for _, id := range clients {
+		for i := range migSmoothed[id] {
+			if migSmoothed[id][i] != ctrlSmoothed[id][i] {
+				res.StepMismatches++
+			}
+		}
+	}
+	ctrlRMSE, migRMSE := rmseSqrt(ctrlErrs), rmseSqrt(migErrs)
+	res.SmoothedRMSECM = migRMSE
+	res.RMSEDeltaCM = migRMSE - ctrlRMSE
+	if res.RMSEDeltaCM < 0 {
+		res.RMSEDeltaCM = -res.RMSEDeltaCM
+	}
+
+	// Throughput: the same workload swept across 1..MaxShards clusters,
+	// one localization worker per shard so added shards are the only
+	// source of parallelism.
+	maxShards := opt.MaxShards
+	if maxShards <= 0 {
+		maxShards = min(4, runtime.GOMAXPROCS(0))
+	}
+	if err := tb.clusterThroughput(opt, res, maxShards, base); err != nil {
+		return nil, nil, err
+	}
+
+	res.WorkspaceLeaks = server.LeasedIngestWorkspaces() - wsBaseline
+
+	r.Addf("clients: walker %d (moves to shard 1), stationary %d (stays on shard 0)", walkerID, statID)
+	r.Addf("%4s  %-14s %-14s %-14s  %s", "step", "truth", "control", "migrated", "")
+	for i := 0; i < opt.Steps; i++ {
+		truth := truthAt(i)[walkerID]
+		c, g := ctrlSmoothed[walkerID][i], migSmoothed[walkerID][i]
+		mark := ""
+		if i == opt.MigrateStep {
+			mark = "<- grew 1→2 shards mid-step"
+		}
+		r.Addf("%4d  (%5.1f,%4.1f)   (%5.1f,%4.1f)   (%5.1f,%4.1f)  %s",
+			i+1, truth.X, truth.Y, c.X, c.Y, g.X, g.Y, mark)
+	}
+	r.Addf("")
+	r.Addf("rebalance: %d client moved, %d track migrated, %d pending captures re-routed, %d held at router",
+		res.MovedClients, res.MovedTracks, res.MovedPending, res.HeldFlushed)
+	r.Addf("walker track on gaining shard only: %v; tracks lost: %d", res.WalkerMigrated, res.TracksLost)
+	r.Addf("fan-in mismatches (static 2-shard vs control): %d", res.FanInMismatches)
+	r.Addf("migration mismatches vs control: %d", res.StepMismatches)
+	r.Addf("walker smoothed RMSE: control %.1fcm, migrated %.1fcm (delta %.3fcm)",
+		ctrlRMSE, migRMSE, res.RMSEDeltaCM)
+	r.Addf("")
+	r.Addf("throughput (%d clients × %d fixes, 1 worker/shard, GOMAXPROCS=%d):",
+		opt.ThroughputClients, opt.ThroughputFixes, runtime.GOMAXPROCS(0))
+	for i, fps := range res.FixesPerSec {
+		speedup := fps / res.FixesPerSec[0]
+		r.Addf("  %d shard(s): %7.1f fixes/sec  (%.2fx)", i+1, fps, speedup)
+	}
+	if !res.Multicore {
+		r.Addf("  single-core host: scaling numbers not meaningful, not gated")
+	}
+	r.Addf("pooled ingest-workspace leak delta: %d", res.WorkspaceLeaks)
+
+	r.AddMetric("fan_in_mismatches", float64(res.FanInMismatches), "")
+	r.AddMetric("step_mismatches", float64(res.StepMismatches), "")
+	r.AddMetric("tracks_lost", float64(res.TracksLost), "")
+	r.AddMetric("rmse_delta_cm", res.RMSEDeltaCM, "cm")
+	r.AddMetric("smoothed_rmse_cm", res.SmoothedRMSECM, "cm")
+	r.AddMetric("moved_clients", float64(res.MovedClients), "")
+	r.AddMetric("moved_tracks", float64(res.MovedTracks), "")
+	r.AddMetric("moved_pending_captures", float64(res.MovedPending), "")
+	walkerOK := 0.0
+	if res.WalkerMigrated {
+		walkerOK = 1
+	}
+	r.AddMetric("walker_migrated", walkerOK, "")
+	for i, fps := range res.FixesPerSec {
+		r.AddMetric(fmt.Sprintf("fixes_per_sec_%dshard", i+1), fps, "fixes/s")
+	}
+	if len(res.FixesPerSec) > 1 {
+		r.AddMetric("scaling_speedup", res.FixesPerSec[len(res.FixesPerSec)-1]/res.FixesPerSec[0], "x")
+	}
+	multicore := 0.0
+	if res.Multicore {
+		multicore = 1
+	}
+	r.AddMetric("multicore", multicore, "")
+	r.AddMetric("workspace_leaks", float64(res.WorkspaceLeaks), "")
+	return r, res, nil
+}
+
+// clusterThroughput sweeps the same pre-serialized workload across
+// cluster sizes 1..maxShards and records fixes/sec for each.
+func (tb *Testbed) clusterThroughput(opt ClusterOptions, res *ClusterResult, maxShards int, base time.Time) error {
+	rng := rand.New(rand.NewSource(opt.Seed + 1))
+	cfgT := core.DefaultConfig(tb.Wavelength)
+	cfgT.GridCell = 0.5
+	capT := opt.Capture
+	capT.Frames = 1
+	tsites := opt.Sites[:min(3, len(opt.Sites))]
+	quorumT := len(tsites)
+
+	apsT := tb.APsFor(tsites, capT)
+	apByID := make(map[uint32]*core.AP, len(tsites))
+	for si, s := range tsites {
+		apByID[uint32(s+1)] = apsT[si]
+	}
+	resolve := func(apID uint32) *core.AP { return apByID[apID] }
+
+	nClients := opt.ThroughputClients
+	rounds := opt.ThroughputFixes
+	positions := make(map[uint32]geom.Point, nClients)
+	var clientIDs []uint32
+	for c := 0; c < nClients; c++ {
+		id := uint32(100 + c)
+		clientIDs = append(clientIDs, id)
+		positions[id] = geom.Pt(4+float64(c%8)*4, 3+float64(c/8)*8)
+	}
+
+	// Serialize the whole workload once: rounds × APs frames, each
+	// carrying every client's capture at that AP.
+	var frames [][]byte
+	seqs := map[uint32]uint32{}
+	for round := 0; round < rounds; round++ {
+		at := base.Add(time.Duration(round) * time.Second)
+		for _, s := range tsites {
+			apID := uint32(s + 1)
+			var caps []server.Capture
+			for _, id := range clientIDs {
+				fcs := tb.CaptureClient(positions[id], tb.Sites[s], capT, rng)
+				for _, fc := range fcs {
+					seqs[apID]++
+					caps = append(caps, server.Capture{
+						APID: apID, ClientID: id, Seq: seqs[apID],
+						Timestamp: at, Streams: fc.Streams,
+					})
+				}
+			}
+			f, err := server.AppendBatch(nil, caps)
+			if err != nil {
+				return err
+			}
+			frames = append(frames, f)
+		}
+	}
+	totalFixes := nClients * rounds
+
+	trOpt := opt.Tracker
+	trOpt.Now = func() time.Time { return base }
+	// Deep queue: the backend must never block on Submit, or one slow
+	// shard would stall the shared feed and understate the others.
+	eopt := engine.Options{Workers: 1, Queue: totalFixes + 16, Config: cfgT}
+
+	trials := opt.ThroughputTrials
+	if trials <= 0 {
+		trials = 3
+	}
+	for n := 1; n <= maxShards; n++ {
+		best := 0.0
+		for t := 0; t < trials; t++ {
+			results := make(chan engine.Result, totalFixes+16)
+			h, err := tb.startCluster(n, n, quorumT, eopt, trOpt, resolve,
+				func(r engine.Result) { results <- r })
+			if err != nil {
+				return err
+			}
+			start := time.Now()
+			if err := writeFrames(h.feed, frames...); err != nil {
+				h.close()
+				return err
+			}
+			if _, err := collectFixes(results, totalFixes); err != nil {
+				h.close()
+				return err
+			}
+			elapsed := time.Since(start)
+			h.close()
+			if rate := float64(totalFixes) / elapsed.Seconds(); rate > best {
+				best = rate
+			}
+		}
+		res.FixesPerSec = append(res.FixesPerSec, best)
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package testbed
+
+import (
+	"runtime"
+	"testing"
+)
+
+// clusterTestOptions shrinks the walk and sweep so the test stays
+// quick while still crossing the mid-burst migration with a live
+// pending group.
+func clusterTestOptions() ClusterOptions {
+	opt := DefaultClusterOptions()
+	opt.Steps = 8
+	opt.MigrateStep = 4
+	opt.Sites = []int{0, 1, 3, 5}
+	opt.ThroughputClients = 8
+	opt.ThroughputFixes = 2
+	opt.MaxShards = min(2, runtime.GOMAXPROCS(0))
+	return opt
+}
+
+// TestRunClusterMeetsTargets is the ISSUE's acceptance bar for the
+// sharded-cluster tentpole: router fan-in is bit-identical to the
+// single-backend control, and a mid-walk (mid-burst) 1→2 shard
+// migration loses zero tracks, re-routes the pending captures, and
+// produces exactly the control's fix stream (RMSE delta 0.000 cm).
+func TestRunClusterMeetsTargets(t *testing.T) {
+	tb := New()
+	r, res, err := tb.RunCluster(clusterTestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("fan-in mismatches %d, migration mismatches %d, tracks lost %d, rmse delta %.3f cm, moved %d/%d/%d (clients/tracks/pending)",
+		res.FanInMismatches, res.StepMismatches, res.TracksLost, res.RMSEDeltaCM,
+		res.MovedClients, res.MovedTracks, res.MovedPending)
+	if res.FanInMismatches != 0 {
+		t.Fatalf("%d fan-in fixes diverged from the single-backend control, want 0", res.FanInMismatches)
+	}
+	if res.StepMismatches != 0 {
+		t.Fatalf("%d migration-run fixes diverged from the control, want 0", res.StepMismatches)
+	}
+	if res.TracksLost != 0 {
+		t.Fatalf("%d tracks lost across the migration, want 0", res.TracksLost)
+	}
+	if res.RMSEDeltaCM != 0 {
+		t.Fatalf("migration-run RMSE differs from control by %.6f cm, want exactly 0", res.RMSEDeltaCM)
+	}
+	if res.MovedTracks != 1 {
+		t.Fatalf("migrated %d tracks, want exactly 1 (the walker)", res.MovedTracks)
+	}
+	if res.MovedPending == 0 {
+		t.Fatal("migration moved no pending captures — the mid-burst handoff path was not exercised")
+	}
+	if !res.WalkerMigrated {
+		t.Fatal("walker track is not on the gaining shard (or still on the losing one)")
+	}
+	if res.WorkspaceLeaks != 0 {
+		t.Fatalf("pooled ingest workspaces leaked: %d", res.WorkspaceLeaks)
+	}
+	if len(res.FixesPerSec) == 0 || res.FixesPerSec[0] <= 0 {
+		t.Fatalf("throughput sweep produced no numbers: %v", res.FixesPerSec)
+	}
+	// Scaling is gated only with real cores to scale onto: a single-proc
+	// host timeshares the shards and the ratio prices the scheduler.
+	if res.Multicore && len(res.FixesPerSec) >= 2 {
+		last := res.FixesPerSec[len(res.FixesPerSec)-1]
+		if last < 1.25*res.FixesPerSec[0] {
+			t.Fatalf("%d shards reached %.0f fixes/sec vs %.0f on one (%.2fx), want at least 1.25x on a multicore host",
+				len(res.FixesPerSec), last, res.FixesPerSec[0], last/res.FixesPerSec[0])
+		}
+	}
+	got := map[string]float64{}
+	for _, m := range r.Metrics {
+		got[m.Name] = m.Value
+	}
+	for _, name := range []string{"fan_in_mismatches", "step_mismatches", "tracks_lost",
+		"rmse_delta_cm", "moved_tracks", "walker_migrated", "multicore", "fixes_per_sec_1shard"} {
+		if _, ok := got[name]; !ok {
+			t.Fatalf("report metric %s missing (CI gates on it)", name)
+		}
+	}
+	if got["fan_in_mismatches"] != 0 || got["rmse_delta_cm"] != 0 || got["walker_migrated"] != 1 {
+		t.Fatalf("gate metrics %v", got)
+	}
+}
