@@ -84,8 +84,9 @@ func logStats(eng *engine.Engine, backend *server.Backend) {
 	log.Printf("sched: aged=%d stolen=%d | predictive: served=%d fallbacks no_track=%d border=%d gate=%d error=%d",
 		st.AgedBatch, st.PriorityStolen, st.Predicted,
 		st.PredictFallbackNoTrack, st.PredictFallbackBorder, st.PredictFallbackGate, st.PredictFallbackError)
-	log.Printf("synth cache: entries=%d bytes=%d budget=%d hits=%d misses=%d evictions=%d slices=%d",
-		st.SynthLUTs, st.SynthBytes, st.SynthBudget, st.SynthHits, st.SynthMisses, st.SynthEvictions, st.SynthSlices)
+	log.Printf("synth cache: entries=%d bytes=%d budget=%d hits=%d misses=%d evictions=%d slices=%d second_choice=%d spills=%d dense_evictions=%d",
+		st.SynthLUTs, st.SynthBytes, st.SynthBudget, st.SynthHits, st.SynthMisses, st.SynthEvictions, st.SynthSlices,
+		st.SynthSecondChoice, st.SynthSpills, st.SynthDenseEvictions)
 	log.Printf("steering cache: entries=%d bytes=%d budget=%d hits=%d misses=%d evictions=%d",
 		st.SteeringTables, st.SteeringBytes, st.SteeringBudget, st.SteeringHits, st.SteeringMisses, st.SteeringEvictions)
 	if u := backend.UDP(); u.Datagrams > 0 || u.Bad > 0 {

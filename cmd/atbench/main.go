@@ -207,6 +207,16 @@ var experiments = []experiment{
 		}
 		return tb.RunIngest(opt)
 	}},
+	{"kernels", "numeric kernels: packed eig, guarded climb, heap B&B, two-choice cache", func(tb *testbed.Testbed, fast bool) (*testbed.Report, error) {
+		opt := testbed.DefaultKernelsOptions()
+		if fast {
+			opt.MaxClients = 2
+			opt.Trials = 3
+			opt.Rounds = 2
+			opt.DenseCell = 0.04
+		}
+		return tb.RunKernels(opt)
+	}},
 	{"ablation", "pipeline ablations", func(tb *testbed.Testbed, fast bool) (*testbed.Report, error) {
 		opt := accuracyOpts(fast)
 		opt.APCounts = []int{3}

@@ -141,7 +141,7 @@ func (p *Pipeline) CombineAP(ws *music.Workspace, ap *AP, frames []FrameCapture,
 		if err != nil {
 			return nil, err
 		}
-		music.SymmetryRemovalCached(out, ap.Array, rFull, p.cfg.Wavelength, p.cfg.Steering)
+		music.SymmetryRemovalCachedWS(ws, out, ap.Array, rFull, p.cfg.Wavelength, p.cfg.Steering)
 	}
 
 	out.Normalize()

@@ -1,0 +1,143 @@
+package core
+
+// Branch-and-bound block ordering. The screen refines blocks in
+// descending bound order; the first cut re-scanned the whole bounds
+// array per refinement to find the next block, which is O(blocks) per
+// pick — harmless when pruning stops the screen after a handful of
+// blocks, quadratic when a degenerate surface (near-flat spectra at
+// dense pitch) keeps every bound in the running up to the refinement
+// budget. This file replaces the scan with a binary max-heap ordered
+// by (bound descending, block index ascending).
+//
+// The screen switches adaptively: the first heapSwitchRefinements
+// picks use the linear rescan — its sequential predictable compares
+// beat the heap's constants when a peaked surface stops the screen
+// after a handful of blocks — and only a screen that keeps refining
+// past that point (the bound-scan-dominated regime the heap exists
+// for) pays the one-time O(blocks) heapify and pops the rest in
+// O(log blocks). Because refined blocks are marked -Inf, the heap is
+// built over exactly the unconsumed tail of the total order, so the
+// switch point is invisible in the refinement sequence.
+//
+// Exactness: the bounds are static for the whole screen (refining a
+// block never changes another block's bound), so the repeated linear
+// scans visit blocks in exactly the total order "higher bound first,
+// lower index first among ties" — the linear scan keeps the first
+// maximum it meets, i.e. the lowest index. boundLess is precisely
+// that total order, and a binary heap pops a static set in comparator
+// order, so the heap path refines the identical block sequence and
+// every downstream value (candidate list, argmax, hill-climb seeds)
+// is bit-identical to the linear path. Pinned on every scene by
+// TestSynthHeapMatchesLinearPick.
+
+import "sync/atomic"
+
+// heapSwitchRefinements is the refinement count past which the screen
+// abandons the linear rescan and heapifies the surviving bounds.
+// Peaked surfaces prune within ~topK picks and never reach it; a
+// degenerate screen crosses it after a bounded O(switch·blocks) spend
+// and escapes the quadratic regime.
+const heapSwitchRefinements = 24
+
+// SynthMetrics accumulates work counters for the synthesis kernels:
+// screening-block refinement, bound-ordering cost, and hill-climb
+// probe accounting. All counters are atomic, so one SynthMetrics may
+// be shared across grids and goroutines; wire it in through
+// SynthOptions.Metrics. Counters only grow; readers snapshot.
+type SynthMetrics struct {
+	// BlocksRefined counts screening blocks refined at full
+	// resolution across all branch-and-bound screens.
+	BlocksRefined atomic.Int64
+	// BoundVisits counts bound-entry visits spent choosing the next
+	// block: the full array length per pick on the linear path, the
+	// heap-sift comparisons on the heap path. The degenerate-surface
+	// test asserts the heap path's count is far below the linear
+	// path's on the same scene.
+	BoundVisits atomic.Int64
+	// FullEvalFallbacks counts screens that hit the refinement budget
+	// and fell back to the sharded full-surface evaluation.
+	FullEvalFallbacks atomic.Int64
+	// HillProbes counts in-bounds hill-climb probes considered.
+	HillProbes atomic.Int64
+	// HillPruned counts probes rejected by the rotation guard's
+	// certified upper bound, with no atan2 evaluated.
+	HillPruned atomic.Int64
+}
+
+// SynthMetricsSnapshot is a plain-value copy of SynthMetrics for
+// reporting (engine stats, the kernels experiment).
+type SynthMetricsSnapshot struct {
+	BlocksRefined     int64 `json:"blocks_refined"`
+	BoundVisits       int64 `json:"bound_visits"`
+	FullEvalFallbacks int64 `json:"full_eval_fallbacks"`
+	HillProbes        int64 `json:"hill_probes"`
+	HillPruned        int64 `json:"hill_pruned"`
+}
+
+// Snapshot reads every counter once.
+func (m *SynthMetrics) Snapshot() SynthMetricsSnapshot {
+	return SynthMetricsSnapshot{
+		BlocksRefined:     m.BlocksRefined.Load(),
+		BoundVisits:       m.BoundVisits.Load(),
+		FullEvalFallbacks: m.FullEvalFallbacks.Load(),
+		HillProbes:        m.HillProbes.Load(),
+		HillPruned:        m.HillPruned.Load(),
+	}
+}
+
+// boundLess is the screen's total refinement order: higher bound
+// first, lower block index among equal bounds — the order the linear
+// scan's strict `>` comparison with first-seen retention produces.
+func boundLess(a, b cellCand) bool {
+	if a.val != b.val {
+		return a.val > b.val
+	}
+	return a.idx < b.idx
+}
+
+// heapInit establishes the heap property over h in place and returns
+// the number of comparisons spent (the heap path's BoundVisits).
+func heapInit(h []cellCand) int64 {
+	var visits int64
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		visits += siftDown(h, i)
+	}
+	return visits
+}
+
+// siftDown restores the heap property below index i.
+func siftDown(h []cellCand, i int) int64 {
+	var visits int64
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return visits
+		}
+		best := l
+		if r := l + 1; r < n {
+			visits++
+			if boundLess(h[r], h[l]) {
+				best = r
+			}
+		}
+		visits++
+		if !boundLess(h[best], h[i]) {
+			return visits
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+}
+
+// heapPop removes the top (next-to-refine) entry.
+func heapPop(h []cellCand) ([]cellCand, int64) {
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	var visits int64
+	if n > 1 {
+		visits = siftDown(h, 0)
+	}
+	return h, visits
+}

@@ -131,14 +131,28 @@ func (sh *synthShard) moveFront(e *synthEntry) {
 // SynthCache memoizes bearing LUTs and their screening-block bin
 // windows per (AP position, grid geometry, bins) under a byte budget,
 // the synthesis-layer sibling of music.SteeringCache. Safe for
-// concurrent use; lookups lock only the key's shard.
+// concurrent use; lookups lock only the key's candidate shards.
+//
+// Placement is power-of-two-choices: each key hashes to two candidate
+// shards and a new entry is inserted into the less-loaded one (first
+// choice on ties). A single-choice layout thrashes on dense-pitch
+// LUTs — at 2 cm a full-floor LUT is ~19 MB, one or two fit per
+// shard, and two hot APs whose keys collide on a shard evict each
+// other forever while the other shards sit idle. Two choices make
+// that collision require both candidates to collide, and the
+// less-loaded rule steers dense entries toward empty shards. Each
+// shard still independently enforces budget/shards, so the hard
+// budget invariant is unchanged.
 type SynthCache struct {
-	budget    atomic.Int64 // total bytes; 0 means unbounded; resized by SetBudget
-	shards    [synthShards]synthShard
-	hits      atomic.Uint64
-	misses    atomic.Uint64
-	evictions atomic.Uint64
-	slices    atomic.Uint64
+	budget         atomic.Int64 // total bytes; 0 means unbounded; resized by SetBudget
+	shards         [synthShards]synthShard
+	hits           atomic.Uint64
+	misses         atomic.Uint64
+	evictions      atomic.Uint64
+	slices         atomic.Uint64
+	secondChoice   atomic.Uint64
+	spills         atomic.Uint64
+	denseEvictions atomic.Uint64
 }
 
 // SynthCacheUsage is a snapshot of the cache's accounting and
@@ -153,12 +167,31 @@ type SynthCacheUsage struct {
 	Budget int64
 	// Hits and Misses count lookups (LUT and block-window level).
 	Hits, Misses uint64
-	// Evictions counts entries dropped to stay within the budget.
+	// Evictions counts entries dropped to stay within the budget
+	// (oversized pass-through serves included, as they always were).
 	Evictions uint64
 	// Slices counts LUT builds served by slicing a cached full-grid
 	// parent instead of recomputing bearings.
 	Slices uint64
+	// SecondChoice counts entries placed in their second-choice shard
+	// because the first was more loaded — the two-choice placements
+	// that would have collided under single-choice hashing.
+	SecondChoice uint64
+	// Spills counts entries served without retention because they
+	// exceed a shard's budget slice (LUT pass-throughs and
+	// block-window serves on unretainable entries).
+	Spills uint64
+	// DenseEvictions counts evicted entries at dense-LUT scale
+	// (cost ≥ 4 MiB): churn here means dense-pitch grids are fighting
+	// for residency and the budget likely needs raising.
+	DenseEvictions uint64
 }
+
+// denseEntryBytes is the cost above which an evicted entry counts as
+// dense-LUT churn: region and full-floor LUTs at default pitch stay
+// well under it, 2 cm-class LUTs (~19 MB per AP on the reference
+// floor) are far over it.
+const denseEntryBytes = 4 << 20
 
 // NewSynthCache returns an empty, unbounded cache (the static-
 // deployment configuration: a few APs × one grid geometry).
@@ -216,7 +249,11 @@ func (c *SynthCache) shardBudget() int64 {
 	return b / synthShards
 }
 
-func (c *SynthCache) shardOf(key synthKey) *synthShard {
+// shardPair returns the key's two candidate shard indices: the FNV-1a
+// hash picks the first, a splitmix-style remix of the same hash picks
+// the second (bumped to the next shard when both land together, so
+// every key always has two distinct candidates).
+func shardPair(key synthKey) (int, int) {
 	h := uint64(14695981039346656037)
 	mix := func(v uint64) {
 		h ^= v
@@ -232,7 +269,41 @@ func (c *SynthCache) shardOf(key synthKey) *synthShard {
 	mix(uint64(key.x0))
 	mix(uint64(key.y0))
 	mix(uint64(key.bins))
-	return &c.shards[h%synthShards]
+	i1 := int(h % synthShards)
+	h2 := h ^ (h >> 33)
+	h2 *= 0xff51afd7ed558ccd
+	h2 ^= h2 >> 33
+	i2 := int(h2 % synthShards)
+	if i2 == i1 {
+		i2 = (i1 + 1) % synthShards
+	}
+	return i1, i2
+}
+
+// shardOf returns the key's first-choice shard (tests and the miss
+// accounting key off it; entries may reside in either candidate).
+func (c *SynthCache) shardOf(key synthKey) *synthShard {
+	i1, _ := shardPair(key)
+	return &c.shards[i1]
+}
+
+// lockPair locks the key's two candidate shards in index order (the
+// global lock order — both sites that hold two shard locks use it, so
+// the pair can never deadlock) and returns them first-choice first.
+func (c *SynthCache) lockPair(key synthKey) (first, second *synthShard) {
+	i1, i2 := shardPair(key)
+	lo, hi := i1, i2
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	c.shards[lo].mu.Lock()
+	c.shards[hi].mu.Lock()
+	return &c.shards[i1], &c.shards[i2]
+}
+
+func unlockPair(a, b *synthShard) {
+	a.mu.Unlock()
+	b.mu.Unlock()
 }
 
 // evictOverLocked drops least-recently-used entries until the shard
@@ -250,6 +321,9 @@ func (c *SynthCache) evictOverLocked(sh *synthShard) {
 		delete(sh.entries, victim.key)
 		sh.bytes -= victim.cost
 		c.evictions.Add(1)
+		if victim.cost >= denseEntryBytes {
+			c.denseEvictions.Add(1)
+		}
 	}
 }
 
@@ -266,38 +340,64 @@ func (c *SynthCache) lut(ap geom.Point, spec GridSpec, bins int) *bearingLUT {
 // first lookups may build more than once; exactly one result is kept.
 func (c *SynthCache) lutFor(ap geom.Point, spec GridSpec, parent *GridSpec, bins int) *bearingLUT {
 	key := keyOf(ap, spec, bins)
-	sh := c.shardOf(key)
-	sh.mu.Lock()
-	if e := sh.entries[key]; e != nil {
-		sh.moveFront(e)
-		sh.mu.Unlock()
+	if lut := c.lookupLUT(key); lut != nil {
 		c.hits.Add(1)
-		return e.lut
+		return lut
 	}
-	sh.mu.Unlock()
 
 	fresh := c.buildOrSlice(ap, spec, parent, bins)
 	c.misses.Add(1)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if e := sh.entries[key]; e != nil {
-		sh.moveFront(e)
+	first, second := c.lockPair(key)
+	defer unlockPair(first, second)
+	if e := first.entries[key]; e != nil {
+		first.moveFront(e)
+		return e.lut
+	}
+	if e := second.entries[key]; e != nil {
+		second.moveFront(e)
 		return e.lut
 	}
 	e := &synthEntry{key: key, lut: fresh, cost: lutCost(spec.Cells())}
 	if limit := c.shardBudget(); limit > 0 && e.cost > limit {
-		// Larger than the shard's whole slice: serve it without
-		// retaining it (counted as an eviction), and crucially without
-		// inserting first — insert-then-evict would flush every
-		// innocent entry off the shard's tail before reaching this one.
+		// Larger than a shard's whole slice: serve it without
+		// retaining it (a spill, counted as an eviction too, as it
+		// always was), and crucially without inserting first —
+		// insert-then-evict would flush every innocent entry off the
+		// shard's tail before reaching this one.
 		c.evictions.Add(1)
+		c.spills.Add(1)
 		return fresh
 	}
-	sh.entries[key] = e
-	sh.pushFront(e)
-	sh.bytes += e.cost
-	c.evictOverLocked(sh)
+	// Two-choice placement: the less-loaded candidate, first choice
+	// on ties.
+	target := first
+	if second.bytes < first.bytes {
+		target = second
+		c.secondChoice.Add(1)
+	}
+	target.entries[key] = e
+	target.pushFront(e)
+	target.bytes += e.cost
+	c.evictOverLocked(target)
 	return fresh
+}
+
+// lookupLUT probes the key's candidate shards (first choice, then
+// second) and freshens the entry's recency on a hit. Returns nil on a
+// miss; the caller counts hits/misses.
+func (c *SynthCache) lookupLUT(key synthKey) *bearingLUT {
+	i1, i2 := shardPair(key)
+	for _, i := range [2]int{i1, i2} {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		if e := sh.entries[key]; e != nil {
+			sh.moveFront(e)
+			sh.mu.Unlock()
+			return e.lut
+		}
+		sh.mu.Unlock()
+	}
+	return nil
 }
 
 // buildOrSlice derives a fine LUT: sliced from a cached parent when
@@ -310,15 +410,14 @@ func (c *SynthCache) lutFor(ap geom.Point, spec GridSpec, parent *GridSpec, bins
 func (c *SynthCache) buildOrSlice(ap geom.Point, spec GridSpec, parent *GridSpec, bins int) *bearingLUT {
 	if parent != nil && spec.subGridOf(*parent) {
 		pkey := keyOf(ap, *parent, bins)
+		if plut := c.lookupLUT(pkey); plut != nil {
+			c.slices.Add(1)
+			return sliceLUT(plut, *parent, spec)
+		}
+		// Miss counting lives on the parent's first-choice shard
+		// regardless of where a promotion would place it.
 		psh := c.shardOf(pkey)
 		psh.mu.Lock()
-		pe := psh.entries[pkey]
-		if pe != nil {
-			psh.moveFront(pe)
-			psh.mu.Unlock()
-			c.slices.Add(1)
-			return sliceLUT(pe.lut, *parent, spec)
-		}
 		promote := false
 		// Never promote a parent the budget could not retain anyway:
 		// the build would repeat every sliceablePromoteMisses-th miss
@@ -374,28 +473,27 @@ func sliceLUT(p *bearingLUT, parent, spec GridSpec) *bearingLUT {
 // the grid's entry (parent as in lutFor).
 func (c *SynthCache) blockWindows(ap geom.Point, spec GridSpec, bins, factor int, parent *GridSpec) *blockLUT {
 	key := keyOf(ap, spec, bins)
-	sh := c.shardOf(key)
-	sh.mu.Lock()
 	var lut *bearingLUT
-	if e := sh.entries[key]; e != nil {
+	first, second := c.lockPair(key)
+	if e, sh := entryIn(key, first, second); e != nil {
 		if bl := e.blocks[factor]; bl != nil {
 			sh.moveFront(e)
-			sh.mu.Unlock()
+			unlockPair(first, second)
 			c.hits.Add(1)
 			return bl
 		}
 		lut = e.lut
 	}
-	sh.mu.Unlock()
+	unlockPair(first, second)
 
 	if lut == nil {
 		lut = c.lutFor(ap, spec, parent, bins)
 	}
 	fresh := buildBlockLUT(lut, spec, factor, bins)
 	c.misses.Add(1)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	e := sh.entries[key]
+	first, second = c.lockPair(key)
+	defer unlockPair(first, second)
+	e, sh := entryIn(key, first, second)
 	if e == nil {
 		// The entry churned out between the build and this insert (or
 		// was never retained): serve the windows without accounting.
@@ -408,9 +506,11 @@ func (c *SynthCache) blockWindows(ap geom.Point, spec GridSpec, bins, factor int
 	cost := blockCost(len(fresh.start))
 	if limit := c.shardBudget(); limit > 0 && e.cost+cost > limit {
 		// The entry's LUT fits but LUT + windows would not: serve the
-		// windows uncached and keep the (more expensive to rebuild)
-		// LUT resident rather than evicting neighbours to make room.
+		// windows uncached (a spill) and keep the (more expensive to
+		// rebuild) LUT resident rather than evicting neighbours to
+		// make room.
 		c.evictions.Add(1)
+		c.spills.Add(1)
 		return fresh
 	}
 	if e.blocks == nil {
@@ -422,6 +522,18 @@ func (c *SynthCache) blockWindows(ap geom.Point, spec GridSpec, bins, factor int
 	sh.moveFront(e)
 	c.evictOverLocked(sh)
 	return fresh
+}
+
+// entryIn finds key in whichever candidate shard holds it. Both locks
+// must be held.
+func entryIn(key synthKey, first, second *synthShard) (*synthEntry, *synthShard) {
+	if e := first.entries[key]; e != nil {
+		return e, first
+	}
+	if e := second.entries[key]; e != nil {
+		return e, second
+	}
+	return nil, nil
 }
 
 // Len returns the number of distinct LUT entries held.
@@ -446,11 +558,14 @@ func (c *SynthCache) Stats() (hits, misses uint64) {
 // budget/shards bytes, the summed Bytes never exceeds Budget.
 func (c *SynthCache) Usage() SynthCacheUsage {
 	u := SynthCacheUsage{
-		Budget:    c.budget.Load(),
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Evictions: c.evictions.Load(),
-		Slices:    c.slices.Load(),
+		Budget:         c.budget.Load(),
+		Hits:           c.hits.Load(),
+		Misses:         c.misses.Load(),
+		Evictions:      c.evictions.Load(),
+		Slices:         c.slices.Load(),
+		SecondChoice:   c.secondChoice.Load(),
+		Spills:         c.spills.Load(),
+		DenseEvictions: c.denseEvictions.Load(),
 	}
 	for i := range c.shards {
 		sh := &c.shards[i]

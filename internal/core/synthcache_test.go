@@ -425,8 +425,29 @@ func TestSynthCacheEvictionRaceStress(t *testing.T) {
 		u.Entries, u.Bytes, u.Hits, u.Misses, u.Evictions, u.Slices)
 }
 
-// TestSynthCacheLRUOrder: the least-recently-used entry is the one
-// evicted; touching an entry protects it.
+// samePairAPs probes AP positions until n keys share the same ordered
+// pair of candidate shards — the two-choice analogue of a shard
+// collision, making placement and eviction fully deterministic.
+func samePairAPs(t *testing.T, spec GridSpec, n int) []geom.Point {
+	t.Helper()
+	byPair := map[[2]int][]geom.Point{}
+	for x := 0.0; x < 4096; x += 0.73 {
+		ap := geom.Pt(x, 1)
+		i1, i2 := shardPair(keyOf(ap, spec, 360))
+		pair := [2]int{i1, i2}
+		byPair[pair] = append(byPair[pair], ap)
+		if len(byPair[pair]) == n {
+			return byPair[pair]
+		}
+	}
+	t.Fatalf("no %d keys sharing a shard pair found", n)
+	return nil
+}
+
+// TestSynthCacheLRUOrder: under two-choice placement, entries sharing
+// both candidate shards balance across the pair; once both shards are
+// full, the least-recently-used entry of the insertion target is the
+// one evicted, and touching an entry protects it.
 func TestSynthCacheLRUOrder(t *testing.T) {
 	spec, err := GridSpecFor(geom.Pt(0, 0), geom.Pt(4, 4), 0.5)
 	if err != nil {
@@ -435,35 +456,106 @@ func TestSynthCacheLRUOrder(t *testing.T) {
 	cost := lutCost(spec.Cells())
 	// Budget for exactly two entries per shard.
 	c := NewSynthCacheBudget(2 * cost * synthShards)
-	// Three AP positions whose keys land on the same shard: synthesize
-	// by probing positions until three collide.
-	var sameShard []geom.Point
-	var shard *synthShard
-	for x := 0.0; len(sameShard) < 3; x += 0.73 {
-		ap := geom.Pt(x, 1)
-		sh := c.shardOf(keyOf(ap, spec, 360))
-		if shard == nil || sh == shard {
-			shard = sh
-			sameShard = append(sameShard, ap)
-		}
+	aps := samePairAPs(t, spec, 5)
+	a, b, d, e, f := aps[0], aps[1], aps[2], aps[3], aps[4]
+	second0 := c.Usage().SecondChoice
+	c.lut(a, spec, 360) // tie → first choice
+	c.lut(b, spec, 360) // first loaded → second choice
+	c.lut(d, spec, 360) // tie → first choice (now full)
+	c.lut(a, spec, 360) // touch a: d becomes the first shard's LRU
+	c.lut(e, spec, 360) // first fuller → second choice (now full)
+	c.lut(f, spec, 360) // tie → first choice: evicts d (a was touched)
+	if got := c.Usage().SecondChoice - second0; got != 2 {
+		t.Fatalf("SecondChoice placements = %d, want 2 (b and e)", got)
 	}
-	a, b, d := sameShard[0], sameShard[1], sameShard[2]
-	c.lut(a, spec, 360)
-	c.lut(b, spec, 360)
-	c.lut(a, spec, 360) // touch a: b becomes LRU
-	c.lut(d, spec, 360) // evicts b
-	if _, entries := sumEntryCosts(c); entries != 2 {
-		t.Fatalf("expected 2 entries after eviction, have %d", entries)
+	if _, entries := sumEntryCosts(c); entries != 4 {
+		t.Fatalf("expected 4 entries after eviction, have %d", entries)
 	}
 	hits0, _ := c.Stats()
 	c.lut(a, spec, 360)
-	c.lut(d, spec, 360)
-	if hits, _ := c.Stats(); hits != hits0+2 {
-		t.Fatal("a or d was evicted; LRU order not respected")
+	c.lut(b, spec, 360)
+	c.lut(e, spec, 360)
+	c.lut(f, spec, 360)
+	if hits, _ := c.Stats(); hits != hits0+4 {
+		t.Fatal("a surviving entry was evicted; LRU order not respected")
 	}
 	missesBefore := c.Usage().Misses
-	c.lut(b, spec, 360)
+	c.lut(d, spec, 360)
 	if c.Usage().Misses != missesBefore+1 {
-		t.Fatal("b should have been evicted and rebuilt")
+		t.Fatal("d should have been evicted and rebuilt")
+	}
+	checkAccounting(t, c)
+}
+
+// TestSynthCacheTwoChoiceCollisionProof is the tentpole's thrash
+// test: dense-pitch-scale entries whose keys collide on their
+// first-choice shard used to evict each other on every access round
+// even though the cache as a whole had room. With two-choice
+// placement both stay resident, and a warm round-robin access pattern
+// hits every time.
+func TestSynthCacheTwoChoiceCollisionProof(t *testing.T) {
+	// A grid big enough that one shard holds exactly one entry.
+	spec, err := GridSpecFor(geom.Pt(0, 0), geom.Pt(20, 8), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := lutCost(spec.Cells())
+	c := NewSynthCacheBudget(cost * synthShards) // one entry per shard
+	// Two keys sharing a FIRST-choice shard (their second choices are
+	// distinct from it by construction of shardPair).
+	var colliding []geom.Point
+	firstOf := func(ap geom.Point) int {
+		i1, _ := shardPair(keyOf(ap, spec, 360))
+		return i1
+	}
+	var want int
+	for x := 0.0; len(colliding) < 2 && x < 4096; x += 0.37 {
+		ap := geom.Pt(x, 2)
+		if len(colliding) == 0 {
+			colliding = append(colliding, ap)
+			want = firstOf(ap)
+			continue
+		}
+		if firstOf(ap) == want && ap != colliding[0] {
+			colliding = append(colliding, ap)
+		}
+	}
+	if len(colliding) < 2 {
+		t.Fatal("no first-choice collision found")
+	}
+	c.lut(colliding[0], spec, 360)
+	c.lut(colliding[1], spec, 360) // single-choice would evict colliding[0]
+	hits0, _ := c.Stats()
+	for round := 0; round < 3; round++ {
+		for _, ap := range colliding {
+			c.lut(ap, spec, 360)
+		}
+	}
+	hits, _ := c.Stats()
+	if got, wantHits := hits-hits0, uint64(6); got != wantHits {
+		t.Fatalf("warm round-robin over colliding keys: %d hits, want %d (collision thrash)", got, wantHits)
+	}
+	u := c.Usage()
+	if u.SecondChoice == 0 {
+		t.Fatal("second entry was not placed by two-choice")
+	}
+	if u.Evictions != 0 {
+		t.Fatalf("collision evicted %d entries despite a free second choice", u.Evictions)
+	}
+	checkAccounting(t, c)
+}
+
+// TestSynthCacheSpillCounter: oversized pass-throughs are surfaced as
+// Spills (besides the historical eviction count).
+func TestSynthCacheSpillCounter(t *testing.T) {
+	c := NewSynthCacheBudget(1024) // nothing fits
+	spec, err := GridSpecFor(geom.Pt(0, 0), geom.Pt(10, 10), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.lut(geom.Pt(3, 4), spec, 360)
+	c.lut(geom.Pt(5, 1), spec, 360)
+	if u := c.Usage(); u.Spills != 2 {
+		t.Fatalf("Spills = %d, want 2", u.Spills)
 	}
 }

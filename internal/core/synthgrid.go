@@ -336,6 +336,12 @@ type synthWorkspace struct {
 	logTabs [][]float64
 	luts    []*bearingLUT
 	cand    []cellCand
+	// heap is the branch-and-bound block ordering (synthbnb.go).
+	heap []cellCand
+	// hc* are the rotation-guarded hill climb's per-AP state: cached
+	// spectrum positions, offset vectors, squared ranges, and the
+	// probe-capture scratch (synthclimb.go).
+	hcPos, hcDx, hcDy, hcR2, hcProbe []float64
 }
 
 var synthScratch = sync.Pool{New: func() any { return &synthWorkspace{} }}
@@ -388,6 +394,20 @@ type SynthOptions struct {
 	// serial (Workers ≤ 1) surface path yields: sharded surfaces
 	// belong to latency-lane jobs, which are never preempted.
 	Yield func()
+	// Metrics, when non-nil, accumulates the synthesis kernels' work
+	// counters (blocks refined, bound visits, hill-climb probes and
+	// prunes). Atomic; one instance may be shared across grids.
+	Metrics *SynthMetrics
+	// LinearPick selects the pre-heap linear bound scan for choosing
+	// the next refinement block. Retained as the reference path for
+	// the kernels experiment and the degenerate-surface test; both
+	// orders refine the identical block sequence.
+	LinearPick bool
+	// ScalarHillClimb selects the one-atan2-per-AP-per-probe scalar
+	// scorer for hill climbing instead of the rotation-guarded fast
+	// path. Retained as the reference; both paths visit identical
+	// positions.
+	ScalarHillClimb bool
 }
 
 // SynthGrid evaluates Eq. 8 over one grid geometry using cached
@@ -395,14 +415,17 @@ type SynthOptions struct {
 // the cache per AP — so a grid may be built per fix; the reuse lives
 // in the cache. Safe for concurrent use.
 type SynthGrid struct {
-	spec     GridSpec
-	min, max geom.Point
-	parent   *GridSpec // full-grid spec a region sub-grid slices LUTs from
-	cache    *SynthCache
-	workers  int
-	coarse   int
-	topK     int
-	yield    func()
+	spec        GridSpec
+	min, max    geom.Point
+	parent      *GridSpec // full-grid spec a region sub-grid slices LUTs from
+	cache       *SynthCache
+	workers     int
+	coarse      int
+	topK        int
+	yield       func()
+	metrics     *SynthMetrics
+	linearPick  bool
+	scalarClimb bool
 }
 
 // newSynthGrid resolves the option defaults around a prepared spec.
@@ -429,7 +452,8 @@ func newSynthGrid(spec GridSpec, parent *GridSpec, min, max geom.Point, opt Synt
 	return &SynthGrid{
 		spec: spec, parent: parent, min: min, max: max,
 		cache: cache, workers: workers, coarse: coarse, topK: topK,
-		yield: opt.Yield,
+		yield: opt.Yield, metrics: opt.Metrics,
+		linearPick: opt.LinearPick, scalarClimb: opt.ScalarHillClimb,
 	}
 }
 
@@ -710,27 +734,79 @@ func (sg *SynthGrid) candidates(ws *synthWorkspace, aps []APSpectrum, refined bo
 		ws.cand = ws.cand[:0]
 		best := math.Inf(-1)
 		// If the screen stops pruning (a near-flat surface ties every
-		// bound to the best cell), the repeated linear bound scans turn
-		// quadratic and serial — past this budget the sharded full
-		// evaluation is cheaper, and trivially exact.
+		// bound to the best cell), refining block after block serially
+		// loses to the sharded full evaluation — past this budget fall
+		// back to it, trivially exact.
 		maxRefine := len(bounds)/4 + sg.topK
-		for refinedBlocks := 0; ; refinedBlocks++ {
+		// Blocks are consumed in (bound desc, index asc) order. A
+		// linear rescan rediscovers the next block at O(blocks) per
+		// pick but each visit is a sequential float compare, so for
+		// the handful of refinements a peaked surface needs it beats
+		// the heap's constants; past heapSwitchRefinements the screen
+		// is bound-scan-dominated and the remaining bounds are built
+		// into a heap popping the identical order at O(log blocks)
+		// per pick (see synthbnb.go for the order-equality argument).
+		// LinearPick pins the pre-heap path as the timing reference.
+		useHeap := false
+		var visits int64
+		refinedBlocks := 0
+		flush := func() {
+			if m := sg.metrics; m != nil {
+				m.BlocksRefined.Add(int64(refinedBlocks))
+				m.BoundVisits.Add(visits)
+			}
+		}
+		for ; ; refinedBlocks++ {
 			if sg.yield != nil {
 				sg.yield()
 			}
 			if refinedBlocks >= maxRefine {
+				flush()
+				if m := sg.metrics; m != nil {
+					m.FullEvalFallbacks.Add(1)
+				}
 				sg.evalSurface(ws.fine, sg.spec, luts, logTabs)
 				ws.cand = sg.topCellsYield(ws.cand[:0], hillClimbSeeds, ws.fine)
 				return ws.cand
 			}
+			if !useHeap && !sg.linearPick && refinedBlocks >= heapSwitchRefinements {
+				// Refined blocks are already -Inf, so the heap holds
+				// exactly the unconsumed tail of the total order.
+				useHeap = true
+				ws.heap = ws.heap[:0]
+				for c, b := range bounds {
+					if !math.IsInf(b, -1) {
+						ws.heap = append(ws.heap, cellCand{c, b})
+					}
+				}
+				visits += heapInit(ws.heap)
+			}
 			pick := -1
-			for c, b := range bounds {
-				if !math.IsInf(b, -1) && (pick == -1 || b > bounds[pick]) {
-					pick = c
+			var pickVal float64
+			if useHeap {
+				if len(ws.heap) > 0 {
+					pick, pickVal = ws.heap[0].idx, ws.heap[0].val
+				}
+			} else {
+				for c, b := range bounds {
+					if !math.IsInf(b, -1) && (pick == -1 || b > bounds[pick]) {
+						pick = c
+					}
+				}
+				visits += int64(len(bounds))
+				if pick >= 0 {
+					pickVal = bounds[pick]
 				}
 			}
-			if pick == -1 || (bounds[pick] < best && refinedBlocks >= sg.topK) {
+			if pick == -1 || (pickVal < best && refinedBlocks >= sg.topK) {
 				break
+			}
+			if useHeap {
+				var v int64
+				ws.heap, v = heapPop(ws.heap)
+				visits += v
+			} else {
+				bounds[pick] = math.Inf(-1) // refined: out of the running
 			}
 			x0, x1, y0, y1 := blockRect(sg.spec, sg.coarse, pick%nbx, pick/nbx)
 			for iy := y0; iy < y1; iy++ {
@@ -741,8 +817,8 @@ func (sg *SynthGrid) candidates(ws *synthWorkspace, aps []APSpectrum, refined bo
 			if len(ws.cand) > 0 {
 				best = ws.cand[0].val
 			}
-			bounds[pick] = math.Inf(-1) // refined: out of the running
 		}
+		flush()
 		return ws.cand
 	}
 	sg.evalSurface(ws.fine, sg.spec, luts, logTabs)
@@ -849,7 +925,13 @@ func (sg *SynthGrid) localize(aps []APSpectrum) (geom.Point, int, error) {
 	score := math.Inf(-1)
 	for _, cand := range best {
 		seed := sg.spec.Center(cand.idx%sg.spec.Nx, cand.idx/sg.spec.Nx)
-		p, l := hillClimbTabs(seed, aps, ws.logTabs, sg.spec.Cell, sg.min, sg.max)
+		var p geom.Point
+		var l float64
+		if sg.scalarClimb {
+			p, l = hillClimbTabs(seed, aps, ws.logTabs, sg.spec.Cell, sg.min, sg.max)
+		} else {
+			p, l = sg.hillClimbGuarded(ws, seed, aps)
+		}
 		if l > score {
 			pos, score = p, l
 		}
@@ -902,7 +984,10 @@ func scoreTabs(x geom.Point, aps []APSpectrum, logTabs [][]float64) float64 {
 // hillClimbTabs is the compass pattern search of hillClimbFn scored by
 // scoreTabs. A dedicated loop (rather than a closure over the tables
 // passed to hillClimbFn) keeps the steady-state fix path free of
-// per-call closure allocations.
+// per-call closure allocations. This is the scalar reference path —
+// one atan2 per AP per probe; the fix path uses the rotation-guarded
+// hillClimbGuarded (synthclimb.go), which must visit identical
+// positions (pinned by TestHillClimbGuardedMatchesScalar).
 func hillClimbTabs(start geom.Point, aps []APSpectrum, logTabs [][]float64, step float64, min, max geom.Point) (geom.Point, float64) {
 	cur := start
 	curL := scoreTabs(cur, aps, logTabs)

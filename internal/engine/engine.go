@@ -235,6 +235,15 @@ type Stats struct {
 	SynthMisses    uint64
 	SynthEvictions uint64
 	SynthSlices    uint64
+	// SynthSecondChoice counts LUT insertions placed at their
+	// second-choice shard (power-of-two-choices placement);
+	// SynthSpills counts oversized or unretainable entries served
+	// pass-through without displacing residents; SynthDenseEvictions
+	// counts evictions of dense-pitch-scale entries (>= 4 MiB), the
+	// expensive-to-rebuild kind collision thrash used to churn.
+	SynthSecondChoice   uint64
+	SynthSpills         uint64
+	SynthDenseEvictions uint64
 	// SteeringTables, SteeringBytes and SteeringBudget mirror the
 	// steering-vector cache's accounting; SteeringHits, SteeringMisses
 	// and SteeringEvictions its cumulative counters. All zero when the
@@ -683,6 +692,9 @@ func (e *Engine) Stats() Stats {
 		s.SynthMisses = u.Misses
 		s.SynthEvictions = u.Evictions
 		s.SynthSlices = u.Slices
+		s.SynthSecondChoice = u.SecondChoice
+		s.SynthSpills = u.Spills
+		s.SynthDenseEvictions = u.DenseEvictions
 	}
 	if e.cfg.Steering != nil {
 		u := e.cfg.Steering.Usage()

@@ -1,0 +1,147 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestEigPackedMatchesRef pins the packed split-plane kernel against
+// the retained complex128 reference: identical rotation sequence,
+// value-identical eigenvalues and eigenvectors (== on float64
+// components treats the only permitted divergence, zero signs, as
+// equal) over random Hermitian matrices of every supported order.
+func TestEigPackedMatchesRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var wsP, wsR EigWorkspace
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(15) // up to 16×16, the two-WARP maximum
+		a := randomHermitian(rng, n)
+		want, err := EigHermitianRefWS(a, &wsR)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := EigHermitianWS(a, &wsP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Values {
+			if got.Values[i] != want.Values[i] {
+				t.Fatalf("trial %d (n=%d): eigenvalue %d differs: %v vs %v",
+					trial, n, i, got.Values[i], want.Values[i])
+			}
+		}
+		for i := range want.Vectors.Data {
+			if got.Vectors.Data[i] != want.Vectors.Data[i] {
+				t.Fatalf("trial %d (n=%d): eigenvector element %d differs: %v vs %v",
+					trial, n, i, got.Vectors.Data[i], want.Vectors.Data[i])
+			}
+		}
+	}
+}
+
+// TestEigPackedCorrelationShapes runs the packed kernel against the
+// reference on PSD correlation-like matrices (rank-deficient, repeated
+// eigenvalues) where pivot skips and zero rotations exercise the
+// zero-sign reasoning hardest.
+func TestEigPackedCorrelationShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var wsP, wsR EigWorkspace
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(15)
+		rank := 1 + rng.Intn(n)
+		a := New(n, n)
+		for s := 0; s < rank; s++ {
+			v := make([]complex128, n)
+			for i := range v {
+				v[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			}
+			a.OuterAccumulate(v, rng.Float64())
+		}
+		want, err := EigHermitianRefWS(a, &wsR)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := EigHermitianWS(a, &wsP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Values {
+			if got.Values[i] != want.Values[i] {
+				t.Fatalf("trial %d: eigenvalue %d differs", trial, i)
+			}
+		}
+		for i := range want.Vectors.Data {
+			if got.Vectors.Data[i] != want.Vectors.Data[i] {
+				t.Fatalf("trial %d: eigenvector element %d differs", trial, i)
+			}
+		}
+	}
+}
+
+// TestEigPackedRejectsNonHermitian checks the packed entry point keeps
+// the reference's input gates.
+func TestEigPackedRejectsNonHermitian(t *testing.T) {
+	a := New(2, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 2)
+	var ws EigWorkspace
+	if _, err := EigHermitianWS(a, &ws); err == nil {
+		t.Error("expected ErrNotHermitian")
+	}
+	b := New(2, 3)
+	if _, err := EigHermitianWS(b, &ws); err == nil {
+		t.Error("expected error for non-square")
+	}
+}
+
+func BenchmarkEigHermitianWS8(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	a := randHermitian(8, r)
+	var ws EigWorkspace
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EigHermitianWS(a, &ws); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEigHermitianRefWS8(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	a := randHermitian(8, r)
+	var ws EigWorkspace
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EigHermitianRefWS(a, &ws); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEigHermitianWS16(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	a := randHermitian(16, r)
+	var ws EigWorkspace
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EigHermitianWS(a, &ws); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEigHermitianRefWS16(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	a := randHermitian(16, r)
+	var ws EigWorkspace
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EigHermitianRefWS(a, &ws); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

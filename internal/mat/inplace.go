@@ -123,6 +123,12 @@ type EigWorkspace struct {
 	vals       []float64
 	svals      []float64
 	idx        []int
+
+	// Packed split re/im planes for the packed Jacobi kernel
+	// (eig_packed.go). Row-major n×n, grown on demand like the complex
+	// buffers above.
+	wre, wim []float64
+	vre, vim []float64
 }
 
 // sortedVals returns the length-n buffer that receives the sorted
@@ -138,6 +144,12 @@ func (ws *EigWorkspace) sortedVals(n int) []float64 {
 func (ws *EigWorkspace) ensure(n int) {
 	ws.w = ReuseMatrix(ws.w, n, n)
 	ws.v = ReuseMatrix(ws.v, n, n)
+	ws.ensureShared(n)
+}
+
+// ensureShared sizes the buffers both solver paths use (sorted output,
+// permutation scratch) without touching the path-specific state.
+func (ws *EigWorkspace) ensureShared(n int) {
 	ws.vecs = ReuseMatrix(ws.vecs, n, n)
 	if cap(ws.vals) < n {
 		ws.vals = make([]float64, n)
@@ -149,4 +161,23 @@ func (ws *EigWorkspace) ensure(n int) {
 	} else {
 		ws.idx = ws.idx[:n]
 	}
+}
+
+// ensurePacked sizes the split-plane buffers for the packed Jacobi
+// kernel plus the shared output scratch. It deliberately skips the
+// complex w/v work matrices the reference path uses, so the hot path
+// does not pay for buffers it never reads.
+func (ws *EigWorkspace) ensurePacked(n int) {
+	ws.wre = growFloats(ws.wre, n*n)
+	ws.wim = growFloats(ws.wim, n*n)
+	ws.vre = growFloats(ws.vre, n*n)
+	ws.vim = growFloats(ws.vim, n*n)
+	ws.ensureShared(n)
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
 }

@@ -286,13 +286,16 @@ func EigHermitian(a *Matrix) (Eig, error) {
 	return EigHermitianWS(a, nil)
 }
 
-// EigHermitianWS is EigHermitian drawing every buffer it needs from ws.
-// A nil ws allocates fresh buffers (identical to EigHermitian); a
-// non-nil ws makes the decomposition allocation-free in steady state,
-// at the cost that the returned Eig aliases ws and is valid only until
-// the next call with the same workspace. The arithmetic is identical
-// either way, so results are bit-for-bit the same.
-func EigHermitianWS(a *Matrix, ws *EigWorkspace) (Eig, error) {
+// EigHermitianRefWS is the original complex128-arithmetic cyclic-Jacobi
+// solver, retained as the pinned reference implementation: the packed
+// split-plane kernel in eig_packed.go (what EigHermitianWS now runs) is
+// tested value-identical against it, and the kernels experiment times
+// the two against each other for the before/after trajectory. A nil ws
+// allocates fresh buffers; a non-nil ws makes the decomposition
+// allocation-free in steady state, at the cost that the returned Eig
+// aliases ws and is valid only until the next call with the same
+// workspace.
+func EigHermitianRefWS(a *Matrix, ws *EigWorkspace) (Eig, error) {
 	n := a.Rows
 	if a.Cols != n {
 		return Eig{}, errors.New("mat: EigHermitian needs a square matrix")

@@ -59,7 +59,7 @@ func (bartlettEstimator) Spectrum(ws *Workspace, a *array.Array, streams [][]com
 	}
 	var s *Spectrum
 	if opt.Steering != nil {
-		s = BartlettWithTable(r, opt.Steering.Table(a, opt.Wavelength, opt.bins()))
+		s = BartlettWithTableWS(ws, r, opt.Steering.Table(a, opt.Wavelength, opt.bins()))
 	} else {
 		s = Bartlett(r, func(theta float64) []complex128 {
 			return a.SteeringVectorRow(theta, opt.Wavelength)[:r.Cols]
@@ -92,7 +92,7 @@ func (baselineEstimator) Spectrum(ws *Workspace, a *array.Array, streams [][]com
 		return nil, err
 	}
 	if opt.Steering != nil {
-		return MUSICWithTable(noise, opt.Steering.Table(a, opt.Wavelength, opt.bins())), nil
+		return MUSICWithTableWS(ws, noise, opt.Steering.Table(a, opt.Wavelength, opt.bins())), nil
 	}
 	sub := r.Rows
 	return MUSIC(noise, func(theta float64) []complex128 {

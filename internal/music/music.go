@@ -371,7 +371,7 @@ func ComputeSpectrumWS(ws *Workspace, a *array.Array, streams [][]complex128, op
 	}
 	if opt.Steering != nil {
 		tab := opt.Steering.Table(a, opt.Wavelength, opt.bins())
-		return MUSICWithTable(noise, tab), nil
+		return MUSICWithTableWS(ws, noise, tab), nil
 	}
 	sub := rs.Rows // smoothed subarray size
 	steer := func(theta float64) []complex128 {

@@ -1,0 +1,165 @@
+package music
+
+// Packed split-plane spectrum scans. The table-driven MUSIC and
+// Bartlett evaluations are the per-bin hot loops of the whole pipeline
+// (bins × noise-columns × rows complex multiply-accumulates per frame
+// per AP), and the complex128 formulation pays two costs the math does
+// not require: the noise-subspace matrix is walked down columns of a
+// row-major layout (a 16-byte stride-N access per term), and every
+// conj-multiply goes through generic complex arithmetic. These scans
+// pack the operands into split re/im float64 planes — the steering
+// table carries its planes precomputed (steering.go), the per-call
+// matrices are packed once into workspace-owned planes — and expand
+// the arithmetic into the minimal real form.
+//
+// Exactness contract: each expansion mirrors the complex original's
+// floating-point operation tree exactly. conj(e)·a accumulates as
+// re += fl(fl(er·ar)+fl(ei·ai)), im += fl(fl(er·ai)−fl(ei·ar)) — the
+// same two roundings the complex form performs (a sign flip commutes
+// with rounding, so fl(x−fl(−y)) = fl(x+fl(y))) — and the squared-
+// magnitude accumulation is term-for-term the scalar loop's. Spectra
+// are therefore bit-identical to the closure-based scans, pinned by
+// TestSteeringTableSpectraMatch and TestPackedScansMatchClosurePaths.
+
+import (
+	"repro/internal/mat"
+)
+
+func growPlane(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// MUSICWithTableWS is the packed MUSIC scan (Eq. 6): P(θᵢ) =
+// 1/‖E_Nᴴ a(θᵢ)‖² over the table's bins, with the noise matrix packed
+// column-major into ws-owned planes (nil ws allocates them). Each
+// table row is truncated to en.Rows elements, matching the smoothed
+// subarray.
+func MUSICWithTableWS(ws *Workspace, en *mat.Matrix, tab *SteeringTable) *Spectrum {
+	rows, cols := en.Rows, en.Cols
+	var enRe, enIm []float64
+	if ws != nil {
+		ws.enRe = growPlane(ws.enRe, rows*cols)
+		ws.enIm = growPlane(ws.enIm, rows*cols)
+		enRe, enIm = ws.enRe, ws.enIm
+	} else {
+		enRe = make([]float64, rows*cols)
+		enIm = make([]float64, rows*cols)
+	}
+	// Pack the noise subspace column-major so each column's dot walks
+	// contiguous memory.
+	for k := 0; k < cols; k++ {
+		col := k * rows
+		for r := 0; r < rows; r++ {
+			v := en.Data[r*cols+k]
+			enRe[col+r] = real(v)
+			enIm[col+r] = imag(v)
+		}
+	}
+
+	s := NewSpectrum(tab.bins)
+	n := tab.n
+	for i := 0; i < tab.bins; i++ {
+		sre := tab.re[i*n : i*n+rows]
+		sim := tab.im[i*n : i*n+rows]
+		// ‖E_Nᴴ a‖²: project onto the noise subspace. Columns are
+		// processed in pairs with register accumulators: each column's
+		// dot still sums in row order (the scalar scan's exact tree)
+		// and denom still adds per-column magnitudes in column order,
+		// but the four independent chains of a pair overlap in the
+		// pipeline instead of stalling on one serial add chain.
+		var denom float64
+		k := 0
+		for ; k+1 < cols; k += 2 {
+			e0re := enRe[k*rows : k*rows+rows]
+			e0im := enIm[k*rows : k*rows+rows]
+			e1re := enRe[(k+1)*rows : (k+1)*rows+rows]
+			e1im := enIm[(k+1)*rows : (k+1)*rows+rows]
+			var d0re, d0im, d1re, d1im float64
+			for r := 0; r < rows; r++ {
+				ar, ai := sre[r], sim[r]
+				d0re += e0re[r]*ar + e0im[r]*ai
+				d0im += e0re[r]*ai - e0im[r]*ar
+				d1re += e1re[r]*ar + e1im[r]*ai
+				d1im += e1re[r]*ai - e1im[r]*ar
+			}
+			denom += d0re*d0re + d0im*d0im
+			denom += d1re*d1re + d1im*d1im
+		}
+		if k < cols {
+			ere := enRe[k*rows : k*rows+rows]
+			eim := enIm[k*rows : k*rows+rows]
+			var dre, dim float64
+			for r := 0; r < rows; r++ {
+				ar, ai := sre[r], sim[r]
+				dre += ere[r]*ar + eim[r]*ai
+				dim += ere[r]*ai - eim[r]*ar
+			}
+			denom += dre*dre + dim*dim
+		}
+		if denom < 1e-12 {
+			denom = 1e-12
+		}
+		s.P[i] = 1 / denom
+	}
+	return s.Normalize()
+}
+
+// BartlettWithTableWS is the packed Bartlett scan: P(θᵢ) = a(θᵢ)ᴴ·R·a(θᵢ)
+// with R packed once into ws-owned planes (nil ws allocates). Only the
+// real part of the quadratic form survives, so the R·a intermediate
+// keeps both planes but the final dot skips its imaginary half.
+func BartlettWithTableWS(ws *Workspace, r *mat.Matrix, tab *SteeringTable) *Spectrum {
+	m := r.Rows
+	var rRe, rIm, raRe, raIm []float64
+	if ws != nil {
+		ws.rRe = growPlane(ws.rRe, m*m)
+		ws.rIm = growPlane(ws.rIm, m*m)
+		ws.raRe = growPlane(ws.raRe, m)
+		ws.raIm = growPlane(ws.raIm, m)
+		rRe, rIm, raRe, raIm = ws.rRe, ws.rIm, ws.raRe, ws.raIm
+	} else {
+		rRe = make([]float64, m*m)
+		rIm = make([]float64, m*m)
+		raRe = make([]float64, m)
+		raIm = make([]float64, m)
+	}
+	for i, v := range r.Data {
+		rRe[i] = real(v)
+		rIm[i] = imag(v)
+	}
+
+	s := NewSpectrum(tab.bins)
+	n := tab.n
+	for i := 0; i < tab.bins; i++ {
+		are := tab.re[i*n : i*n+m]
+		aim := tab.im[i*n : i*n+m]
+		// ra = R·a, mirroring MulVecInto's accumulation order.
+		for row := 0; row < m; row++ {
+			rre := rRe[row*m : row*m+m]
+			rim := rIm[row*m : row*m+m]
+			var sre, sim float64
+			for j := 0; j < m; j++ {
+				rr, ri := rre[j], rim[j]
+				ar, ai := are[j], aim[j]
+				sre += rr*ar - ri*ai
+				sim += rr*ai + ri*ar
+			}
+			raRe[row] = sre
+			raIm[row] = sim
+		}
+		// real(⟨a, ra⟩), mirroring VecDot's real-component tree; the
+		// imaginary accumulation cannot reach the output and is skipped.
+		var p float64
+		for j := 0; j < m; j++ {
+			p += are[j]*raRe[j] + aim[j]*raIm[j]
+		}
+		if p < 0 {
+			p = 0
+		}
+		s.P[i] = p
+	}
+	return s
+}

@@ -1,0 +1,132 @@
+package music
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/array"
+	"repro/internal/geom"
+)
+
+// packedTestSetup builds a noise subspace and full-row correlation from
+// random coherent streams, the shapes the pipeline feeds the scans.
+func packedTestSetup(t *testing.T, rng *rand.Rand, nAnt int) (*array.Array, *Workspace, Options) {
+	t.Helper()
+	a := array.NewLinear(geom.Pt(0, 0), 0, nAnt, lambda)
+	opt := Options{
+		Wavelength:      lambda,
+		SmoothingGroups: 2,
+		MaxSamples:      10,
+		ForwardBackward: true,
+		Steering:        NewSteeringCache(),
+	}
+	return a, NewWorkspace(), opt
+}
+
+func randomStreams(rng *rand.Rand, nAnt, nSamples int) [][]complex128 {
+	streams := make([][]complex128, nAnt)
+	for i := range streams {
+		streams[i] = make([]complex128, nSamples)
+		for j := range streams[i] {
+			streams[i][j] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+	}
+	return streams
+}
+
+// TestPackedScansMatchClosurePaths pins the packed MUSIC and Bartlett
+// table scans bit-identical against the closure-based scalar scans
+// (musicSpectrum / bartlettSpectrum over Vector views) on random
+// subspaces — with and without a workspace, so the plane-packing path
+// is exercised both ways.
+func TestPackedScansMatchClosurePaths(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 20; trial++ {
+		nAnt := 4 + rng.Intn(5)
+		a, ws, opt := packedTestSetup(t, rng, nAnt)
+		streams := randomStreams(rng, nAnt, 16)
+		snaps := SnapshotsAt(streams, 0, 10)
+		r, err := CorrelationMatrix(snaps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := SpatialSmooth(r, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		noise, _, _, err := Subspaces(rs, 0.05, rs.Rows/2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab := opt.Steering.Table(a, lambda, DefaultBins)
+
+		// MUSIC: packed (ws and nil-ws) vs the closure scan.
+		want := musicSpectrum(noise, tab.Bins(), func(i int, _ float64) []complex128 {
+			return tab.Vector(i)[:noise.Rows]
+		})
+		for _, got := range []*Spectrum{
+			MUSICWithTableWS(ws, noise, tab),
+			MUSICWithTableWS(nil, noise, tab),
+		} {
+			for i := range want.P {
+				if got.P[i] != want.P[i] {
+					t.Fatalf("trial %d: MUSIC bin %d differs: %v vs %v", trial, i, got.P[i], want.P[i])
+				}
+			}
+		}
+
+		// Bartlett: packed vs the closure scan on the full-row matrix.
+		wantB := bartlettSpectrum(r, tab.Bins(), func(i int, _ float64) []complex128 {
+			return tab.Vector(i)[:r.Cols]
+		})
+		for _, got := range []*Spectrum{
+			BartlettWithTableWS(ws, r, tab),
+			BartlettWithTableWS(nil, r, tab),
+		} {
+			for i := range wantB.P {
+				if got.P[i] != wantB.P[i] {
+					t.Fatalf("trial %d: Bartlett bin %d differs: %v vs %v", trial, i, got.P[i], wantB.P[i])
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkMUSICWithTableWS(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	a := array.NewLinear(geom.Pt(0, 0), 0, 8, lambda)
+	streams := randomStreams(rng, 8, 16)
+	snaps := SnapshotsAt(streams, 0, 10)
+	r, _ := CorrelationMatrix(snaps)
+	rs, _ := SpatialSmooth(r, 2)
+	noise, _, _, _ := Subspaces(rs, 0.05, rs.Rows/2)
+	cache := NewSteeringCache()
+	tab := cache.Table(a, lambda, DefaultBins)
+	ws := NewWorkspace()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MUSICWithTableWS(ws, noise, tab)
+	}
+}
+
+// BenchmarkMUSICWithTableClosure is the pre-packing scan, kept for the
+// kernels experiment's before/after trajectory.
+func BenchmarkMUSICWithTableClosure(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	a := array.NewLinear(geom.Pt(0, 0), 0, 8, lambda)
+	streams := randomStreams(rng, 8, 16)
+	snaps := SnapshotsAt(streams, 0, 10)
+	r, _ := CorrelationMatrix(snaps)
+	rs, _ := SpatialSmooth(r, 2)
+	noise, _, _, _ := Subspaces(rs, 0.05, rs.Rows/2)
+	cache := NewSteeringCache()
+	tab := cache.Table(a, lambda, DefaultBins)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		musicSpectrum(noise, tab.Bins(), func(i int, _ float64) []complex128 {
+			return tab.Vector(i)[:noise.Rows]
+		})
+	}
+}

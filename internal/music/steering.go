@@ -26,16 +26,30 @@ type SteeringTable struct {
 	bins int
 	n    int // elements per steering vector
 	data []complex128
+	// Split re/im planes of data (same row-major layout), feeding the
+	// packed spectrum scans in packed.go. Values are exactly
+	// real(data[i])/imag(data[i]), so packed and complex consumers see
+	// the same table.
+	re, im []float64
 }
 
 // NewSteeringTable precomputes the steering matrix for the array's full
 // element set (ninth antenna included when present).
 func NewSteeringTable(a *array.Array, lambda float64, bins int) *SteeringTable {
 	n := a.NumElements()
-	t := &SteeringTable{bins: bins, n: n, data: make([]complex128, bins*n)}
+	t := &SteeringTable{
+		bins: bins, n: n,
+		data: make([]complex128, bins*n),
+		re:   make([]float64, bins*n),
+		im:   make([]float64, bins*n),
+	}
 	for i := 0; i < bins; i++ {
 		theta := 2 * math.Pi * float64(i) / float64(bins)
 		copy(t.data[i*n:(i+1)*n], a.SteeringVector(theta, lambda))
+	}
+	for i, v := range t.data {
+		t.re[i] = real(v)
+		t.im[i] = imag(v)
 	}
 	return t
 }
@@ -90,9 +104,10 @@ const DefaultSteeringCacheBudget int64 = 32 << 20
 // undercounted.
 const steeringEntryOverhead = 128
 
-// steeringCost is one table's accounted byte footprint.
+// steeringCost is one table's accounted byte footprint: the complex
+// table plus its two split planes.
 func steeringCost(t *SteeringTable) int64 {
-	return int64(len(t.data))*16 + steeringEntryOverhead
+	return int64(len(t.data))*16 + int64(len(t.re)+len(t.im))*8 + steeringEntryOverhead
 }
 
 // steeringEntry is one cached table with its LRU links and cost.
@@ -293,30 +308,33 @@ func (c *SteeringCache) Usage() SteeringUsage {
 }
 
 // MUSICWithTable is MUSIC evaluated against a precomputed steering
-// table: identical arithmetic, no per-bin allocation. The noise
-// subspace may span a leading subarray (spatial smoothing shrinks it);
-// each table row is truncated to en.Rows elements.
+// table via the packed split-plane scan (packed.go): value-identical
+// arithmetic, no per-bin allocation. The noise subspace may span a
+// leading subarray (spatial smoothing shrinks it); each table row is
+// truncated to en.Rows elements.
 func MUSICWithTable(en *mat.Matrix, tab *SteeringTable) *Spectrum {
-	return musicSpectrum(en, tab.bins, func(i int, _ float64) []complex128 {
-		return tab.Vector(i)[:en.Rows]
-	})
+	return MUSICWithTableWS(nil, en, tab)
 }
 
 // BartlettWithTable is Bartlett evaluated against a precomputed
-// steering table.
+// steering table via the packed scan.
 func BartlettWithTable(r *mat.Matrix, tab *SteeringTable) *Spectrum {
-	return bartlettSpectrum(r, tab.bins, func(i int, _ float64) []complex128 {
-		return tab.Vector(i)[:r.Cols]
-	})
+	return BartlettWithTableWS(nil, r, tab)
 }
 
 // SymmetryRemovalCached is SymmetryRemoval drawing its Bartlett
 // steering vectors from the cache when one is provided (nil falls back
 // to per-bin computation).
 func SymmetryRemovalCached(s *Spectrum, a *array.Array, rFull *mat.Matrix, wavelength float64, cache *SteeringCache) *Spectrum {
+	return SymmetryRemovalCachedWS(nil, s, a, rFull, wavelength, cache)
+}
+
+// SymmetryRemovalCachedWS is SymmetryRemovalCached drawing the packed
+// Bartlett scan's scratch planes from ws (nil allocates).
+func SymmetryRemovalCachedWS(ws *Workspace, s *Spectrum, a *array.Array, rFull *mat.Matrix, wavelength float64, cache *SteeringCache) *Spectrum {
 	var b *Spectrum
 	if cache != nil {
-		b = BartlettWithTable(rFull, cache.Table(a, wavelength, s.Bins()))
+		b = BartlettWithTableWS(ws, rFull, cache.Table(a, wavelength, s.Bins()))
 	} else {
 		b = Bartlett(rFull, func(theta float64) []complex128 {
 			return a.SteeringVector(theta, wavelength)

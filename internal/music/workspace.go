@@ -31,6 +31,13 @@ type Workspace struct {
 	eig      mat.EigWorkspace
 	noise    *mat.Matrix
 	signal   *mat.Matrix
+
+	// Split-plane scratch for the packed spectrum scans (packed.go):
+	// the noise subspace packed column-major, and the Bartlett scan's
+	// correlation planes plus its R·a intermediate.
+	enRe, enIm []float64
+	rRe, rIm   []float64
+	raRe, raIm []float64
 }
 
 // NewWorkspace returns an empty workspace.

@@ -164,6 +164,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	p.counter("arraytrack_synth_cache_misses_total", "Synthesis cache lookup misses.", st.SynthMisses)
 	p.counter("arraytrack_synth_cache_evictions_total", "Synthesis cache evictions.", st.SynthEvictions)
 	p.counter("arraytrack_synth_cache_slices_total", "Region LUTs sliced from cached full-grid entries.", st.SynthSlices)
+	p.counter("arraytrack_synth_cache_second_choice_total", "LUT insertions placed at their second-choice shard (two-choice placement).", st.SynthSecondChoice)
+	p.counter("arraytrack_synth_cache_spills_total", "Oversized or unretainable LUTs served pass-through without caching.", st.SynthSpills)
+	p.counter("arraytrack_synth_cache_dense_evictions_total", "Evictions of dense-pitch-scale LUT entries (>= 4 MiB).", st.SynthDenseEvictions)
 
 	p.gauge("arraytrack_steering_cache_entries", "Steering tables held.", int64(st.SteeringTables))
 	p.gauge("arraytrack_steering_cache_bytes", "Accounted steering cache size.", st.SteeringBytes)

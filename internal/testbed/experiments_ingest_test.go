@@ -1,8 +1,13 @@
 package testbed
 
 import (
+	"context"
 	"fmt"
+	"net"
 	"testing"
+	"time"
+
+	"repro/internal/server"
 )
 
 // TestRunIngestMeetsTargets is the ingest acceptance gate: batched v3
@@ -71,4 +76,102 @@ func TestRunIngestMeetsTargets(t *testing.T) {
 	for _, e := range lastErrs {
 		t.Error(e)
 	}
+}
+
+// TestUDPFloodSmallRcvbufLossAccounted pins the fire-and-forget
+// contract's honesty clause: when the kernel receive buffer is
+// deliberately too small for the flood, captures ARE lost — and the
+// backend's per-AP sequence accounting must say so, not hide it. The
+// flood lands before anyone reads the socket, so the kernel's drops
+// are deterministic: whatever exceeds the buffer is gone, and the
+// sequence numbers of what survives expose the gaps.
+func TestUDPFloodSmallRcvbufLossAccounted(t *testing.T) {
+	opt := DefaultIngestOptions()
+	opt.Captures = 1024
+	caps := ingestFlood(opt, IngestShape{2, 8})
+	// One AP, strictly monotonic sequence: every dropped datagram
+	// must surface as a sequence gap.
+	for i := range caps {
+		caps[i].APID = 1
+		caps[i].Seq = uint32(i)
+	}
+	grams := serializeDatagrams(caps, 4)
+
+	be := server.NewBackendDispatcher(1, time.Second, releaseDispatcher{})
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	uc, ok := pc.(*net.UDPConn)
+	if !ok {
+		t.Fatal("loopback listener is not a UDPConn")
+	}
+	if err := uc.SetReadBuffer(1 << 12); err != nil {
+		t.Skipf("cannot shrink the receive buffer on this platform: %v", err)
+	}
+	tx, err := net.Dial("udp", pc.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tx.Close()
+	for _, g := range grams {
+		if _, err := tx.Write(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Only now does the reader start: it drains what the 4 KiB buffer
+	// held and nothing more.
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan struct{})
+	go func() {
+		defer close(served)
+		_ = be.ServeUDP(ctx, pc)
+	}()
+	settle := func() uint64 {
+		deadline := time.Now().Add(2 * time.Second)
+		var got uint64
+		for time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+			if n := be.UDP().Captures; n == got && n > 0 {
+				break
+			} else {
+				got = n
+			}
+		}
+		return got
+	}
+	settled := settle()
+
+	// The kernel kept the head of the flood and dropped the tail, so
+	// the survivors are gap-free so far — sequence accounting can only
+	// see a hole once a later capture arrives. Resend the final
+	// datagram into the now-empty buffer: its sequence number is far
+	// past the last survivor, exposing the drop.
+	if _, err := tx.Write(grams[len(grams)-1]); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && be.UDP().Captures <= settled {
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	pc.Close()
+	<-served
+
+	u := be.UDP()
+	sent := uint64(len(caps))
+	if u.Captures == 0 {
+		t.Fatal("no captures survived: the buffer dropped the entire flood, nothing to account")
+	}
+	if u.Captures >= sent {
+		t.Fatalf("all %d captures survived a 4 KiB receive buffer — flood too small to force loss", sent)
+	}
+	lossPct := 100 * float64(sent-u.Captures) / float64(sent)
+	if u.SeqGaps == 0 {
+		t.Fatalf("%.1f%% of the flood was lost but SeqGaps is 0 — loss is not being accounted", lossPct)
+	}
+	t.Logf("flood %d captures into a 4 KiB buffer: %d survived (%.1f%% lost), %d sequence gaps accounted",
+		sent, u.Captures, lossPct, u.SeqGaps)
 }

@@ -1,0 +1,366 @@
+package testbed
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mat"
+	"repro/internal/music"
+)
+
+// KernelsOptions sizes the numeric-kernel benchmark experiment: the
+// four hot kernels this sprint rebuilt — packed-complex
+// eigendecomposition, the packed MUSIC scan, the rotation-guarded
+// hill climb, the heap-ordered branch-and-bound — plus the two-choice
+// SynthCache at dense pitch, each measured against its retained
+// reference path on real testbed data.
+type KernelsOptions struct {
+	// MaxClients is the number of client positions sampled for the
+	// eig/scan matrices and the localization scenes.
+	MaxClients int
+	// Sites indexes the AP sites contributing to every scene.
+	Sites []int
+	// Trials is the timing repeat count (best-of).
+	Trials int
+	// Rounds is the number of warm round-robin passes over the
+	// dense-pitch LUT working set in the cache section.
+	Rounds int
+	// DenseCell is the LUT pitch for the cache section (the paper's
+	// dense sweep; 2 cm yields multi-MB entries).
+	DenseCell float64
+	// Seed drives capture noise.
+	Seed int64
+}
+
+// DefaultKernelsOptions measures four scenes at the paper geometry
+// and the full six-AP working set at 2 cm pitch.
+func DefaultKernelsOptions() KernelsOptions {
+	return KernelsOptions{
+		MaxClients: 4,
+		Sites:      []int{0, 2, 4},
+		Trials:     5,
+		Rounds:     3,
+		DenseCell:  0.02,
+		Seed:       1,
+	}
+}
+
+// interleavedBestOf alternates timed runs of a and b so slow drift on
+// a shared host degrades both measurements alike, and returns each
+// one's best duration.
+func interleavedBestOf(trials int, a, b func()) (bestA, bestB time.Duration) {
+	bestA, bestB = 1<<62, 1<<62
+	for t := 0; t < trials; t++ {
+		start := time.Now()
+		a()
+		if d := time.Since(start); d < bestA {
+			bestA = d
+		}
+		start = time.Now()
+		b()
+		if d := time.Since(start); d < bestB {
+			bestB = d
+		}
+	}
+	return bestA, bestB
+}
+
+// kernelMatrices builds the spatially-smoothed covariance matrices
+// and noise subspaces the pipeline hands to the eigensolver and the
+// MUSIC scan, one per (client, site) pair, from real captures.
+func (tb *Testbed) kernelMatrices(opt KernelsOptions) (smoothed, noise []*mat.Matrix, err error) {
+	capOpt := DefaultCaptureOptions()
+	rng := rand.New(rand.NewSource(opt.Seed))
+	for ci := 0; ci < opt.MaxClients && ci < len(tb.Clients); ci++ {
+		for _, si := range opt.Sites {
+			frames := tb.CaptureClient(tb.Clients[ci], tb.Sites[si], capOpt, rng)
+			streams := frames[0].Streams[:capOpt.Antennas]
+			snaps := music.SnapshotsFromStreams(streams, 16)
+			r, err := music.CorrelationMatrix(snaps)
+			if err != nil {
+				return nil, nil, err
+			}
+			rs, err := music.SpatialSmooth(music.ForwardBackward(r), 2)
+			if err != nil {
+				return nil, nil, err
+			}
+			en, _, _, err := music.Subspaces(rs, 0.05, rs.Rows/2)
+			if err != nil {
+				return nil, nil, err
+			}
+			smoothed = append(smoothed, rs)
+			noise = append(noise, en)
+		}
+	}
+	return smoothed, noise, nil
+}
+
+// RunKernels benchmarks the numeric kernels against their retained
+// reference paths — packed split-plane eig vs the complex128 Jacobi,
+// the packed table scan vs the closure scan, the rotation-guarded
+// hill climb and heap-ordered branch-and-bound vs the scalar/linear
+// pair, and two-choice SynthCache placement at dense pitch — and
+// re-asserts on every scene that the fast paths are bit-identical.
+// Emitted as metrics so `atbench -exp kernels -json` extends the
+// BENCH_*.json perf trajectory.
+func (tb *Testbed) RunKernels(opt KernelsOptions) (*Report, error) {
+	r := &Report{ID: "kernels", Title: "numeric kernels: packed eig, guarded climb, heap B&B, two-choice cache"}
+
+	// --- eigendecomposition + MUSIC scan, real smoothed matrices.
+	smoothed, noise, err := tb.kernelMatrices(opt)
+	if err != nil {
+		return nil, err
+	}
+	// Each timed pass decomposes every matrix eigReps times so one
+	// trial is long enough to mean something; packed and reference
+	// trials interleave so drift on a shared host hits both alike.
+	const eigReps = 32
+	var ews mat.EigWorkspace
+	nOps := len(smoothed)
+	packedEig, refEig := interleavedBestOf(opt.Trials,
+		func() {
+			for rep := 0; rep < eigReps; rep++ {
+				for _, m := range smoothed {
+					if _, err := mat.EigHermitianWS(m, &ews); err != nil {
+						panic(err)
+					}
+				}
+			}
+		},
+		func() {
+			for rep := 0; rep < eigReps; rep++ {
+				for _, m := range smoothed {
+					if _, err := mat.EigHermitianRefWS(m, &ews); err != nil {
+						panic(err)
+					}
+				}
+			}
+		})
+	eigPackedNS := float64(packedEig.Nanoseconds()) / float64(nOps*eigReps)
+	eigRefNS := float64(refEig.Nanoseconds()) / float64(nOps*eigReps)
+	r.AddMetric("kernels_eig_packed_ns", eigPackedNS, "ns/op")
+	r.AddMetric("kernels_eig_ref_ns", eigRefNS, "ns/op")
+	r.AddMetric("kernels_eig_speedup", eigRefNS/eigPackedNS, "x")
+	r.Addf("eig %dx%d smoothed covariance (%d matrices): packed %.0f ns/op, ref %.0f ns/op, %.2fx",
+		smoothed[0].Rows, smoothed[0].Cols, nOps, eigPackedNS, eigRefNS, eigRefNS/eigPackedNS)
+
+	capOpt := DefaultCaptureOptions()
+	var mws music.Workspace
+	tabs := make([]*music.SteeringTable, len(opt.Sites))
+	for i, si := range opt.Sites {
+		tabs[i] = music.NewSteeringTable(tb.NewArray(tb.Sites[si], capOpt), tb.Wavelength, 360)
+	}
+	arrays := make([]interface {
+		SteeringVectorRow(float64, float64) []complex128
+	}, len(opt.Sites))
+	for i, si := range opt.Sites {
+		arrays[i] = tb.NewArray(tb.Sites[si], capOpt)
+	}
+	packedScan, closureScan := interleavedBestOf(opt.Trials,
+		func() {
+			for i, en := range noise {
+				music.MUSICWithTableWS(&mws, en, tabs[i%len(tabs)])
+			}
+		},
+		func() {
+			for i, en := range noise {
+				a := arrays[i%len(arrays)]
+				sub := en.Rows
+				music.MUSIC(en, func(theta float64) []complex128 {
+					return a.SteeringVectorRow(theta, tb.Wavelength)[:sub]
+				}, 360)
+			}
+		})
+	scanPackedNS := float64(packedScan.Nanoseconds()) / float64(nOps)
+	scanClosureNS := float64(closureScan.Nanoseconds()) / float64(nOps)
+	r.AddMetric("kernels_scan_packed_ns", scanPackedNS, "ns/op")
+	r.AddMetric("kernels_scan_closure_ns", scanClosureNS, "ns/op")
+	r.AddMetric("kernels_scan_speedup", scanClosureNS/scanPackedNS, "x")
+	r.Addf("MUSIC scan 360 bins: packed %.0f ns/op, closure %.0f ns/op, %.2fx",
+		scanPackedNS, scanClosureNS, scanClosureNS/scanPackedNS)
+
+	// --- hill climb + branch-and-bound on real scenes, fast vs the
+	// retained reference pair, with the exactness claim re-checked.
+	scenes, _, err := tb.synthScenes(SynthOptions{MaxClients: opt.MaxClients, Sites: opt.Sites, Seed: opt.Seed})
+	if err != nil {
+		return nil, err
+	}
+	var mFast, mRef core.SynthMetrics
+	fastGrid, err := core.NewSynthGrid(tb.Plan.Min, tb.Plan.Max, core.SynthOptions{
+		Cell: 0.10, Workers: 1, Cache: core.NewSynthCache(), Metrics: &mFast,
+	})
+	if err != nil {
+		return nil, err
+	}
+	refGrid, err := core.NewSynthGrid(tb.Plan.Min, tb.Plan.Max, core.SynthOptions{
+		Cell: 0.10, Workers: 1, Cache: core.NewSynthCache(), Metrics: &mRef,
+		LinearPick: true, ScalarHillClimb: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	exact := 0
+	for _, sc := range scenes { // warm LUTs; re-assert bit-identity
+		pf, err := fastGrid.Localize(sc)
+		if err != nil {
+			return nil, err
+		}
+		pr, err := refGrid.Localize(sc)
+		if err != nil {
+			return nil, err
+		}
+		if pf == pr {
+			exact++
+		}
+	}
+	if exact != len(scenes) {
+		return nil, fmt.Errorf("kernels: fast fix diverged from reference on %d/%d scenes", len(scenes)-exact, len(scenes))
+	}
+	r.AddMetric("kernels_exact_fix_match_pct", 100, "%")
+
+	localize := func(sg *core.SynthGrid) {
+		for _, sc := range scenes {
+			if _, err := sg.Localize(sc); err != nil {
+				panic(err)
+			}
+		}
+	}
+	// Interleave the timed trials so drift on a shared host hits both
+	// paths alike.
+	s0 := mFast.Snapshot()
+	r0 := mRef.Snapshot()
+	fastT, refT := time.Duration(1<<62), time.Duration(1<<62)
+	var fastWall time.Duration
+	for t := 0; t < opt.Trials; t++ {
+		start := time.Now()
+		localize(fastGrid)
+		d := time.Since(start)
+		fastWall += d
+		if d < fastT {
+			fastT = d
+		}
+		start = time.Now()
+		localize(refGrid)
+		if d := time.Since(start); d < refT {
+			refT = d
+		}
+	}
+	sF := mFast.Snapshot()
+	sR := mRef.Snapshot()
+
+	fastNS := float64(fastT.Nanoseconds()) / float64(len(scenes))
+	refNS := float64(refT.Nanoseconds()) / float64(len(scenes))
+	probes := sF.HillProbes - s0.HillProbes
+	pruned := sF.HillPruned - s0.HillPruned
+	prunedPct := 100 * float64(pruned) / float64(probes)
+	probesPerSec := float64(probes) / fastWall.Seconds()
+	fixes := int64(opt.Trials * len(scenes))
+	heapVisits := float64(sF.BoundVisits-s0.BoundVisits) / float64(fixes)
+	linVisits := float64(sR.BoundVisits-r0.BoundVisits) / float64(fixes)
+	r.AddMetric("kernels_localize_fast_ns", fastNS, "ns/op")
+	r.AddMetric("kernels_localize_ref_ns", refNS, "ns/op")
+	r.AddMetric("kernels_localize_speedup", refNS/fastNS, "x")
+	r.AddMetric("kernels_climb_probes_per_s", probesPerSec, "probes/s")
+	r.AddMetric("kernels_climb_pruned_pct", prunedPct, "%")
+	r.AddMetric("kernels_bnb_visits_adaptive_mean", heapVisits, "visits/fix")
+	r.AddMetric("kernels_bnb_visits_linear_mean", linVisits, "visits/fix")
+	r.Addf("localize 10 cm (%d scenes, fix bit-identical on all): fast %.0f ns/op, ref %.0f ns/op, %.2fx",
+		len(scenes), fastNS, refNS, refNS/fastNS)
+	r.Addf("hill climb: %.0f probes/s, %.0f%% pruned without a bearing; B&B bound visits/fix adaptive %.0f vs linear %.0f (equal = the switch never fired: benign screens stay linear)",
+		probesPerSec, prunedPct, heapVisits, linVisits)
+
+	// --- branch-and-bound worst case: a degenerate all-floor surface
+	// ties every block bound, so the screen refines to its budget. The
+	// linear pick rescans all bounds per refinement (quadratic); the
+	// heap pays log per pop.
+	degenRun := func(linear bool) (int, core.SynthMetricsSnapshot, error) {
+		flat := []core.APSpectrum{
+			{Pos: tb.Sites[0].Pos, Spectrum: music.NewSpectrum(360)},
+			{Pos: tb.Sites[3].Pos, Spectrum: music.NewSpectrum(360)},
+		}
+		var m core.SynthMetrics
+		sg, err := core.NewSynthGrid(tb.Plan.Min, tb.Plan.Max, core.SynthOptions{
+			Cell: 0.05, Workers: 1, Cache: core.NewSynthCache(), Metrics: &m, LinearPick: linear,
+		})
+		if err != nil {
+			return 0, core.SynthMetricsSnapshot{}, err
+		}
+		cell, err := sg.RefinedArgmaxCell(flat)
+		return cell, m.Snapshot(), err
+	}
+	linCell, degLin, err := degenRun(true)
+	if err != nil {
+		return nil, err
+	}
+	heapCell, degHeap, err := degenRun(false)
+	if err != nil {
+		return nil, err
+	}
+	if linCell != heapCell {
+		return nil, fmt.Errorf("kernels: degenerate argmax diverged (linear %d, heap %d)", linCell, heapCell)
+	}
+	degenRatio := float64(degLin.BoundVisits) / float64(degHeap.BoundVisits)
+	r.AddMetric("kernels_bnb_degen_visits_linear", float64(degLin.BoundVisits), "visits")
+	r.AddMetric("kernels_bnb_degen_visits_adaptive", float64(degHeap.BoundVisits), "visits")
+	r.AddMetric("kernels_bnb_degen_ratio", degenRatio, "x")
+	r.Addf("degenerate flat screen at 5 cm (identical argmax, %d blocks refined): bound visits linear %d, adaptive heap %d (%.0fx fewer)",
+		degLin.BlocksRefined, degLin.BoundVisits, degHeap.BoundVisits, degenRatio)
+
+	// --- two-choice SynthCache at dense pitch: the full six-site LUT
+	// working set against a budget of one entry per shard. Single-
+	// choice placement thrashes whenever two keys hash to one shard;
+	// two-choice keeps the whole set resident, so warm round-robin
+	// passes hit every lookup.
+	denseSpecs, _, err := tb.synthScenes(SynthOptions{MaxClients: 1, Sites: []int{0, 1, 2, 3, 4, 5}, Seed: opt.Seed})
+	if err != nil {
+		return nil, err
+	}
+	denseScene := denseSpecs[0]
+	probeCache := core.NewSynthCache()
+	probeGrid, err := core.NewSynthGrid(tb.Plan.Min, tb.Plan.Max, core.SynthOptions{
+		Cell: opt.DenseCell, Workers: 1, Cache: probeCache,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var h core.Heatmap
+	if err := probeGrid.LogHeatmapInto(&h, denseScene[:1]); err != nil {
+		return nil, err
+	}
+	// Budget two entries per shard: globally the set fits three times
+	// over, so any miss after warm-up is placement thrash, not
+	// capacity. Single-choice hashing thrashes here whenever three
+	// keys land on one shard; two-choice placement keeps the whole
+	// working set resident.
+	entryBytes := probeCache.Usage().Bytes // one dense LUT's accounted cost
+	cache := core.NewSynthCacheBudget(entryBytes * 16)
+	sg, err := core.NewSynthGrid(tb.Plan.Min, tb.Plan.Max, core.SynthOptions{
+		Cell: opt.DenseCell, Workers: 1, Cache: cache,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := sg.LogHeatmapInto(&h, denseScene); err != nil { // cold build
+		return nil, err
+	}
+	hits0, _ := cache.Stats()
+	for round := 0; round < opt.Rounds; round++ {
+		if err := sg.LogHeatmapInto(&h, denseScene); err != nil {
+			return nil, err
+		}
+	}
+	hits, _ := cache.Stats()
+	lookups := uint64(opt.Rounds * len(denseScene))
+	hitPct := 100 * float64(hits-hits0) / float64(lookups)
+	u := cache.Usage()
+	r.AddMetric("kernels_cache_dense_entry_mb", float64(entryBytes)/(1<<20), "MB")
+	r.AddMetric("kernels_cache_dense_hit_pct", hitPct, "%")
+	r.AddMetric("kernels_cache_second_choice", float64(u.SecondChoice), "placements")
+	r.AddMetric("kernels_cache_spills", float64(u.Spills), "serves")
+	r.AddMetric("kernels_cache_dense_evictions", float64(u.DenseEvictions), "evictions")
+	r.Addf("two-choice cache at %.0f cm (%.1f MB/AP, %d APs, budget 2 entries/shard): warm hit rate %.0f%%, %d second-choice placements, %d spills, %d dense evictions",
+		opt.DenseCell*100, float64(entryBytes)/(1<<20), len(denseScene), hitPct, u.SecondChoice, u.Spills, u.DenseEvictions)
+	return r, nil
+}

@@ -1,0 +1,153 @@
+package testbed
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestKernelsExactOn205Scenes is the sprint's exactness pin at full
+// testbed scale: over all 205 scenes (41 clients × [all-six plus four
+// 3-AP combos]) the fast kernel stack — heap-ordered branch-and-bound
+// pick plus rotation-guarded hill climb — must produce the
+// bit-identical refined argmax cell and localized fix of the retained
+// reference pair (linear bound scan + scalar climb). No tolerance:
+// the kernels claim exact replacement, not approximation.
+func TestKernelsExactOn205Scenes(t *testing.T) {
+	tb := New()
+	specs, _, err := tb.spectraForAll(DefaultAccuracyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := core.NewSynthGrid(tb.Plan.Min, tb.Plan.Max, core.SynthOptions{
+		Cell: 0.10, Workers: 1, Cache: core.NewSynthCache(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := core.NewSynthGrid(tb.Plan.Min, tb.Plan.Max, core.SynthOptions{
+		Cell: 0.10, Workers: 1, Cache: core.NewSynthCache(),
+		LinearPick: true, ScalarHillClimb: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	combos := [][]int{{0, 1, 2, 3, 4, 5}}
+	combos = append(combos, Combinations(len(tb.Sites), 3)[:4]...)
+	checked := 0
+	for ci := range specs {
+		for _, combo := range combos {
+			scene := make([]core.APSpectrum, len(combo))
+			for i, si := range combo {
+				scene[i] = core.APSpectrum{Pos: tb.Sites[si].Pos, Spectrum: specs[ci][si]}
+			}
+			gotCell, err := fast.RefinedArgmaxCell(scene)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantCell, err := ref.RefinedArgmaxCell(scene)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotCell != wantCell {
+				t.Fatalf("client %d combo %v: fast argmax cell %d != reference %d", ci, combo, gotCell, wantCell)
+			}
+			got, err := fast.Localize(scene)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := ref.Localize(scene)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("client %d combo %v: fast fix %v != reference %v — not bit-identical", ci, combo, got, want)
+			}
+			checked++
+		}
+	}
+	if checked != 205 {
+		t.Fatalf("swept %d scenes, want 205", checked)
+	}
+	t.Logf("fast kernels bit-identical to reference on all %d testbed scenes", checked)
+}
+
+// TestRunKernelsMeetsTargets runs the kernels experiment and enforces
+// the sprint's headline claims. Structural claims (bit-identical
+// fixes, guard prune rate, degenerate bound-visit collapse, warm
+// dense-pitch hit rate) are deterministic and asserted outright; the
+// timing claims take the best of a few attempts because the CI host
+// is shared and often single-core — noise only ever subtracts
+// speedup, and a real regression fails every attempt.
+func TestRunKernelsMeetsTargets(t *testing.T) {
+	if raceEnabled {
+		t.Skip("kernel timings are not meaningful under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("kernels gate skipped in -short mode")
+	}
+	tb := New()
+	opt := DefaultKernelsOptions()
+
+	const attempts = 3
+	var lastErrs []string
+	for a := 0; a < attempts; a++ {
+		r, err := tb.RunKernels(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range r.Lines {
+			t.Log(l)
+		}
+		get := func(name string) float64 {
+			for _, m := range r.Metrics {
+				if m.Name == name {
+					return m.Value
+				}
+			}
+			t.Fatalf("metric %q missing", name)
+			return 0
+		}
+		// Deterministic claims: fail immediately, retries cannot help.
+		if pct := get("kernels_exact_fix_match_pct"); pct != 100 {
+			t.Fatalf("fast fix bit-identical on %.0f%% of scenes, want 100%%", pct)
+		}
+		if pct := get("kernels_climb_pruned_pct"); pct < 40 {
+			t.Fatalf("rotation guard pruned %.0f%% of probes, want ≥40%%", pct)
+		}
+		if ratio := get("kernels_bnb_degen_ratio"); ratio < 10 {
+			t.Fatalf("degenerate-screen bound visits only %.1fx below linear, want ≥10x", ratio)
+		}
+		if hit := get("kernels_cache_dense_hit_pct"); hit < 99.9 {
+			t.Fatalf("warm dense-pitch hit rate %.1f%%, want 100%% (two-choice placement thrashed)", hit)
+		}
+		if sc := get("kernels_cache_second_choice"); sc < 1 {
+			t.Fatalf("no second-choice placements recorded — two-choice path not exercised")
+		}
+		if sp := get("kernels_cache_spills"); sp != 0 {
+			t.Fatalf("%.0f dense LUT spills at a 2-entries-per-shard budget, want 0", sp)
+		}
+		// Timing claims: collect and retry.
+		lastErrs = nil
+		if s := get("kernels_eig_speedup"); s < 1.5 {
+			lastErrs = append(lastErrs, fmt.Sprintf("packed eig speedup %.2fx < 1.5x", s))
+		}
+		if s := get("kernels_scan_speedup"); s < 5.0 {
+			lastErrs = append(lastErrs, fmt.Sprintf("packed MUSIC scan speedup %.2fx < 5x", s))
+		}
+		if s := get("kernels_localize_speedup"); s < 0.9 {
+			lastErrs = append(lastErrs, fmt.Sprintf("fast localize at %.2fx of reference, below the 0.9x no-regression floor", s))
+		}
+		if ps := get("kernels_climb_probes_per_s"); ps < 100_000 {
+			lastErrs = append(lastErrs, fmt.Sprintf("hill climb at %.0f probes/s below the 100k floor", ps))
+		}
+		if len(lastErrs) == 0 {
+			return
+		}
+		t.Logf("attempt %d/%d missed targets: %v", a+1, attempts, lastErrs)
+	}
+	for _, e := range lastErrs {
+		t.Error(e)
+	}
+}
